@@ -1,0 +1,69 @@
+"""Ablation: bulk-load strategies for a document's prime labels.
+
+Compares three ways to get from XML text to a full set of prime labels:
+
+* parse into a tree, then label the tree (the default path),
+* stream labels in one SAX pass without materializing the tree,
+* parse + label + build the full ordered document (labels + SC table).
+
+The streaming path should sit at or below the tree path (no tree
+allocation); the ordered path adds the CRT work the SC table needs.
+"""
+
+import pytest
+
+from repro.datasets.shakespeare import play
+from repro.labeling.prime import PrimeScheme
+from repro.order.document import OrderedDocument
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.streaming import stream_prime_labels
+
+
+@pytest.fixture(scope="module")
+def document_text():
+    return serialize(play(seed=21, node_budget=4000))
+
+
+def test_bulk_load_tree_then_label(benchmark, document_text):
+    def run():
+        tree = parse_document(document_text)
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(tree)
+        return len(list(scheme.labeled_nodes()))
+
+    count = benchmark(run)
+    benchmark.extra_info["labels"] = count
+    assert count == 4000
+
+
+def test_bulk_load_streaming(benchmark, document_text):
+    def run():
+        return sum(1 for _record in stream_prime_labels(document_text))
+
+    count = benchmark(run)
+    benchmark.extra_info["labels"] = count
+    assert count == 4000
+
+
+def test_bulk_load_ordered_document(benchmark, document_text):
+    def run():
+        tree = parse_document(document_text)
+        document = OrderedDocument(tree, group_size=5)
+        return document.sc_table.node_count + 1
+
+    count = benchmark(run)
+    benchmark.extra_info["labels"] = count
+    assert count == 4000
+
+
+def test_streaming_equals_tree_labels(benchmark, document_text):
+    def check():
+        tree = parse_document(document_text)
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(tree)
+        for record, node in zip(stream_prime_labels(document_text), tree.iter_preorder()):
+            assert record.label == scheme.label_of(node)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1)

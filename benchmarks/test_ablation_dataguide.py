@@ -1,0 +1,62 @@
+"""Ablation: DataGuide pre-filtering on a heterogeneous collection.
+
+The Niagara setting is a repository of documents with many different
+DTDs.  A DataGuide (Lore's path summary, the paper's related work) lets
+the engine skip documents whose path structure cannot match a query.
+This bench runs tag-selective queries over a mixed collection of play,
+book-ish and department documents, with and without the guide.
+"""
+
+import pytest
+
+from repro.datasets.niagara import build_dataset
+from repro.datasets.shakespeare import shakespeare_corpus
+from repro.query.dataguide import DataGuide, GuidedQueryEngine
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+
+QUERIES = (
+    "/PLAY//SPEECH//LINE",
+    "/university//course//title",
+    "/SigmodRecord//article//author",
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_store():
+    documents = shakespeare_corpus(plays=10, seed=3) + [
+        build_dataset("D1"),
+        build_dataset("D6"),
+        build_dataset("D9"),
+    ]
+    return LabelStore.build(documents, scheme="interval")
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_plain_engine(benchmark, mixed_store, query):
+    engine = QueryEngine(mixed_store)
+    rows = benchmark(engine.evaluate, query)
+    benchmark.extra_info["rows"] = len(rows)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_guided_engine(benchmark, mixed_store, query):
+    engine = GuidedQueryEngine(mixed_store)
+    rows = benchmark(engine.evaluate, query)
+    benchmark.extra_info["rows"] = len(rows)
+    assert engine.documents_skipped > 0  # the guide pruned something
+
+
+def test_guide_equivalence_and_build_cost(benchmark, mixed_store):
+    def build_and_compare():
+        guide = DataGuide([row.node for row in mixed_store.rows if row.depth == 0])
+        plain = QueryEngine(mixed_store)
+        guided = GuidedQueryEngine(mixed_store, guide=guide)
+        for query in QUERIES:
+            assert [r.element_id for r in plain.evaluate(query)] == [
+                r.element_id for r in guided.evaluate(query)
+            ]
+        return guide.path_count
+
+    paths = benchmark.pedantic(build_and_compare, rounds=1)
+    benchmark.extra_info["distinct_paths"] = paths

@@ -1,0 +1,59 @@
+"""Ablation: tree decomposition for deep documents (Section 3.2's pointer
+to Kaplan/Milo/Shabo).
+
+On a deep chain-heavy tree, decomposing into bounded-depth components
+shrinks the prime scheme's maximum label, at the price of a two-part
+(global, local) label and a slightly costlier ancestor test.
+"""
+
+import pytest
+
+from repro.datasets.random_tree import RandomTreeBuilder
+from repro.labeling.decompose import decompose_tree
+from repro.labeling.prime import PrimeScheme
+
+
+def deep_tree():
+    return RandomTreeBuilder(seed=13, max_depth=24, max_fanout=3).build(2_000)
+
+
+def prime_factory():
+    return PrimeScheme(reserved_primes=0, power2_leaves=False)
+
+
+def test_ablation_flat_labeling(benchmark):
+    tree = deep_tree()
+
+    def label():
+        scheme = prime_factory()
+        scheme.label_tree(tree)
+        return scheme.max_label_bits()
+
+    bits = benchmark(label)
+    benchmark.extra_info["max_label_bits"] = bits
+
+
+@pytest.mark.parametrize("max_depth", [3, 6, 12], ids=lambda d: f"depth{d}")
+def test_ablation_decomposed_labeling(benchmark, max_depth):
+    tree = deep_tree()
+
+    def label():
+        return decompose_tree(tree, prime_factory, max_depth=max_depth).max_label_bits()
+
+    bits = benchmark(label)
+    benchmark.extra_info["max_label_bits"] = bits
+
+
+def test_ablation_decomposition_shrinks_labels(benchmark):
+    def measure():
+        tree = deep_tree()
+        flat_scheme = prime_factory()
+        flat_scheme.label_tree(tree)
+        flat = flat_scheme.max_label_bits()
+        decomposed = decompose_tree(tree, prime_factory, max_depth=4).max_label_bits()
+        return flat, decomposed
+
+    flat, decomposed = benchmark.pedantic(measure, rounds=1)
+    benchmark.extra_info["flat_bits"] = flat
+    benchmark.extra_info["decomposed_bits"] = decomposed
+    assert decomposed < flat

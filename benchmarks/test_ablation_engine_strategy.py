@@ -1,0 +1,49 @@
+"""Ablation: scan vs merge evaluation strategies in the query engine.
+
+The scan strategy tests every (context, candidate) pair; the merge
+strategy runs a stack-based structural join per document.  On selective
+steps they tie; on dense steps (many contexts × many candidates, e.g.
+``/ACT//LINE``) the merge pass wins by the avoided quadratic factor.
+"""
+
+import pytest
+
+from repro.datasets.shakespeare import shakespeare_corpus
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+
+QUERIES = {
+    "dense": "/ACT//LINE",
+    "chained": "/PLAY//ACT//SCENE//SPEECH//LINE",
+    "selective": "/PLAY//PERSONAE/PERSONA",
+}
+
+
+@pytest.fixture(scope="module")
+def store():
+    return LabelStore.build(shakespeare_corpus(plays=6, seed=9), scheme="prime")
+
+
+@pytest.mark.parametrize("strategy", ["scan", "merge"])
+@pytest.mark.parametrize("shape", list(QUERIES))
+def test_engine_strategy(benchmark, store, shape, strategy):
+    engine = QueryEngine(store, strategy=strategy)
+    rows = benchmark(engine.evaluate, QUERIES[shape])
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.group = shape
+
+
+def test_strategies_agree(benchmark, store):
+    def check():
+        scan = QueryEngine(store, strategy="scan")
+        merge = QueryEngine(store, strategy="merge")
+        counts = {}
+        for shape, query in QUERIES.items():
+            scan_rows = sorted(r.element_id for r in scan.evaluate(query))
+            merge_rows = sorted(r.element_id for r in merge.evaluate(query))
+            assert scan_rows == merge_rows, shape
+            counts[shape] = len(scan_rows)
+        return counts
+
+    counts = benchmark.pedantic(check, rounds=1)
+    benchmark.extra_info["rows"] = counts

@@ -1,0 +1,62 @@
+"""Ablation: how long the QRS float-interval scheme survives hot-spot
+insertions before precision forces a full relabel.
+
+Section 2's criticism of the floating-point interval idea: "the
+representation of a floating point number is constrained by the number of
+bits in the mantissa. Once again, when the number of insertions exceeds
+certain limits, re-labeling is necessary."  This bench measures that limit:
+repeated insertion into the *same* gap halves the available interval each
+time, so the insertions-before-relabel budget is linear in the mantissa
+width — tiny compared to the prime scheme's unlimited budget.
+"""
+
+import pytest
+
+from repro.errors import LabelOverflowError
+from repro.labeling.interval import FloatIntervalScheme
+from repro.labeling.prime import PrimeScheme
+from repro.xmlkit.builder import element
+
+MANTISSAS = (8, 16, 24, 52)
+
+
+def hotspot_insertions_until_relabel(mantissa_bits: int) -> int:
+    tree = element("r", element("a"), element("b"))
+    scheme = FloatIntervalScheme(mantissa_bits=mantissa_bits)
+    scheme.label_tree(tree)
+    count = 0
+    while count < 10_000:
+        try:
+            scheme.try_insert_leaf(tree, index=1)
+        except LabelOverflowError:
+            return count
+        count += 1
+    return count
+
+
+@pytest.mark.parametrize("mantissa", MANTISSAS, ids=[f"m{m}" for m in MANTISSAS])
+def test_float_interval_exhaustion(benchmark, mantissa):
+    survived = benchmark.pedantic(
+        hotspot_insertions_until_relabel, args=(mantissa,), rounds=1
+    )
+    benchmark.extra_info["insertions_before_relabel"] = survived
+    # each hot-spot insertion consumes ~2 mantissa bits (quartering the gap)
+    assert mantissa // 4 <= survived <= mantissa
+
+
+def test_prime_scheme_has_no_such_limit(benchmark):
+    """The contrast: 5,000 hot-spot insertions, zero collateral relabels."""
+
+    def run():
+        tree = element("r", element("a"), element("b"))
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(tree)
+        collateral = 0
+        for _ in range(5_000):
+            report = scheme.insert_leaf(tree, index=1)
+            collateral += report.count - 1  # anything beyond the new node
+        return collateral
+
+    collateral = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["collateral_relabels"] = collateral
+    assert collateral == 0

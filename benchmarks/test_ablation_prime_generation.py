@@ -1,0 +1,48 @@
+"""Ablation: strategies for supplying the label primes.
+
+The scheme's bulk-labeling cost is dominated by prime generation.  This
+bench compares the shipped approach (sieve bootstrap + segmented-sieve
+extension, via PrimeGenerator) against one-at-a-time Miller–Rabin search
+and a plain oversized sieve.
+"""
+
+import pytest
+
+from repro.primes.gen import PrimeGenerator
+from repro.primes.primality import next_prime
+from repro.primes.sieve import primes_first_n
+
+COUNT = 20_000
+
+
+def generator_strategy():
+    generator = PrimeGenerator()
+    return [generator.get_prime() for _ in range(COUNT)]
+
+
+def miller_rabin_strategy():
+    primes = []
+    candidate = 2
+    for _ in range(COUNT):
+        primes.append(candidate)
+        candidate = next_prime(candidate)
+    return primes
+
+
+def bulk_sieve_strategy():
+    return primes_first_n(COUNT)
+
+
+STRATEGIES = {
+    "generator": generator_strategy,
+    "miller-rabin": miller_rabin_strategy,
+    "bulk-sieve": bulk_sieve_strategy,
+}
+
+
+@pytest.mark.parametrize("strategy", list(STRATEGIES))
+def test_ablation_prime_generation(benchmark, strategy):
+    primes = benchmark.pedantic(STRATEGIES[strategy], rounds=2)
+    assert len(primes) == COUNT
+    assert primes[-1] == 224_737  # the 20,000th prime, same for all
+    benchmark.extra_info["largest_prime"] = primes[-1]

@@ -1,0 +1,64 @@
+"""Ablation: SC-table group size vs ordered-update cost and SC value width.
+
+The paper fixes the group size at 5 without exploring the trade-off.  A
+bigger group concentrates order into fewer records — fewer record updates
+per insertion (cheaper updates) but an SC value that is the product of
+more primes (wider integers to store and recompute).  This bench sweeps
+group sizes and reports both sides.
+"""
+
+import pytest
+
+from repro.bench.updates import _ordered_cost_prime
+from repro.datasets.shakespeare import play
+from repro.order.document import OrderedDocument
+
+GROUP_SIZES = (1, 5, 20, 100)
+
+
+@pytest.mark.parametrize("group_size", GROUP_SIZES, ids=[f"k{k}" for k in GROUP_SIZES])
+def test_ablation_group_size_update_cost(benchmark, group_size):
+    costs = []
+
+    def run():
+        result = _ordered_cost_prime(
+            play(seed=8, node_budget=2000), group_size=group_size
+        )
+        costs.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["total_cost"] = sum(costs[0])
+
+
+@pytest.mark.parametrize("group_size", GROUP_SIZES, ids=[f"k{k}" for k in GROUP_SIZES])
+def test_ablation_group_size_sc_width(benchmark, group_size):
+    def build():
+        document = OrderedDocument(play(seed=8, node_budget=2000), group_size=group_size)
+        return max(record.sc.bit_length() for record in document.sc_table)
+
+    width = benchmark(build)
+    benchmark.extra_info["max_sc_bits"] = width
+    assert width > 0
+
+
+def test_ablation_group_size_tradeoff(benchmark):
+    """Bigger groups: monotonically cheaper updates, wider SC values."""
+
+    def measure():
+        costs, widths = {}, {}
+        for group_size in GROUP_SIZES:
+            costs[group_size] = sum(
+                _ordered_cost_prime(play(seed=8, node_budget=2000), group_size=group_size)
+            )
+            document = OrderedDocument(
+                play(seed=8, node_budget=2000), group_size=group_size
+            )
+            widths[group_size] = max(r.sc.bit_length() for r in document.sc_table)
+        return costs, widths
+
+    costs, widths = benchmark.pedantic(measure, rounds=1)
+    benchmark.extra_info["update_cost"] = costs
+    benchmark.extra_info["sc_bits"] = widths
+    assert costs[1] > costs[5] > costs[20] > costs[100]
+    assert widths[1] < widths[5] < widths[20] < widths[100]

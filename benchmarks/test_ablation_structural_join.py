@@ -1,0 +1,76 @@
+"""Ablation: structural join algorithms over the labeling schemes.
+
+The paper's motivating workload is the ancestor/descendant containment
+join.  This bench joins ACT (ancestors) against LINE (descendants) on a
+play document and compares:
+
+* nested-loop with interval labels (the naive O(A·D) plan),
+* Stack-Tree-Desc with interval labels (one merge pass),
+* nested-loop with prime labels (modulo tests),
+* the prime-label merge join (divisibility-driven stack).
+
+All four produce identical pair sets (asserted); the timings show the
+merge joins' asymptotic win.
+"""
+
+import pytest
+
+from repro.datasets.shakespeare import play
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prime import PrimeScheme
+from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tree = play(seed=4, node_budget=4000)
+    interval = XissIntervalScheme().label_tree(tree)
+    prime = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(tree)
+    acts = tree.find_by_tag("ACT")
+    lines = tree.find_by_tag("LINE")
+    return interval, prime, acts, lines
+
+
+def test_join_nested_loop_interval(benchmark, workload):
+    interval, _prime, acts, lines = workload
+    pairs = benchmark(nested_loop_join, interval, acts, lines)
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert len(pairs) == len(lines)
+
+
+def test_join_stack_tree_interval(benchmark, workload):
+    interval, _prime, acts, lines = workload
+    pairs = benchmark(stack_tree_join, interval, acts, lines)
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert len(pairs) == len(lines)
+
+
+def test_join_nested_loop_prime(benchmark, workload):
+    _interval, prime, acts, lines = workload
+    pairs = benchmark(nested_loop_join, prime, acts, lines)
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert len(pairs) == len(lines)
+
+
+def test_join_prime_merge(benchmark, workload):
+    _interval, prime, acts, lines = workload
+    pairs = benchmark(prime_merge_join, prime, acts, lines)
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert len(pairs) == len(lines)
+
+
+def test_join_agreement(benchmark, workload):
+    interval, prime, acts, lines = workload
+
+    def canonical(pairs):
+        return sorted((id(a), id(d)) for a, d in pairs)
+
+    def check():
+        baseline = canonical(nested_loop_join(interval, acts, lines))
+        assert canonical(stack_tree_join(interval, acts, lines)) == baseline
+        assert canonical(nested_loop_join(prime, acts, lines)) == baseline
+        assert canonical(prime_merge_join(prime, acts, lines)) == baseline
+        return len(baseline)
+
+    pairs = benchmark.pedantic(check, rounds=1)
+    benchmark.extra_info["pairs"] = pairs

@@ -1,0 +1,63 @@
+"""Ablation: twig (tree-pattern) matching cost across labeling schemes.
+
+Tree patterns are the workload the paper's introduction motivates; this
+bench matches two twigs of different selectivity against a play document
+under each scheme's label tests.  The prime scheme's modulo test and the
+interval containment test should be comparable; prefix pays for its
+bit-string prefix checks.
+"""
+
+import pytest
+
+from repro.datasets.shakespeare import play
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+from repro.query.twig import TwigPattern, match_twig
+
+SCHEMES = {
+    "interval": XissIntervalScheme,
+    "prime": lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+    "prefix-2": Prefix2Scheme,
+}
+
+PATTERNS = {
+    "selective": "SCENE[/TITLE]//SPEECH/SPEAKER",
+    "dense": "ACT//SPEECH[/SPEAKER]/LINE",
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return play(seed=14, node_budget=3000)
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+@pytest.mark.parametrize("shape", list(PATTERNS))
+def test_twig_matching(benchmark, document, shape, scheme_name):
+    scheme = SCHEMES[scheme_name]()
+    scheme.label_tree(document)
+    nodes = list(document.iter_preorder())
+    pattern = TwigPattern.parse(PATTERNS[shape])
+    matches = benchmark(match_twig, scheme, nodes, pattern)
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.group = shape
+    assert matches
+
+
+def test_twig_counts_agree_across_schemes(benchmark, document):
+    def check():
+        nodes = list(document.iter_preorder())
+        counts = {}
+        for name, factory in SCHEMES.items():
+            scheme = factory()
+            scheme.label_tree(document)
+            counts[name] = [
+                len(match_twig(scheme, nodes, TwigPattern.parse(p)))
+                for p in PATTERNS.values()
+            ]
+        assert counts["interval"] == counts["prime"] == counts["prefix-2"]
+        return counts["prime"]
+
+    counts = benchmark.pedantic(check, rounds=1)
+    benchmark.extra_info["matches"] = counts

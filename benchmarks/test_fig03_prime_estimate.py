@@ -1,0 +1,18 @@
+"""Figure 3: actual vs estimated bit length of the first 10,000 primes.
+
+The benchmark times the full series generation (sieve + PNT estimates);
+``extra_info`` records the worst-case estimation error, which the paper
+argues is small.
+"""
+
+from repro.primes.estimates import figure3_series
+
+
+def test_fig03_prime_estimate(benchmark):
+    series = benchmark(figure3_series, 10_000)
+    assert len(series) == 10_000
+    worst_error = max(abs(actual - estimated) for _n, actual, estimated in series)
+    benchmark.extra_info["worst_bit_error"] = round(worst_error, 3)
+    benchmark.extra_info["last_prime_bits"] = series[-1][1]
+    # the paper's Figure 3 claim: the estimate tracks the actual bit length
+    assert worst_error <= 2.0

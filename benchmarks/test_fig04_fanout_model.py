@@ -1,0 +1,22 @@
+"""Figure 4: analytic max self-label size vs fan-out (D = 2).
+
+Regenerates the three curves (Prefix-1, Prefix-2, Prime) over fan-out
+1..50 and checks the paper's headline shape: Prefix-1 linear, Prime nearly
+flat.
+"""
+
+from repro.bench.models import figure4_table
+
+
+def test_fig04_fanout_model(benchmark):
+    table = benchmark(figure4_table, range(1, 51), 2)
+    print()
+    print(table.to_text())
+    growth = {
+        name: table.column(name)[-1] - table.column(name)[0]
+        for name in ("Prefix-1", "Prefix-2", "Prime")
+    }
+    benchmark.extra_info["bit_growth_over_fanout"] = {
+        k: round(v, 2) for k, v in growth.items()
+    }
+    assert growth["Prime"] < growth["Prefix-2"] < growth["Prefix-1"]

@@ -1,0 +1,19 @@
+"""Figure 5: analytic max self-label size vs depth (F = 15).
+
+The paper's shape: the prefix curves are flat in depth while the prime
+curve grows linearly, crossing them around depth 4–5.
+"""
+
+from repro.bench.models import figure5_table
+
+
+def test_fig05_depth_model(benchmark):
+    table = benchmark(figure5_table, range(0, 11), 15)
+    print()
+    print(table.to_text())
+    prime = table.column("Prime")
+    prefix2 = table.column("Prefix-2")
+    benchmark.extra_info["prime_bits_at_depth_10"] = round(prime[-1], 2)
+    assert len(set(table.column("Prefix-1"))) == 1  # flat in depth
+    assert prime[1] < prefix2[1]  # prime wins shallow
+    assert prime[-1] > prefix2[-1]  # prefix wins deep

@@ -1,0 +1,49 @@
+"""Figure 14: fixed-length label size per scheme across the nine datasets.
+
+Timed operation: a full labeling pass; ``extra_info["max_label_bits"]`` is
+the figure's bar height.  The whole-figure check asserts the paper's two
+headline cases (prime wins the wide D4, prefix wins the deep D7).
+"""
+
+import pytest
+
+from repro.bench.spaces import LEAF_THRESHOLD_BITS, figure14_table
+from repro.datasets.niagara import DATASET_NAMES, build_dataset
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+
+SCHEMES = {
+    "interval": XissIntervalScheme,
+    "prime": lambda: PrimeScheme(
+        reserved_primes=64, power2_leaves=True, leaf_threshold_bits=LEAF_THRESHOLD_BITS
+    ),
+    "prefix-2": Prefix2Scheme,
+}
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig14_label_size(benchmark, dataset, scheme_name):
+    tree = build_dataset(dataset)
+
+    def label():
+        scheme = SCHEMES[scheme_name]()
+        scheme.label_tree(tree)
+        return scheme.max_label_bits()
+
+    bits = benchmark(label)
+    benchmark.extra_info["max_label_bits"] = bits
+    assert bits > 0
+
+
+def test_fig14_whole_figure(benchmark):
+    table = benchmark.pedantic(figure14_table, rounds=1)
+    print()
+    print(table.to_text())
+    by_name = {row["dataset"]: row for row in table.as_dicts()}
+    assert by_name["D4"]["Prime"] < by_name["D4"]["Prefix-2"]
+    assert by_name["D7"]["Prefix-2"] < by_name["D7"]["Prime"]
+    wins = sum(1 for row in table.as_dicts() if row["Prime"] <= row["Prefix-2"])
+    benchmark.extra_info["prime_wins_vs_prefix2"] = f"{wins}/{len(table.rows)}"
+    assert wins >= 5  # "the best savings ... for the majority of the datasets"

@@ -1,0 +1,43 @@
+"""Figure 15: query response time per labeling scheme.
+
+One benchmark per (query, scheme).  pytest-benchmark's comparison table IS
+the figure: for each query the interval and prime stores should sit close
+together, with prefix-2 slower (its ``check_prefix`` user-defined function
+marshals labels through strings, as a DBMS UDF would).
+"""
+
+import pytest
+
+from repro.bench.response import PAPER_QUERIES
+
+QUERIES = dict(PAPER_QUERIES)
+SCHEMES = ("interval", "prime", "prefix-2")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("query_name", list(QUERIES))
+def test_fig15_response_time(benchmark, query_engines, query_name, scheme):
+    engine = query_engines[scheme]
+    rows = benchmark(engine.evaluate, QUERIES[query_name])
+    benchmark.extra_info["nodes_retrieved"] = len(rows)
+    benchmark.group = query_name
+
+
+def test_fig15_shape(benchmark, query_engines):
+    """Aggregate check: total prefix-2 time exceeds interval and prime."""
+    import time
+
+    def total_time(scheme):
+        engine = query_engines[scheme]
+        started = time.perf_counter()
+        for _name, text in PAPER_QUERIES:
+            engine.evaluate(text)
+        return time.perf_counter() - started
+
+    def measure():
+        return {scheme: total_time(scheme) for scheme in SCHEMES}
+
+    totals = benchmark.pedantic(measure, rounds=1)
+    benchmark.extra_info["total_seconds"] = {k: round(v, 4) for k, v in totals.items()}
+    assert totals["prefix-2"] > totals["interval"]
+    assert totals["prefix-2"] > totals["prime"]

@@ -1,0 +1,58 @@
+"""Figure 16: relabeling cost of an unordered leaf insertion.
+
+Timed operation: the insertion itself (on a fresh document per round, via
+``benchmark.pedantic``'s setup hook).  ``extra_info["nodes_relabeled"]`` is
+the figure's y-value: ~N for interval, 2 for optimized prime, 1 for
+prefix.
+"""
+
+import pytest
+
+from repro.bench.updates import DOCUMENT_SIZES, _build_document, _deepest_leaf
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+
+SCHEMES = {
+    "interval": XissIntervalScheme,
+    "prime": lambda: PrimeScheme(reserved_primes=64, power2_leaves=True),
+    "prefix-2": Prefix2Scheme,
+}
+
+SIZES = (1_000, 5_000, 10_000)
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+@pytest.mark.parametrize("size", SIZES, ids=[f"n{s}" for s in SIZES])
+def test_fig16_leaf_insert(benchmark, size, scheme_name):
+    counts = []
+
+    def setup():
+        root = _build_document(size)
+        scheme = SCHEMES[scheme_name]()
+        scheme.label_tree(root)
+        return (scheme, _deepest_leaf(root)), {}
+
+    def insert(scheme, target):
+        report = scheme.insert_leaf(target, tag="new-leaf")
+        counts.append(report.count)
+        return report
+
+    benchmark.pedantic(insert, setup=setup, rounds=3)
+    benchmark.extra_info["nodes_relabeled"] = counts[0]
+    expected = {"interval": size // 2, "prime": 2, "prefix-2": 1}
+    if scheme_name == "interval":
+        assert counts[0] >= expected["interval"]
+    else:
+        assert counts[0] == expected[scheme_name]
+
+
+def test_fig16_whole_figure(benchmark):
+    from repro.bench.updates import figure16_table
+
+    table = benchmark.pedantic(figure16_table, args=(DOCUMENT_SIZES,), rounds=1)
+    print()
+    print(table.to_text())
+    assert all(v == 2 for v in table.column("prime"))
+    assert all(v == 1 for v in table.column("prefix-2"))
+    assert all(v >= n * 0.5 for v, n in zip(table.column("interval"), DOCUMENT_SIZES))

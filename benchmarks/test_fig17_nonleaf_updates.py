@@ -1,0 +1,56 @@
+"""Figure 17: relabeling cost of a non-leaf insertion.
+
+The workload wraps the first level-4 node (SAX parse order) in a new
+parent.  Interval relabels everything after the insertion point; prime and
+prefix relabel only the new node's subtree.
+"""
+
+import pytest
+
+from repro.bench.updates import DOCUMENT_SIZES, _build_document, _first_node_at_level
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+
+SCHEMES = {
+    "interval": XissIntervalScheme,
+    "prime": lambda: PrimeScheme(reserved_primes=64, power2_leaves=True),
+    "prefix-2": Prefix2Scheme,
+}
+
+SIZES = (1_000, 5_000, 10_000)
+
+
+@pytest.mark.parametrize("scheme_name", list(SCHEMES))
+@pytest.mark.parametrize("size", SIZES, ids=[f"n{s}" for s in SIZES])
+def test_fig17_nonleaf_insert(benchmark, size, scheme_name):
+    counts = []
+
+    def setup():
+        root = _build_document(size)
+        scheme = SCHEMES[scheme_name]()
+        scheme.label_tree(root)
+        target = _first_node_at_level(root, 4)
+        return (scheme, target.parent, target.child_index), {}
+
+    def wrap(scheme, parent, index):
+        report = scheme.insert_internal(parent, index, index + 1, tag="wrapper")
+        counts.append(report.count)
+        return report
+
+    benchmark.pedantic(wrap, setup=setup, rounds=3)
+    benchmark.extra_info["nodes_relabeled"] = counts[0]
+    if scheme_name == "interval":
+        assert counts[0] >= size * 0.5
+    else:
+        assert counts[0] < size * 0.5
+
+
+def test_fig17_dynamic_schemes_match(benchmark):
+    """Prime and prefix relabel the same node set: the wrapped subtree."""
+    from repro.bench.updates import figure17_table
+
+    table = benchmark.pedantic(figure17_table, args=(DOCUMENT_SIZES,), rounds=1)
+    print()
+    print(table.to_text())
+    assert table.column("prime") == table.column("prefix-2")

@@ -1,0 +1,48 @@
+"""Figure 18: order-sensitive ACT insertions into a Hamlet-sized play.
+
+The headline experiment: interval and prefix relabel thousands of nodes
+per ordered insertion; the prime scheme instead rewrites SC records (group
+size 5), cutting the cost by roughly the group-size factor.
+"""
+
+import pytest
+
+from repro.bench.updates import (
+    _ordered_cost_prime,
+    _ordered_cost_static,
+    figure18_table,
+)
+from repro.datasets.shakespeare import hamlet
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+
+
+@pytest.mark.parametrize("scheme_name", ["interval", "prefix-2", "prime"])
+def test_fig18_five_act_insertions(benchmark, scheme_name):
+    costs = []
+
+    def run():
+        if scheme_name == "interval":
+            result = _ordered_cost_static(XissIntervalScheme(), hamlet())
+        elif scheme_name == "prefix-2":
+            result = _ordered_cost_static(Prefix2Scheme(), hamlet())
+        else:
+            result = _ordered_cost_prime(hamlet(), group_size=5)
+        costs.append(result)
+        return result
+
+    benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["relabels_per_insert"] = costs[0]
+    benchmark.extra_info["total_relabels"] = sum(costs[0])
+
+
+def test_fig18_whole_figure(benchmark):
+    table = benchmark.pedantic(figure18_table, rounds=1)
+    print()
+    print(table.to_text())
+    for row in table.as_dicts():
+        assert row["prime"] * 3 < row["interval"]
+        assert row["prime"] * 3 < row["prefix-2"]
+    benchmark.extra_info["prime_over_interval"] = round(
+        sum(table.column("prime")) / sum(table.column("interval")), 3
+    )

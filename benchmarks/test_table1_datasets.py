@@ -1,0 +1,17 @@
+"""Table 1: build each synthetic dataset and verify its characteristics."""
+
+import pytest
+
+from repro.datasets.niagara import DATASET_NAMES, build_dataset, dataset_spec
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_table1_dataset_build(benchmark, name):
+    spec = dataset_spec(name)
+    tree = benchmark(build_dataset, name)
+    stats = tree.stats()
+    benchmark.extra_info["topic"] = spec.topic
+    benchmark.extra_info["nodes"] = stats.node_count
+    benchmark.extra_info["depth"] = stats.depth
+    benchmark.extra_info["max_fanout"] = stats.max_fanout
+    assert stats.node_count == spec.max_nodes

@@ -1,0 +1,34 @@
+"""Table 2: the nine test queries and their retrieved-node counts.
+
+Timed operation: one evaluation per query on the interval store (the
+fastest baseline, i.e. the workload's intrinsic cost); ``extra_info``
+records the retrieved count — Table 2's right-hand column.
+"""
+
+import pytest
+
+from repro.bench.response import PAPER_QUERIES
+
+QUERIES = dict(PAPER_QUERIES)
+
+
+@pytest.mark.parametrize("query_name", list(QUERIES))
+def test_table2_query(benchmark, query_engines, query_name):
+    engine = query_engines["interval"]
+    rows = benchmark(engine.evaluate, QUERIES[query_name])
+    benchmark.extra_info["query"] = QUERIES[query_name]
+    benchmark.extra_info["nodes_retrieved"] = len(rows)
+
+
+def test_table2_counts_consistent_across_schemes(benchmark, query_engines):
+    def all_counts():
+        return {
+            scheme: [engine.count(text) for _n, text in PAPER_QUERIES]
+            for scheme, engine in query_engines.items()
+        }
+
+    counts = benchmark.pedantic(all_counts, rounds=1)
+    assert counts["interval"] == counts["prime"] == counts["prefix-2"]
+    benchmark.extra_info["counts"] = dict(
+        zip([name for name, _t in PAPER_QUERIES], counts["prime"])
+    )

@@ -1,0 +1,67 @@
+"""Quickstart: label an XML document with prime numbers and query it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the paper's core idea on a small document: every node's
+label is the product of its parent's label and a fresh prime, so "is x an
+ancestor of y?" becomes a single modulo operation on two integers —
+no tree traversal, ever.
+"""
+
+from repro import PrimeScheme, parse_document, serialize
+
+DOCUMENT = """
+<library>
+  <book id="tcp">
+    <title>TCP/IP Illustrated</title>
+    <author>Stevens</author>
+  </book>
+  <book id="db">
+    <title>Database Systems</title>
+    <author>Garcia-Molina</author>
+    <author>Ullman</author>
+    <author>Widom</author>
+  </book>
+</library>
+"""
+
+
+def main() -> None:
+    root = parse_document(DOCUMENT)
+
+    # Label every element: the original top-down scheme (Figure 2).
+    scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+    scheme.label_tree(root)
+
+    print("Labels (value = parent's value x own prime):")
+    for node in root.iter_preorder():
+        label = scheme.label_of(node)
+        indent = "  " * node.depth
+        print(f"  {indent}{node.tag:<10} value={label.value:<8} self={label.self_label}")
+
+    # Ancestor tests are pure integer arithmetic on the labels.
+    db_book = root.children[1]
+    ullman = db_book.children[2]
+    stevens = root.children[0].children[1]
+    print()
+    print("Ancestor tests (label(y) mod label(x) == 0):")
+    print(f"  library ancestor-of ullman?  {scheme.is_ancestor(root, ullman)}")
+    print(f"  db-book ancestor-of ullman?  {scheme.is_ancestor(db_book, ullman)}")
+    print(f"  db-book ancestor-of stevens? {scheme.is_ancestor(db_book, stevens)}")
+
+    # Dynamic insertion: a fresh prime, nobody else relabeled.
+    report = scheme.insert_leaf(db_book, tag="year")
+    print()
+    print(f"Inserted <year> under the second book; nodes relabeled: {report.count}")
+    new_label = scheme.label_of(report.new_node)
+    print(f"  new label: value={new_label.value} self={new_label.self_label}")
+
+    print()
+    print("Document after the update:")
+    print(serialize(root, indent=2))
+
+
+if __name__ == "__main__":
+    main()

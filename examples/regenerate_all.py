@@ -1,0 +1,36 @@
+"""Regenerate every paper exhibit into ``results/`` as CSV + JSON.
+
+Run with::
+
+    python examples/regenerate_all.py [--quick] [output_dir]
+
+``--quick`` skips the slow exhibits (the query corpus and the update
+sweeps) and finishes in seconds; the full run takes a few minutes and
+reproduces every table and figure recorded in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.bench.export import exhibit_builders, export_all_exhibits
+
+
+def main() -> None:
+    arguments = [argument for argument in sys.argv[1:]]
+    quick = "--quick" in arguments
+    if quick:
+        arguments.remove("--quick")
+    target = arguments[0] if arguments else "results"
+
+    names = ", ".join(exhibit_builders(include_slow=not quick))
+    print(f"Regenerating: {names}")
+    started = time.perf_counter()
+    written = export_all_exhibits(target, include_slow=not quick)
+    elapsed = time.perf_counter() - started
+    print(f"\nWrote {len(written)} files to {target}/ in {elapsed:.1f}s:")
+    for path in written:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

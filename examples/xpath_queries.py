@@ -1,0 +1,62 @@
+"""Run the paper's nine queries over a Shakespeare corpus, three ways.
+
+Run with::
+
+    python examples/xpath_queries.py
+
+Builds the Section 5.2 workload (synthetic plays, replicated), loads one
+label store per scheme, evaluates every Table 2 query, and prints the
+retrieved counts plus per-scheme timings — a miniature of Figure 15.
+Also shows the SQL each query would become in a relational back-end.
+"""
+
+import time
+
+from repro import LabelStore, QueryEngine, to_sql
+from repro.bench.harness import ResultTable
+from repro.bench.response import PAPER_QUERIES, build_query_corpus
+
+
+def main() -> None:
+    corpus = build_query_corpus(plays=6, replicate=5, seed=100)
+    total_nodes = sum(doc.stats().node_count for doc in corpus)
+    print(f"Corpus: {len(corpus)} play documents, {total_nodes} element nodes")
+    print()
+
+    engines = {}
+    for scheme in ("interval", "prime", "prefix-2"):
+        started = time.perf_counter()
+        engines[scheme] = QueryEngine(LabelStore.build(corpus, scheme=scheme))
+        print(f"  built {scheme:<9} store in {time.perf_counter() - started:.2f}s")
+    print()
+
+    table = ResultTable(
+        title="Paper queries: retrieved nodes and per-scheme times (ms)",
+        columns=("query", "text", "#nodes", "interval", "prime", "prefix-2"),
+    )
+    for name, text in PAPER_QUERIES:
+        timings = {}
+        count = None
+        for scheme, engine in engines.items():
+            started = time.perf_counter()
+            rows = engine.evaluate(text)
+            timings[scheme] = (time.perf_counter() - started) * 1000
+            count = len(rows)
+        table.add_row(
+            name,
+            text,
+            count,
+            round(timings["interval"], 1),
+            round(timings["prime"], 1),
+            round(timings["prefix-2"], 1),
+        )
+    print(table.to_text())
+
+    print()
+    print("SQL translation of Q2 for the prime-labeled element table:")
+    print()
+    print(to_sql("/PLAY//ACT[3]//Following::ACT", scheme="prime"))
+
+
+if __name__ == "__main__":
+    main()

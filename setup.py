@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail; this shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,136 @@
+"""repro — a reproduction of *A Prime Number Labeling Scheme for Dynamic
+Ordered XML Trees* (Xiaodong Wu, Mong Li Lee, Wynne Hsu; ICDE 2004).
+
+The package implements the paper's prime number labeling scheme with all
+its optimizations, the Chinese-Remainder-Theorem SC table that maintains
+global document order under updates, every baseline scheme the paper
+compares against, and the full experimental harness behind the paper's
+tables and figures.
+
+Quickstart::
+
+    from repro import parse_document, PrimeScheme, OrderedDocument
+
+    root = parse_document("<book><title/><author/><author/></book>")
+    scheme = PrimeScheme().label_tree(root)
+    title, author1, _ = root.children
+    assert scheme.is_ancestor(root, author1)
+
+    document = OrderedDocument(parse_document("<a><b/><c/></a>"))
+    report = document.insert_child(document.root, 1, tag="d")
+    print(report.total_cost)  # nodes relabeled + SC records rewritten
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every exhibit.
+"""
+
+from repro.errors import (
+    DatasetError,
+    LabelingError,
+    LabelOverflowError,
+    OrderingError,
+    QueryEvaluationError,
+    QuerySyntaxError,
+    ReproError,
+    XmlSyntaxError,
+)
+from repro.labeling import (
+    BottomUpPrimeScheme,
+    DeweyScheme,
+    FixedWidthCodec,
+    FloatIntervalScheme,
+    LabelingScheme,
+    Prefix1Scheme,
+    Prefix2Scheme,
+    PrimeLabel,
+    PrimeScheme,
+    RelabelReport,
+    Relationship,
+    StartEndIntervalScheme,
+    VarintCodec,
+    XissIntervalScheme,
+)
+from repro.order import OrderedAxes, OrderedDocument, OrderedUpdateReport, SCTable
+from repro.query import (
+    DataGuide,
+    GuidedQueryEngine,
+    LabelStore,
+    LiveCollection,
+    QueryEngine,
+    TwigPattern,
+    load_store,
+    match_twig,
+    nested_loop_join,
+    parse_query,
+    prime_merge_join,
+    save_store,
+    stack_tree_join,
+    to_sql,
+)
+from repro.xmlkit import (
+    XmlElement,
+    element,
+    parse_document,
+    serialize,
+    stream_labels,
+    stream_prime_labels,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "XmlSyntaxError",
+    "LabelingError",
+    "LabelOverflowError",
+    "OrderingError",
+    "QuerySyntaxError",
+    "QueryEvaluationError",
+    "DatasetError",
+    # xml substrate
+    "XmlElement",
+    "element",
+    "parse_document",
+    "serialize",
+    # labeling schemes
+    "LabelingScheme",
+    "RelabelReport",
+    "Relationship",
+    "PrimeScheme",
+    "PrimeLabel",
+    "BottomUpPrimeScheme",
+    "XissIntervalScheme",
+    "StartEndIntervalScheme",
+    "FloatIntervalScheme",
+    "Prefix1Scheme",
+    "Prefix2Scheme",
+    "DeweyScheme",
+    # ordering
+    "OrderedDocument",
+    "OrderedUpdateReport",
+    "OrderedAxes",
+    "SCTable",
+    # queries
+    "LabelStore",
+    "LiveCollection",
+    "QueryEngine",
+    "DataGuide",
+    "GuidedQueryEngine",
+    "TwigPattern",
+    "match_twig",
+    "nested_loop_join",
+    "stack_tree_join",
+    "prime_merge_join",
+    "save_store",
+    "load_store",
+    "parse_query",
+    "to_sql",
+    # streaming
+    "stream_labels",
+    "stream_prime_labels",
+    # codecs
+    "FixedWidthCodec",
+    "VarintCodec",
+    "__version__",
+]

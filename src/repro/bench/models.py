@@ -1,0 +1,47 @@
+"""Figures 3–5: the analytic size-model exhibits of Section 3.1."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.harness import ResultTable
+from repro.labeling import sizemodel
+from repro.primes.estimates import figure3_series
+
+__all__ = ["figure3_table", "figure4_table", "figure5_table"]
+
+
+def figure3_table(count: int = 10_000, sample_every: int = 500) -> ResultTable:
+    """Figure 3: actual vs PNT-estimated bit length of the first ``count``
+    primes, sampled every ``sample_every`` indices for readability."""
+    table = ResultTable(
+        title="Figure 3: actual vs. estimated prime bit length",
+        columns=("n", "actual bits", "estimated bits"),
+        note=f"first {count} primes, rows sampled every {sample_every}",
+    )
+    for n, actual_bits, estimated_bits in figure3_series(count):
+        if n == 1 or n % sample_every == 0:
+            table.add_row(n, actual_bits, estimated_bits)
+    return table
+
+
+def figure4_table(fanouts: Iterable[int] = range(5, 51, 5), depth: int = 2) -> ResultTable:
+    """Figure 4: max self-label bits vs fan-out (depth fixed, default 2)."""
+    table = ResultTable(
+        title=f"Figure 4: self-label size vs fan-out (D={depth})",
+        columns=("fan-out", "Prefix-1", "Prefix-2", "Prime"),
+    )
+    for fanout, series in sizemodel.figure4_series(fanouts, depth):
+        table.add_row(fanout, series["prefix-1"], series["prefix-2"], series["prime"])
+    return table
+
+
+def figure5_table(depths: Iterable[int] = range(0, 11), fanout: int = 15) -> ResultTable:
+    """Figure 5: max self-label bits vs depth (fan-out fixed, default 15)."""
+    table = ResultTable(
+        title=f"Figure 5: self-label size vs depth (F={fanout})",
+        columns=("depth", "Prefix-1", "Prefix-2", "Prime"),
+    )
+    for depth, series in sizemodel.figure5_series(depths, fanout):
+        table.add_row(depth, series["prefix-1"], series["prefix-2"], series["prime"])
+    return table

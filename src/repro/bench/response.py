@@ -1,0 +1,101 @@
+"""Table 2 and Figure 15: query workload and response times (§5.2).
+
+The workload is the paper's nine queries over the (synthetic) Shakespeare
+corpus replicated five times.  Table 2 reports the number of nodes each
+query retrieves; Figure 15 times the evaluation under the three label
+stores (Interval, Prime, Prefix-2).
+
+Paper-vs-measured caveats recorded in EXPERIMENTS.md: retrieved-node counts
+depend on the corpus' exact composition, so ours differ numerically from
+Table 2 while the workload structure (same query text, same ordering from
+cheap to expensive) is preserved.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import ResultTable
+from repro.datasets.shakespeare import shakespeare_corpus
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["PAPER_QUERIES", "build_query_corpus", "table2_table", "figure15_table"]
+
+#: The nine test queries of Table 2, verbatim (tag names lower-cased to
+#: match the synthetic corpus serialization).
+PAPER_QUERIES: Tuple[Tuple[str, str], ...] = (
+    ("Q1", "/PLAY//ACT[4]"),
+    ("Q2", "/PLAY//ACT[3]//Following::ACT"),
+    ("Q3", "/PLAY//ACT//PERSONA"),
+    ("Q4", "/ACT[5]//Following::SPEECH"),
+    ("Q5", "/SPEECH[4]//Preceding::LINE"),
+    ("Q6", "/PLAY//ACT[3]//LINE"),
+    ("Q7", "/ACT//Following-Sibling::SPEECH[3]"),
+    ("Q8", "/PLAY//SPEECH"),
+    ("Q9", "/PLAY//LINE"),
+)
+
+_SCHEMES: Tuple[str, ...] = ("interval", "prime", "prefix-2")
+
+
+def build_query_corpus(
+    plays: int = 12, replicate: int = 5, seed: int = 100
+) -> List[XmlElement]:
+    """The query corpus: a multi-play collection replicated ``replicate``
+    times ("we replicate the Shakespeare's Play dataset 5 times").
+
+    The default play count is scaled down from the full 37 so the whole
+    three-store benchmark stays laptop-sized; pass ``plays=37`` for the
+    paper-scale corpus.
+    """
+    return shakespeare_corpus(plays=plays, seed=seed, replicate=replicate)
+
+
+def table2_table(corpus: Sequence[XmlElement] | None = None) -> ResultTable:
+    """Table 2: the nine queries and how many nodes each retrieves."""
+    documents = list(corpus) if corpus is not None else build_query_corpus()
+    engine = QueryEngine(LabelStore.build(documents, scheme="interval"))
+    table = ResultTable(
+        title="Table 2: test queries",
+        columns=("query", "text", "# of nodes retrieved"),
+    )
+    for name, text in PAPER_QUERIES:
+        table.add_row(name, text, engine.count(text))
+    return table
+
+
+def figure15_table(
+    corpus: Sequence[XmlElement] | None = None, repeats: int = 3
+) -> ResultTable:
+    """Figure 15: response time (seconds) per query and labeling scheme.
+
+    Each store is built once; every query runs ``repeats`` times and the
+    best time is kept (the usual noise-suppression for micro timings).
+    """
+    documents = list(corpus) if corpus is not None else build_query_corpus()
+    engines: Dict[str, QueryEngine] = {
+        scheme: QueryEngine(LabelStore.build(documents, scheme=scheme))
+        for scheme in _SCHEMES
+    }
+    table = ResultTable(
+        title="Figure 15: response time for queries (seconds)",
+        columns=("query", "Interval", "Prime", "Prefix-2"),
+    )
+    for name, text in PAPER_QUERIES:
+        timings = []
+        for scheme in _SCHEMES:
+            best = min(
+                _time_once(engines[scheme], text) for _ in range(max(repeats, 1))
+            )
+            timings.append(best)
+        table.add_row(name, *timings)
+    return table
+
+
+def _time_once(engine: QueryEngine, text: str) -> float:
+    started = time.perf_counter()
+    engine.evaluate(text)
+    return time.perf_counter() - started

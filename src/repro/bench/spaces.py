@@ -1,0 +1,91 @@
+"""Table 1 and Figures 13–14: the space-requirement experiments (§5.1).
+
+Figure 13 measures the effect of the prime scheme's optimizations on
+maximum label size across the nine datasets:
+
+* *Original* — top-down prime labeling, no optimizations;
+* *Opt1* — reserved small primes for top-level nodes;
+* *Opt2* — Opt1 plus power-of-two leaf labels (the configuration of the
+  paper's comparative experiments);
+* *Opt3* — Opt2 applied to the path-collapsed tree.
+
+Figure 14 compares fixed-length label sizes (the maximum over the dataset)
+for Interval, Prime (with Opt1+Opt2, as in the paper) and Prefix-2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ResultTable
+from repro.datasets.niagara import DATASET_NAMES, build_dataset, table1_rows
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.pathcollapse import collapse_tree
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+
+__all__ = ["table1_table", "figure13_table", "figure14_table"]
+
+
+def table1_table() -> ResultTable:
+    """Table 1: dataset characteristics (plus measured depth/fan-out)."""
+    table = ResultTable(
+        title="Table 1: characteristics of datasets",
+        columns=("dataset", "topic", "max # of nodes", "depth", "max fan-out"),
+        note="node counts match the paper; depth/fan-out are the synthetic stand-ins'",
+    )
+    for name, topic, max_nodes in table1_rows():
+        stats = build_dataset(name).stats()
+        table.add_row(name, topic, max_nodes, stats.depth, stats.max_fanout)
+    return table
+
+
+#: Opt2's leaf threshold for the experiments: past 16 bits a power-of-two
+#: leaf self-label would outgrow any prime this corpus needs, so remaining
+#: leaf siblings fall back to primes — the refinement Section 3.2 describes
+#: ("when the size of a label in a leaf node reaches some pre-determined
+#: threshold, we can use other prime numbers instead of powers of 2").
+LEAF_THRESHOLD_BITS = 16
+
+
+def _prime_max_bits(root, reserved: int, power2: bool) -> int:
+    scheme = PrimeScheme(
+        reserved_primes=reserved,
+        power2_leaves=power2,
+        leaf_threshold_bits=LEAF_THRESHOLD_BITS if power2 else None,
+    )
+    scheme.label_tree(root)
+    return scheme.max_label_bits()
+
+
+def figure13_table(datasets: Sequence[str] = DATASET_NAMES) -> ResultTable:
+    """Figure 13: effect of Opt1/Opt2/Opt3 on max label size (bits)."""
+    table = ResultTable(
+        title="Figure 13: effect of optimizations on space requirement",
+        columns=("dataset", "Original", "Opt1", "Opt2", "Opt3"),
+    )
+    for name in datasets:
+        root = build_dataset(name)
+        original = _prime_max_bits(root, reserved=0, power2=False)
+        opt1 = _prime_max_bits(root, reserved=64, power2=False)
+        opt2 = _prime_max_bits(root, reserved=64, power2=True)
+        collapsed = collapse_tree(root).to_element()
+        opt3 = _prime_max_bits(collapsed, reserved=64, power2=True)
+        table.add_row(name, original, opt1, opt2, opt3)
+    return table
+
+
+def figure14_table(datasets: Sequence[str] = DATASET_NAMES) -> ResultTable:
+    """Figure 14: fixed-length label size (bits) per scheme and dataset."""
+    table = ResultTable(
+        title="Figure 14: space requirements of the labeling schemes",
+        columns=("dataset", "Interval", "Prime", "Prefix-2"),
+        note="Prime runs with Opt1+Opt2, as in the paper's comparative study",
+    )
+    for name in datasets:
+        root = build_dataset(name)
+        interval = XissIntervalScheme().label_tree(root).max_label_bits()
+        prime = _prime_max_bits(root, reserved=64, power2=True)
+        prefix2 = Prefix2Scheme().label_tree(root).max_label_bits()
+        table.add_row(name, interval, prime, prefix2)
+    return table

@@ -1,0 +1,230 @@
+"""Command-line interface: label, check, query and benchmark XML documents.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro stats doc.xml [more.xml ...]
+    python -m repro label doc.xml --scheme prime [--annotate out.xml]
+    python -m repro check doc.xml --scheme prefix-2
+    python -m repro query '/play//act[2]' doc1.xml doc2.xml --scheme prime
+    python -m repro sql '/play//act' --scheme interval
+    python -m repro bench fig18
+
+``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
+fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
+their corpora on demand).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.labeling.base import LabelingScheme
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
+from repro.labeling.prefix import Prefix1Scheme, Prefix2Scheme
+from repro.labeling.prime import BottomUpPrimeScheme, PrimeScheme
+from repro.query.engine import QueryEngine
+from repro.query.sql import to_sql
+from repro.query.store import LabelStore
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["main", "SCHEME_FACTORIES"]
+
+SCHEME_FACTORIES: Dict[str, Callable[[], LabelingScheme]] = {
+    "prime": lambda: PrimeScheme(reserved_primes=64, power2_leaves=True,
+                                 leaf_threshold_bits=16),
+    "prime-original": lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+    "prime-bottomup": BottomUpPrimeScheme,
+    "interval": XissIntervalScheme,
+    "interval-startend": StartEndIntervalScheme,
+    "prefix-1": Prefix1Scheme,
+    "prefix-2": Prefix2Scheme,
+    "dewey": DeweyScheme,
+}
+
+#: schemes the relational label store (and thus `query`) supports
+STORE_SCHEMES = ("prime", "interval", "prefix-2")
+
+
+def _read_documents(paths: Sequence[str]) -> List[XmlElement]:
+    documents = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            documents.append(parse_document(handle.read()))
+    return documents
+
+
+def _format_label(label: object) -> str:
+    return str(label)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    for path, document in zip(args.files, _read_documents(args.files)):
+        stats = document.stats()
+        print(
+            f"{path}: nodes={stats.node_count} depth={stats.depth} "
+            f"max-fanout={stats.max_fanout} leaves={stats.leaf_count}"
+        )
+    return 0
+
+
+def cmd_label(args: argparse.Namespace) -> int:
+    (document,) = _read_documents([args.file])
+    scheme = SCHEME_FACTORIES[args.scheme]()
+    scheme.label_tree(document)
+    if args.annotate:
+        for node in document.iter_preorder():
+            node.attributes["label"] = _format_label(scheme.label_of(node))
+        with open(args.annotate, "w", encoding="utf-8") as handle:
+            handle.write(serialize(document, indent=2))
+        print(f"wrote annotated document to {args.annotate}")
+    else:
+        for node in document.iter_preorder():
+            indent = "  " * node.depth
+            print(f"{indent}{node.tag}: {_format_label(scheme.label_of(node))}")
+    print(
+        f"-- {scheme.name}: max label {scheme.max_label_bits()} bits, "
+        f"total {scheme.total_label_bits()} bits"
+    )
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    from repro.labeling.stats import compare_space
+
+    (document,) = _read_documents([args.file])
+    chosen = (
+        "interval", "interval-startend", "prefix-1", "prefix-2",
+        "dewey", "prime", "prime-bottomup",
+    )
+    print(compare_space(document, [SCHEME_FACTORIES[name] for name in chosen]).to_text())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    (document,) = _read_documents([args.file])
+    scheme = SCHEME_FACTORIES[args.scheme]()
+    scheme.label_tree(document)
+    pairs, mismatches = scheme.check_against_tree()
+    print(f"{args.scheme}: {pairs} node pairs checked, {mismatches} mismatches")
+    return 0 if mismatches == 0 else 1
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    documents = _read_documents(args.files)
+    store = LabelStore.build(documents, scheme=args.scheme)
+    engine = QueryEngine(store)
+    rows = engine.evaluate(args.query)
+    for row in rows:
+        print(f"doc {row.doc_id}: {row.node.path()}")
+    print(f"-- {len(rows)} node(s) retrieved with the {args.scheme} store")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    print(to_sql(args.query, scheme=args.scheme))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+    from repro.bench.response import figure15_table, table2_table
+
+    exhibits: Dict[str, Callable[[], object]] = {
+        "fig3": bench.figure3_table,
+        "fig4": bench.figure4_table,
+        "fig5": bench.figure5_table,
+        "table1": bench.table1_table,
+        "fig13": bench.figure13_table,
+        "fig14": bench.figure14_table,
+        "table2": table2_table,
+        "fig15": figure15_table,
+        "fig16": bench.figure16_table,
+        "fig17": bench.figure17_table,
+        "fig18": bench.figure18_table,
+    }
+    builder = exhibits.get(args.exhibit)
+    if builder is None:
+        print(
+            f"unknown exhibit {args.exhibit!r}; choose from {', '.join(exhibits)}",
+            file=sys.stderr,
+        )
+        return 2
+    table = builder()
+    print(table.to_text() if not args.chart else table.to_chart())
+    if args.csv:
+        from repro.bench.export import table_to_csv
+
+        table_to_csv(table, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prime number labeling for dynamic ordered XML trees (ICDE 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="structural statistics of documents")
+    stats.add_argument("files", nargs="+")
+    stats.set_defaults(handler=cmd_stats)
+
+    label = commands.add_parser("label", help="label a document and print/annotate")
+    label.add_argument("file")
+    label.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="prime")
+    label.add_argument("--annotate", metavar="OUT.xml",
+                       help="write the document with label attributes instead")
+    label.set_defaults(handler=cmd_label)
+
+    space = commands.add_parser("space", help="label-space report across schemes")
+    space.add_argument("file")
+    space.set_defaults(handler=cmd_space)
+
+    check = commands.add_parser("check", help="verify labels against the tree")
+    check.add_argument("file")
+    check.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="prime")
+    check.set_defaults(handler=cmd_check)
+
+    query = commands.add_parser("query", help="run an XPath-subset query")
+    query.add_argument("query")
+    query.add_argument("files", nargs="+")
+    query.add_argument("--scheme", choices=STORE_SCHEMES, default="prime")
+    query.set_defaults(handler=cmd_query)
+
+    sql = commands.add_parser("sql", help="show the SQL translation of a query")
+    sql.add_argument("query")
+    sql.add_argument("--scheme", choices=STORE_SCHEMES, default="prime")
+    sql.set_defaults(handler=cmd_sql)
+
+    bench = commands.add_parser("bench", help="regenerate a paper exhibit")
+    bench.add_argument("exhibit")
+    bench.add_argument("--chart", action="store_true", help="render as text bars")
+    bench.add_argument("--csv", metavar="OUT.csv", help="also write the table as CSV")
+    bench.set_defaults(handler=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on 6224 real XML files from the Niagara repository
+(datasets D1–D9, Table 1) and on the Shakespeare plays.  Neither corpus is
+available offline, so this package generates deterministic synthetic
+stand-ins that match the *reported structural characteristics* — node
+counts, depth/fan-out profiles, and tag hierarchies — which is what every
+experiment in the paper actually depends on (see DESIGN.md, Substitutions).
+
+* :mod:`repro.datasets.dtd` — a tiny DTD-like schema language plus a
+  budgeted expander that grows documents to an exact node count;
+* :mod:`repro.datasets.random_tree` — shape-controlled random/perfect/chain
+  trees for unit tests and the update experiments;
+* :mod:`repro.datasets.niagara` — the nine Table 1 datasets;
+* :mod:`repro.datasets.shakespeare` — play documents with the genuine
+  PLAY/ACT/SCENE/SPEECH/LINE hierarchy, including a Hamlet-sized play for
+  the Figure 18 experiment.
+"""
+
+from repro.datasets.dtd import SchemaElement, expand_schema
+from repro.datasets.niagara import (
+    DATASET_NAMES,
+    DatasetSpec,
+    build_dataset,
+    dataset_spec,
+    table1_rows,
+)
+from repro.datasets.random_tree import RandomTreeBuilder, chain_tree, perfect_tree
+from repro.datasets.shakespeare import hamlet, play, shakespeare_corpus
+
+__all__ = [
+    "SchemaElement",
+    "expand_schema",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_spec",
+    "table1_rows",
+    "RandomTreeBuilder",
+    "chain_tree",
+    "perfect_tree",
+    "hamlet",
+    "play",
+    "shakespeare_corpus",
+]

@@ -1,0 +1,198 @@
+"""A tiny DTD-like schema language and a budgeted document expander.
+
+A :class:`SchemaElement` declares, for one element type, which child types
+it may contain and with what multiplicities.  :func:`expand_schema` grows a
+document from a root type to an exact node budget, breadth-biased so that
+multiplicity ranges are respected as far as the budget allows.
+
+This gives the synthetic Niagara stand-ins (``repro.datasets.niagara``)
+realistic repeated-pattern structure — the property Opt3 (path collapsing)
+exploits — while keeping generation deterministic under an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["SchemaElement", "expand_schema"]
+
+
+@dataclass(frozen=True)
+class SchemaElement:
+    """One element type of a schema.
+
+    ``children`` lists ``(child_tag, min_count, max_count)`` triples in
+    content order.  ``text`` marks the element as text-bearing (the expander
+    fills in a short deterministic payload, so serialized sizes are
+    non-trivial).
+    """
+
+    tag: str
+    children: Tuple[Tuple[str, int, int], ...] = ()
+    text: bool = False
+
+    def __post_init__(self) -> None:
+        for child_tag, low, high in self.children:
+            if low < 0 or high < low:
+                raise DatasetError(
+                    f"bad multiplicity ({low}, {high}) for {self.tag}/{child_tag}"
+                )
+
+
+@dataclass
+class _Budget:
+    remaining: int
+
+    def take(self, count: int = 1) -> bool:
+        if self.remaining < count:
+            return False
+        self.remaining -= count
+        return True
+
+
+def _payload(rng: random.Random, tag: str) -> str:
+    words = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+    return f"{tag}-{rng.choice(words)}-{rng.randrange(10_000)}"
+
+
+def expand_schema(
+    schema: Sequence[SchemaElement],
+    root_tag: str,
+    node_budget: int,
+    seed: int = 0,
+) -> XmlElement:
+    """Expand ``schema`` from ``root_tag`` into a document of exactly
+    ``node_budget`` element nodes (when the schema permits; otherwise as
+    close from below as it can get, which the Niagara specs are tuned to
+    avoid).
+
+    Expansion is level-by-level: every node first receives its minimum
+    children; leftover budget is then spent raising counts toward the
+    maxima, favouring element types declared earlier (document-prominent
+    patterns repeat more).
+    """
+    if node_budget < 1:
+        raise DatasetError(f"node_budget must be >= 1, got {node_budget}")
+    by_tag: Dict[str, SchemaElement] = {}
+    for element_type in schema:
+        if element_type.tag in by_tag:
+            raise DatasetError(f"duplicate schema element {element_type.tag!r}")
+        by_tag[element_type.tag] = element_type
+    if root_tag not in by_tag:
+        raise DatasetError(f"root {root_tag!r} not declared in schema")
+
+    min_sizes = _minimal_subtree_sizes(by_tag)
+    rng = random.Random(seed)
+    budget = _Budget(node_budget - 1)  # the root itself costs one node
+    root = XmlElement(root_tag)
+    declared = by_tag[root_tag]
+    if declared.text:
+        root.text = _payload(rng, root_tag)
+
+    # Phase 1: satisfy minimum multiplicities breadth-first.
+    frontier: List[XmlElement] = [root]
+    #: per-node count of children created so far for each child tag
+    created: Dict[int, Dict[str, int]] = {}
+    while frontier:
+        next_frontier: List[XmlElement] = []
+        for node in frontier:
+            spec = by_tag[node.tag]
+            counts: Dict[str, int] = {}
+            created[id(node)] = counts
+            for child_tag, low, _high in spec.children:
+                for _ in range(low):
+                    if not budget.take():
+                        return root
+                    child = XmlElement(child_tag)
+                    if by_tag[child_tag].text:
+                        child.text = _payload(rng, child_tag)
+                    node.append(child)
+                    counts[child_tag] = counts.get(child_tag, 0) + 1
+                    next_frontier.append(child)
+        frontier = next_frontier
+
+    # Phase 2: spend the leftover budget raising counts toward maxima.
+    # Iterate rounds over all expandable (node, child_tag) slots so growth
+    # stays spread across the document rather than piling onto one parent.
+    while budget.remaining > 0:
+        expandable: List[Tuple[XmlElement, str, int]] = []
+        for node in root.iter_preorder():
+            spec = by_tag[node.tag]
+            counts = created.setdefault(id(node), {})
+            for child_tag, _low, high in spec.children:
+                current = counts.get(child_tag, 0)
+                if current < high:
+                    expandable.append((node, child_tag, high - current))
+        if not expandable:
+            break
+        progressed = False
+        for node, child_tag, _room in expandable:
+            # Never start a child whose minimal subtree cannot be finished:
+            # a half-built subtree would violate the schema's minima.
+            if budget.remaining < min_sizes[child_tag]:
+                continue
+            counts = created[id(node)]
+            budget.take()
+            child = XmlElement(child_tag)
+            if by_tag[child_tag].text:
+                child.text = _payload(rng, child_tag)
+            node.append(child)
+            counts[child_tag] = counts.get(child_tag, 0) + 1
+            progressed = True
+            # Grow the new child's own minima immediately so the document
+            # never violates the schema.
+            _satisfy_minima(child, by_tag, budget, created, rng)
+        if not progressed:
+            break
+    return root
+
+
+def _minimal_subtree_sizes(by_tag: Dict[str, SchemaElement]) -> Dict[str, int]:
+    """Node count of the smallest schema-valid subtree for each tag."""
+    sizes: Dict[str, int] = {}
+    in_progress: set = set()
+
+    def size_of(tag: str) -> int:
+        if tag in sizes:
+            return sizes[tag]
+        if tag in in_progress:
+            raise DatasetError(
+                f"schema has a cycle of required elements through {tag!r}"
+            )
+        in_progress.add(tag)
+        total = 1
+        for child_tag, low, _high in by_tag[tag].children:
+            total += low * size_of(child_tag)
+        in_progress.discard(tag)
+        sizes[tag] = total
+        return total
+
+    for tag in by_tag:
+        size_of(tag)
+    return sizes
+
+
+def _satisfy_minima(
+    node: XmlElement,
+    by_tag: Dict[str, SchemaElement],
+    budget: _Budget,
+    created: Dict[int, Dict[str, int]],
+    rng: random.Random,
+) -> None:
+    spec = by_tag[node.tag]
+    counts = created.setdefault(id(node), {})
+    for child_tag, low, _high in spec.children:
+        while counts.get(child_tag, 0) < low:
+            if not budget.take():
+                return
+            child = XmlElement(child_tag)
+            if by_tag[child_tag].text:
+                child.text = _payload(rng, child_tag)
+            node.append(child)
+            counts[child_tag] = counts.get(child_tag, 0) + 1
+            _satisfy_minima(child, by_tag, budget, created, rng)

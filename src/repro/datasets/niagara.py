@@ -1,0 +1,255 @@
+"""Synthetic stand-ins for the Niagara repository datasets D1–D9 (Table 1).
+
+Each dataset is generated from a DTD-like schema (see
+:mod:`repro.datasets.dtd`) tuned to the structural notes in the paper:
+
+* the node counts match Table 1 exactly;
+* D4 (*Actor*) concentrates its budget in one huge filmography fan-out —
+  "this dataset has a huge fan-out. As a result, the prefix labeling
+  scheme suffers badly" (Section 5.1.2);
+* D7 (*NASA*) is deep with low fan-out — "ideal for the prefix labeling
+  scheme";
+* the rest are mid-shaped, DTD-conformant documents with heavy repeated
+  patterns, the food of optimization Opt3.
+
+Generation is deterministic: ``build_dataset("D4")`` always returns the
+identical tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datasets.dtd import SchemaElement, expand_schema
+from repro.datasets.shakespeare import play
+from repro.errors import DatasetError
+from repro.xmlkit.tree import XmlElement
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "build_dataset",
+    "build_collection",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one Table 1 dataset."""
+
+    name: str
+    topic: str
+    max_nodes: int
+    root_tag: str
+    schema: Tuple[SchemaElement, ...]
+    seed: int
+
+
+def _sigmod_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("SigmodRecord", (("issue", 1, 3),)),
+        SchemaElement("issue", (("volume", 1, 1), ("number", 1, 1), ("articles", 1, 1))),
+        SchemaElement("volume", text=True),
+        SchemaElement("number", text=True),
+        SchemaElement("articles", (("article", 1, 40),)),
+        SchemaElement(
+            "article",
+            (("title", 1, 1), ("initPage", 1, 1), ("endPage", 1, 1), ("authors", 1, 1)),
+        ),
+        SchemaElement("title", text=True),
+        SchemaElement("initPage", text=True),
+        SchemaElement("endPage", text=True),
+        SchemaElement("authors", (("author", 1, 6),)),
+        SchemaElement("author", text=True),
+    )
+
+
+def _movie_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("movies", (("movie", 1, 60),)),
+        SchemaElement(
+            "movie",
+            (("title", 1, 1), ("year", 1, 1), ("genre", 1, 3), ("cast", 0, 1)),
+        ),
+        SchemaElement("title", text=True),
+        SchemaElement("year", text=True),
+        SchemaElement("genre", text=True),
+        SchemaElement("cast", (("actor", 1, 8),)),
+        SchemaElement("actor", text=True),
+    )
+
+
+def _club_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("club", (("name", 1, 1), ("member", 1, 400),)),
+        SchemaElement("name", text=True),
+        SchemaElement(
+            "member",
+            (("name", 1, 1), ("email", 0, 1), ("phone", 0, 2)),
+        ),
+        SchemaElement("email", text=True),
+        SchemaElement("phone", text=True),
+    )
+
+
+def _actor_schema() -> Tuple[SchemaElement, ...]:
+    # One actor, one filmography element, and a movie fan-out that swallows
+    # nearly the whole budget: max fan-out ends up above 1000.
+    return (
+        SchemaElement("actor", (("name", 1, 1), ("filmography", 1, 1))),
+        SchemaElement("name", text=True),
+        SchemaElement("filmography", (("movie", 1, 100_000),)),
+        SchemaElement("movie", text=True),
+    )
+
+
+def _car_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("cars", (("car", 1, 900),)),
+        SchemaElement(
+            "car",
+            (("make", 1, 1), ("model", 1, 1), ("year", 1, 1), ("price", 0, 1)),
+        ),
+        SchemaElement("make", text=True),
+        SchemaElement("model", text=True),
+        SchemaElement("year", text=True),
+        SchemaElement("price", text=True),
+    )
+
+
+def _department_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("university", (("department", 1, 40),)),
+        SchemaElement(
+            "department",
+            (("name", 1, 1), ("course", 1, 30), ("staff", 1, 1)),
+        ),
+        SchemaElement("name", text=True),
+        SchemaElement("course", (("code", 1, 1), ("title", 1, 1))),
+        SchemaElement("code", text=True),
+        SchemaElement("title", text=True),
+        SchemaElement("staff", (("lecturer", 1, 20),)),
+        SchemaElement("lecturer", text=True),
+    )
+
+
+def _nasa_schema() -> Tuple[SchemaElement, ...]:
+    # High depth (8 levels of nesting), modest fan-out — the shape the paper
+    # calls "ideal for the prefix labeling scheme".
+    return (
+        SchemaElement("datasets", (("dataset", 1, 6),)),
+        SchemaElement(
+            "dataset",
+            (("title", 1, 1), ("reference", 1, 5), ("tableHead", 1, 2)),
+        ),
+        SchemaElement("title", text=True),
+        SchemaElement("reference", (("source", 1, 3),)),
+        SchemaElement("source", (("other", 1, 3),)),
+        SchemaElement("other", (("author", 1, 4), ("journal", 1, 2))),
+        SchemaElement("author", (("lastName", 1, 1), ("initial", 1, 2))),
+        SchemaElement("lastName", text=True),
+        SchemaElement("initial", text=True),
+        SchemaElement("journal", (("name", 1, 1),)),
+        SchemaElement("name", text=True),
+        SchemaElement("tableHead", (("field", 1, 6),)),
+        SchemaElement("field", (("definition", 1, 2),)),
+        SchemaElement("definition", text=True),
+    )
+
+
+def _company_schema() -> Tuple[SchemaElement, ...]:
+    return (
+        SchemaElement("company", (("division", 1, 25),)),
+        SchemaElement(
+            "division",
+            (("name", 1, 1), ("employee", 1, 120),),
+        ),
+        SchemaElement("name", text=True),
+        SchemaElement(
+            "employee",
+            (("name", 1, 1), ("role", 1, 1), ("salary", 0, 1)),
+        ),
+        SchemaElement("role", text=True),
+        SchemaElement("salary", text=True),
+    )
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("D1", "Sigmod record", 41, "SigmodRecord", _sigmod_schema(), seed=1),
+        DatasetSpec("D2", "Movie", 125, "movies", _movie_schema(), seed=2),
+        DatasetSpec("D3", "Club", 340, "club", _club_schema(), seed=3),
+        DatasetSpec("D4", "Actor", 1110, "actor", _actor_schema(), seed=4),
+        DatasetSpec("D5", "Car", 2495, "cars", _car_schema(), seed=5),
+        DatasetSpec("D6", "Department", 2686, "university", _department_schema(), seed=6),
+        DatasetSpec("D7", "NASA", 4834, "datasets", _nasa_schema(), seed=7),
+        DatasetSpec("D8", "Shakespeare's Plays", 6636, "PLAY", (), seed=8),
+        DatasetSpec("D9", "Company", 10052, "company", _company_schema(), seed=9),
+    )
+}
+
+DATASET_NAMES: Tuple[str, ...] = tuple(sorted(_SPECS))
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the static spec for dataset ``name`` ("D1" .. "D9")."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose one of {', '.join(DATASET_NAMES)}"
+        ) from None
+
+
+def build_dataset(name: str) -> XmlElement:
+    """Build the synthetic document for dataset ``name``, deterministically.
+
+    The tree's node count equals the Table 1 "Max. # of nodes" value.
+    """
+    spec = dataset_spec(name)
+    if spec.name == "D8":
+        return play(seed=spec.seed, node_budget=spec.max_nodes)
+    return expand_schema(spec.schema, spec.root_tag, spec.max_nodes, seed=spec.seed)
+
+
+def build_collection(name: str, files: int = 16, seed: int = 0) -> List[XmlElement]:
+    """A multi-file collection for dataset ``name``.
+
+    The paper labels "the 6224 real-world XML files" of the repository;
+    Table 1 only reports each topic's *largest* file.  This generates
+    ``files`` documents for one topic whose node counts decay from the
+    Table 1 maximum (the largest file first, then roughly halving with
+    jitter, floored at the schema's minimal size), which is the size
+    profile web-crawled repositories show.
+    """
+    import random
+
+    if files < 1:
+        raise DatasetError(f"files must be >= 1, got {files}")
+    spec = dataset_spec(name)
+    rng = random.Random(seed * 7919 + spec.seed)
+    documents = [build_dataset(name)]
+    budget = spec.max_nodes
+    for index in range(1, files):
+        budget = max(5, int(budget * rng.uniform(0.45, 0.8)))
+        if spec.name == "D8":
+            documents.append(
+                play(seed=spec.seed + index, node_budget=max(budget, 60))
+            )
+        else:
+            documents.append(
+                expand_schema(spec.schema, spec.root_tag, budget, seed=spec.seed + index)
+            )
+    return documents
+
+
+def table1_rows() -> List[Tuple[str, str, int]]:
+    """Table 1 as data: ``(dataset, topic, max node count)`` rows."""
+    return [
+        (spec.name, spec.topic, spec.max_nodes)
+        for spec in (_SPECS[name] for name in DATASET_NAMES)
+    ]

@@ -1,0 +1,109 @@
+"""Shape-controlled tree generators for tests and update experiments.
+
+The update experiments (Figures 16/17) run on "10 XML files whose size
+ranges from 1000 to 10,000 nodes"; :class:`RandomTreeBuilder` produces
+deterministic random trees at exact node counts with bounded depth and
+fan-out, plus the degenerate shapes (perfect trees, chains, stars) the
+analytic size models are sanity-checked against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import DatasetError
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["RandomTreeBuilder", "perfect_tree", "chain_tree", "star_tree"]
+
+
+def perfect_tree(depth: int, fanout: int, tag: str = "node") -> XmlElement:
+    """A perfect tree: every internal node has exactly ``fanout`` children
+    and every leaf sits at ``depth`` — the worst case of Section 3.1."""
+    if depth < 0:
+        raise DatasetError(f"depth must be >= 0, got {depth}")
+    if fanout < 1:
+        raise DatasetError(f"fanout must be >= 1, got {fanout}")
+    root = XmlElement(tag)
+    frontier = [root]
+    for _ in range(depth):
+        next_frontier: List[XmlElement] = []
+        for node in frontier:
+            for _ in range(fanout):
+                next_frontier.append(node.append(XmlElement(tag)))
+        frontier = next_frontier
+    return root
+
+
+def chain_tree(length: int, tag: str = "node") -> XmlElement:
+    """A single path of ``length`` nodes — maximal depth, fan-out 1."""
+    if length < 1:
+        raise DatasetError(f"length must be >= 1, got {length}")
+    root = XmlElement(tag)
+    node = root
+    for _ in range(length - 1):
+        node = node.append(XmlElement(tag))
+    return root
+
+
+def star_tree(leaves: int, tag: str = "node") -> XmlElement:
+    """A root with ``leaves`` children — maximal fan-out, depth 1."""
+    if leaves < 0:
+        raise DatasetError(f"leaves must be >= 0, got {leaves}")
+    root = XmlElement(tag)
+    for _ in range(leaves):
+        root.append(XmlElement(tag))
+    return root
+
+
+class RandomTreeBuilder:
+    """Deterministic random trees with exact node counts.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; equal seeds give identical trees.
+    max_depth:
+        No node is placed deeper than this many edges below the root.
+    max_fanout:
+        No node receives more than this many children.
+    """
+
+    def __init__(self, seed: int = 0, max_depth: int = 8, max_fanout: int = 50):
+        if max_depth < 1:
+            raise DatasetError(f"max_depth must be >= 1, got {max_depth}")
+        if max_fanout < 1:
+            raise DatasetError(f"max_fanout must be >= 1, got {max_fanout}")
+        self.seed = seed
+        self.max_depth = max_depth
+        self.max_fanout = max_fanout
+
+    def build(self, node_count: int, tag: str = "node") -> XmlElement:
+        """Grow a tree with exactly ``node_count`` nodes.
+
+        Each new node attaches to a uniformly random eligible parent (one
+        below both the depth and fan-out caps), which yields the irregular,
+        bushy shapes real documents show.
+        """
+        if node_count < 1:
+            raise DatasetError(f"node_count must be >= 1, got {node_count}")
+        rng = random.Random(self.seed)
+        root = XmlElement(tag)
+        eligible: List[XmlElement] = [root] if self.max_depth > 0 else []
+        depths = {id(root): 0}
+        for _ in range(node_count - 1):
+            if not eligible:
+                raise DatasetError(
+                    f"cannot fit {node_count} nodes under depth {self.max_depth} "
+                    f"and fan-out {self.max_fanout}"
+                )
+            parent = rng.choice(eligible)
+            child = parent.append(XmlElement(tag))
+            child_depth = depths[id(parent)] + 1
+            depths[id(child)] = child_depth
+            if child_depth < self.max_depth:
+                eligible.append(child)
+            if len(parent.children) >= self.max_fanout:
+                eligible.remove(parent)
+        return root

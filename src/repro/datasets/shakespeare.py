@@ -1,0 +1,146 @@
+"""Synthetic Shakespeare-play documents.
+
+The D8 dataset and the response-time / ordered-update experiments
+(Sections 5.2 and 5.4) run on the Shakespeare plays in XML (Jon Bosak's
+markup): ``PLAY`` holding ``TITLE``, ``PERSONAE`` (with ``PERSONA``
+children) and five ``ACT``s, each with ``TITLE`` and ``SCENE``s, each scene
+holding ``SPEECH``es of a ``SPEAKER`` plus ``LINE``s.
+
+The generator reproduces that hierarchy with play-to-play variation in
+scene/speech/line counts.  What the experiments need — the tag structure,
+five ordered acts, speech-heavy bulk — is preserved; the verse is synthetic.
+
+``play(..., node_budget=n)`` grows a single play to an exact element count
+(used for the Hamlet-sized document of Figure 18), and
+:func:`shakespeare_corpus` builds the multi-play collection (optionally
+replicated, "we replicate the Shakespeare's Play dataset 5 times").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import DatasetError
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["play", "hamlet", "shakespeare_corpus"]
+
+_SPEAKERS = (
+    "HAMLET", "CLAUDIUS", "GERTRUDE", "OPHELIA", "POLONIUS",
+    "HORATIO", "LAERTES", "ROSENCRANTZ", "GUILDENSTERN", "GHOST",
+)
+
+_WORDS = (
+    "thus", "conscience", "does", "make", "cowards", "of", "us", "all",
+    "and", "enterprises", "great", "pith", "moment", "with", "this",
+    "regard", "their", "currents", "turn", "awry",
+)
+
+
+def _line_text(rng: random.Random) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(5, 9)))
+
+
+def _make_speech(rng: random.Random, lines: int) -> XmlElement:
+    speech = XmlElement("SPEECH")
+    speech.append(XmlElement("SPEAKER", text=rng.choice(_SPEAKERS)))
+    for _ in range(lines):
+        speech.append(XmlElement("LINE", text=_line_text(rng)))
+    return speech
+
+
+def play(
+    seed: int = 0,
+    title: str = "The Tragedy of Synthesis",
+    acts: int = 5,
+    node_budget: int | None = None,
+) -> XmlElement:
+    """Build one play.
+
+    Without ``node_budget`` the play has naturally varying sizes (roughly
+    1–3 thousand element nodes).  With a budget the speech/line counts are
+    grown until the element count is exactly ``node_budget``.
+    """
+    if acts < 1:
+        raise DatasetError(f"a play needs at least one act, got {acts}")
+    rng = random.Random(seed)
+    root = XmlElement("PLAY")
+    root.append(XmlElement("TITLE", text=title))
+    personae = root.append(XmlElement("PERSONAE"))
+    for speaker in rng.sample(_SPEAKERS, k=rng.randint(5, len(_SPEAKERS))):
+        personae.append(XmlElement("PERSONA", text=speaker))
+    scenes_per_act = [rng.randint(2, 5) for _ in range(acts)]
+    for act_number, scene_count in enumerate(scenes_per_act, start=1):
+        act = root.append(XmlElement("ACT"))
+        act.append(XmlElement("TITLE", text=f"ACT {act_number}"))
+        # A per-act cast list (the characters appearing in the act) keeps
+        # Q3 (`/PLAY//ACT//PERSONA`) non-trivial, as it is in the paper.
+        act_personae = act.append(XmlElement("PERSONAE"))
+        for speaker in rng.sample(_SPEAKERS, k=rng.randint(2, 5)):
+            act_personae.append(XmlElement("PERSONA", text=speaker))
+        for scene_number in range(1, scene_count + 1):
+            scene = act.append(XmlElement("SCENE"))
+            scene.append(
+                XmlElement("TITLE", text=f"SCENE {scene_number}. A synthetic place.")
+            )
+            for _ in range(rng.randint(4, 10)):
+                scene.append(_make_speech(rng, rng.randint(1, 6)))
+    if node_budget is not None:
+        _grow_to_budget(root, rng, node_budget)
+    return root
+
+
+def _grow_to_budget(root: XmlElement, rng: random.Random, node_budget: int) -> None:
+    current = root.stats().node_count
+    if current > node_budget:
+        raise DatasetError(
+            f"play already has {current} nodes, above the budget {node_budget}"
+        )
+    scenes = root.find_by_tag("SCENE")
+    # Add whole speeches (3 nodes minimum each) while they fit, then pad the
+    # last speech with single lines for an exact landing.
+    while node_budget - current >= 3:
+        scene = rng.choice(scenes)
+        lines = min(rng.randint(1, 6), node_budget - current - 2)
+        scene.append(_make_speech(rng, lines))
+        current += 2 + lines
+    speeches = root.find_by_tag("SPEECH")
+    while current < node_budget:
+        rng.choice(speeches).append(XmlElement("LINE", text=_line_text(rng)))
+        current += 1
+
+
+def hamlet(seed: int = 8) -> XmlElement:
+    """A Hamlet-sized play: exactly 6636 element nodes (Table 1's D8 max),
+    five acts — the document the Figure 18 experiment inserts ACTs into."""
+    return play(seed=seed, title="The Tragedy of Hamlet, Prince of Denmark",
+                acts=5, node_budget=6636)
+
+
+def shakespeare_corpus(
+    plays: int = 37, seed: int = 100, replicate: int = 1
+) -> List[XmlElement]:
+    """The play collection: ``plays`` distinct plays, ``replicate`` copies
+    of each (the paper replicates D8 five times for the query experiment).
+
+    Returns a list of independent document roots (the Niagara setting is a
+    multi-document repository; queries union over documents).
+    """
+    if plays < 1 or replicate < 1:
+        raise DatasetError("plays and replicate must both be >= 1")
+    documents: List[XmlElement] = []
+    act_rng = random.Random(seed)
+    for play_index in range(plays):
+        # Act counts vary 3..7 across plays (histories have extra parts,
+        # shorter plays fewer acts), so positional queries such as
+        # ``/ACT[5]//Following::ACT`` select real work.
+        original = play(
+            seed=seed + play_index,
+            title=f"Play {play_index + 1}",
+            acts=act_rng.randint(3, 7),
+        )
+        documents.append(original)
+        for _ in range(replicate - 1):
+            documents.append(original.copy())
+    return documents

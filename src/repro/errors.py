@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subpackages define more specific subclasses
+here rather than in their own modules to avoid circular imports.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "XmlSyntaxError",
+    "LabelingError",
+    "LabelOverflowError",
+    "OrderingError",
+    "QuerySyntaxError",
+    "QueryEvaluationError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class XmlSyntaxError(ReproError):
+    """Raised by the XML tokenizer/parser on malformed input.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character
+    when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class LabelingError(ReproError):
+    """Raised when a labeling scheme is misused (e.g. unlabeled node)."""
+
+
+class LabelOverflowError(LabelingError):
+    """Raised when a scheme with a bounded label width runs out of room.
+
+    Only the float-interval scheme (QRS) has an intrinsic bound; integer
+    schemes use Python's arbitrary-precision ints and never overflow.
+    """
+
+
+class OrderingError(ReproError):
+    """Raised on inconsistent use of the SC (simultaneous congruence) table."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised by the XPath-subset parser on malformed query text."""
+
+
+class QueryEvaluationError(ReproError):
+    """Raised by the query engine on unevaluable queries."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators on invalid parameters."""

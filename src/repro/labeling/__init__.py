@@ -1,0 +1,63 @@
+"""Labeling schemes: the paper's prime scheme and every baseline it fights.
+
+All schemes implement the :class:`repro.labeling.base.LabelingScheme`
+protocol — label a tree, answer ancestor/descendant questions from labels
+alone, report label sizes in bits, and apply dynamic updates while counting
+exactly which nodes had to be relabeled (the currency of Figures 16–18).
+
+* :mod:`repro.labeling.interval` — interval/range baselines: XISS
+  ``(order, size)``, XRel-style ``(start, end)``, and the QRS float variant.
+* :mod:`repro.labeling.prefix` — binary prefix baselines Prefix-1 and
+  Prefix-2 (Cohen–Kaplan–Milo).
+* :mod:`repro.labeling.dewey` — Dewey order labels (Tatarinov et al.).
+* :mod:`repro.labeling.prime` — the paper's bottom-up and top-down prime
+  number schemes, the latter with optimizations Opt1/Opt2.
+* :mod:`repro.labeling.pathcollapse` — optimization Opt3 (combine repeated
+  paths).
+* :mod:`repro.labeling.decompose` — tree decomposition for deep trees.
+* :mod:`repro.labeling.sizemodel` — the analytic maximum-label-size formulas
+  of Section 3.1 (Figures 4 and 5).
+"""
+
+from repro.labeling.base import LabelingScheme, RelabelReport, Relationship
+from repro.labeling.codec import FixedWidthCodec, VarintCodec
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import (
+    FloatIntervalScheme,
+    StartEndIntervalScheme,
+    XissIntervalScheme,
+)
+from repro.labeling.prefix import Bits, Prefix1Scheme, Prefix2Scheme
+from repro.labeling.prime import BottomUpPrimeScheme, PrimeLabel, PrimeScheme
+from repro.labeling.reconstruct import (
+    reconstruct_from_dewey,
+    reconstruct_from_intervals,
+    reconstruct_from_prefix,
+    reconstruct_from_prime,
+)
+from repro.labeling.stats import LabelSpaceReport, compare_space, label_space_report
+
+__all__ = [
+    "LabelingScheme",
+    "RelabelReport",
+    "Relationship",
+    "FixedWidthCodec",
+    "VarintCodec",
+    "DeweyScheme",
+    "FloatIntervalScheme",
+    "StartEndIntervalScheme",
+    "XissIntervalScheme",
+    "Bits",
+    "Prefix1Scheme",
+    "Prefix2Scheme",
+    "BottomUpPrimeScheme",
+    "PrimeLabel",
+    "PrimeScheme",
+    "reconstruct_from_dewey",
+    "reconstruct_from_intervals",
+    "reconstruct_from_prefix",
+    "reconstruct_from_prime",
+    "LabelSpaceReport",
+    "compare_space",
+    "label_space_report",
+]

@@ -1,0 +1,267 @@
+"""The common protocol every labeling scheme implements.
+
+A *labeling scheme* assigns each element node a label such that structural
+relationships (ancestor/descendant, and for most schemes parent/child) can
+be decided from two labels alone, without touching the tree.  The paper's
+experiments additionally need each scheme to support *dynamic updates* and
+to report exactly how many existing nodes had to be relabeled — that count
+is the y-axis of Figures 16, 17 and 18.
+
+Design notes
+------------
+* A scheme instance is bound to one document: :meth:`LabelingScheme.label_tree`
+  stores the node→label mapping inside the instance.  Nodes are keyed by
+  identity (``XmlElement`` does not define value equality).
+* Update operations mutate the tree *and* the label mapping, returning a
+  :class:`RelabelReport`.  The report is computed by diffing labels before
+  and after, so a scheme cannot accidentally under-report its relabeling
+  work; the newly inserted node counts as one relabel, matching the paper
+  ("the number of nodes that need to be re-labeled for the prefix labeling
+  scheme is 1, which is essentially the inserted node").
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import LabelingError
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["Relationship", "RelabelReport", "LabelingScheme"]
+
+
+class Relationship(enum.Enum):
+    """Structural relationship between two nodes, decided from labels."""
+
+    SELF = "self"
+    ANCESTOR = "ancestor"  # first node is an ancestor of the second
+    DESCENDANT = "descendant"  # first node is a descendant of the second
+    UNRELATED = "unrelated"
+
+
+@dataclass
+class RelabelReport:
+    """Outcome of one dynamic update.
+
+    ``relabeled`` lists every node whose label changed, *including* the newly
+    inserted node (if any).  ``new_node`` is the inserted element, when the
+    operation inserted one.
+    """
+
+    relabeled: List[XmlElement] = field(default_factory=list)
+    new_node: Optional[XmlElement] = None
+
+    @property
+    def count(self) -> int:
+        """Number of relabeled nodes — the paper's update-cost metric."""
+        return len(self.relabeled)
+
+
+class LabelingScheme(ABC):
+    """Base class for all labeling schemes.
+
+    Subclasses implement :meth:`_assign_labels` (bulk labeling),
+    :meth:`is_ancestor_label` (the label-only ancestor test) and
+    :meth:`label_bits` (storage size).  Default update operations relabel
+    canonically and diff; schemes with cheaper incremental behaviour
+    (prefix append, prime insert) override the mutation hooks.
+    """
+
+    #: Human-readable scheme name used by the benchmark harness.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._labels: Dict[int, Any] = {}
+        self._nodes: Dict[int, XmlElement] = {}
+        self._root: Optional[XmlElement] = None
+
+    # ------------------------------------------------------------------
+    # Labeling
+    # ------------------------------------------------------------------
+
+    def label_tree(self, root: XmlElement) -> "LabelingScheme":
+        """Label every node in the tree rooted at ``root``; returns self."""
+        self._labels.clear()
+        self._nodes.clear()
+        self._root = root
+        self._assign_labels(root)
+        return self
+
+    @abstractmethod
+    def _assign_labels(self, root: XmlElement) -> None:
+        """Populate the label mapping for every node under ``root``."""
+
+    @property
+    def root(self) -> XmlElement:
+        if self._root is None:
+            raise LabelingError("label_tree() has not been called")
+        return self._root
+
+    def _set_label(self, node: XmlElement, label: Any) -> None:
+        self._labels[id(node)] = label
+        self._nodes[id(node)] = node
+
+    def _drop_label(self, node: XmlElement) -> None:
+        self._labels.pop(id(node), None)
+        self._nodes.pop(id(node), None)
+
+    def label_of(self, node: XmlElement) -> Any:
+        """Return the label assigned to ``node``."""
+        try:
+            return self._labels[id(node)]
+        except KeyError:
+            raise LabelingError(f"node {node!r} has no label") from None
+
+    def labeled_nodes(self) -> Iterable[XmlElement]:
+        """All nodes that currently carry a label."""
+        return list(self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # Relationship tests (label-only)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def is_ancestor_label(self, ancestor_label: Any, descendant_label: Any) -> bool:
+        """True iff the first label's node is a *proper* ancestor of the second's."""
+
+    def is_ancestor(self, ancestor: XmlElement, descendant: XmlElement) -> bool:
+        """Ancestor test on nodes, delegated to the label-only test."""
+        return self.is_ancestor_label(self.label_of(ancestor), self.label_of(descendant))
+
+    def relationship(self, first: XmlElement, second: XmlElement) -> Relationship:
+        """Classify the relationship between two labeled nodes."""
+        label_a, label_b = self.label_of(first), self.label_of(second)
+        if label_a == label_b:
+            return Relationship.SELF
+        if self.is_ancestor_label(label_a, label_b):
+            return Relationship.ANCESTOR
+        if self.is_ancestor_label(label_b, label_a):
+            return Relationship.DESCENDANT
+        return Relationship.UNRELATED
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def label_bits(self, label: Any) -> int:
+        """Storage size of one label, in bits."""
+
+    def max_label_bits(self) -> int:
+        """Largest label size over the whole document, in bits.
+
+        This is the "fixed length label" size of Section 5.1.2: storing every
+        label at the width of the widest one.
+        """
+        if not self._labels:
+            raise LabelingError("label_tree() has not been called")
+        return max(self.label_bits(label) for label in self._labels.values())
+
+    def total_label_bits(self) -> int:
+        """Sum of all label sizes (variable-length storage), in bits."""
+        if not self._labels:
+            raise LabelingError("label_tree() has not been called")
+        return sum(self.label_bits(label) for label in self._labels.values())
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> Dict[int, Any]:
+        return dict(self._labels)
+
+    def _diff_report(
+        self, before: Dict[int, Any], new_node: Optional[XmlElement]
+    ) -> RelabelReport:
+        changed = [
+            self._nodes[node_id]
+            for node_id, label in self._labels.items()
+            if before.get(node_id) != label
+        ]
+        return RelabelReport(relabeled=changed, new_node=new_node)
+
+    def insert_leaf(
+        self,
+        parent: XmlElement,
+        tag: str = "new",
+        index: Optional[int] = None,
+    ) -> RelabelReport:
+        """Insert a new leaf under ``parent`` and label it.
+
+        ``index=None`` appends as the last child (the unordered-update
+        workload of Figure 16); an explicit index inserts at that sibling
+        position.  Returns the relabel report.
+        """
+        before = self._snapshot()
+        node = XmlElement(tag)
+        parent.insert(len(parent.children) if index is None else index, node)
+        self._after_structural_change(node)
+        return self._diff_report(before, node)
+
+    def insert_internal(
+        self,
+        parent: XmlElement,
+        start: int,
+        end: int,
+        tag: str = "wrapper",
+    ) -> RelabelReport:
+        """Interpose a new element over children ``[start, end)`` of ``parent``.
+
+        This is the non-leaf insertion of Figure 17 ("insert a node as a
+        parent of the first level-4 node").
+        """
+        before = self._snapshot()
+        node = parent.wrap_children(tag, start, end)
+        self._after_structural_change(node)
+        return self._diff_report(before, node)
+
+    def delete(self, node: XmlElement) -> RelabelReport:
+        """Delete ``node`` and its subtree.
+
+        Deletion never forces relabeling in any scheme the paper studies
+        ("the deletion of nodes does not affect the labels of other nodes"),
+        and the default implementation honours that: it only removes labels.
+        """
+        if node.is_root:
+            raise LabelingError("cannot delete the document root")
+        for gone in node.iter_preorder():
+            self._drop_label(gone)
+        node.detach()
+        return RelabelReport()
+
+    def _after_structural_change(self, new_node: XmlElement) -> None:
+        """Re-establish a valid labeling after an insertion.
+
+        The default *canonically relabels the whole tree*, which models
+        static schemes (interval): the diff then reveals how much of the
+        document a static scheme must touch.  Dynamic schemes override this
+        with genuinely incremental logic.
+        """
+        self._assign_labels(self.root)
+
+    # ------------------------------------------------------------------
+    # Verification helper (used heavily by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_against_tree(self) -> Tuple[int, int]:
+        """Exhaustively verify label tests against ground-truth tree walks.
+
+        Returns ``(pairs_checked, mismatches)``; a correct scheme always has
+        zero mismatches.  Quadratic — intended for tests on small trees.
+        """
+        nodes = list(self.root.iter_preorder())
+        mismatches = 0
+        pairs = 0
+        for first in nodes:
+            for second in nodes:
+                if first is second:
+                    continue
+                pairs += 1
+                truth = first.is_ancestor_of(second)
+                claimed = self.is_ancestor(first, second)
+                if truth != claimed:
+                    mismatches += 1
+        return pairs, mismatches

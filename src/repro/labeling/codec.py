@@ -1,0 +1,260 @@
+"""Binary codecs for labels — the storage story of Section 3.1.
+
+The paper's size analysis exists because labels live in database columns:
+"it is possible to use a fixed length representation for storing the
+labels. In so doing, we can take advantage of the standard DBMS functions
+for XML query processing."  This module provides that representation:
+
+* :class:`FixedWidthCodec` — every label of a document encoded at the
+  width of the widest one (the paper's fixed-length columns).  Decoding is
+  O(1) per label and the column is directly comparable byte-wise for
+  integer labels.
+* :class:`VarintCodec` — a variable-length alternative (LEB128-style)
+  for space-accounting comparisons: what the paper's `total_label_bits`
+  would cost on disk with length prefixes instead of padding.
+
+Codecs cover every label type in the library: ``PrimeLabel`` (two
+integers), interval labels (two integers), prefix ``Bits`` (length +
+payload) and Dewey tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.errors import LabelingError
+from repro.labeling.base import LabelingScheme
+from repro.labeling.interval import OrderSizeLabel, StartEndLabel
+from repro.labeling.prefix import Bits
+from repro.labeling.prime import PrimeLabel
+
+__all__ = ["FixedWidthCodec", "VarintCodec", "label_to_ints", "ints_to_label"]
+
+
+def label_to_ints(label: Any) -> Tuple[int, ...]:
+    """Decompose any supported label into a tuple of non-negative ints.
+
+    ``PrimeLabel`` -> (value, self_label); interval labels -> their two
+    endpoints; ``Bits`` -> (length, value); Dewey tuples pass through.
+    """
+    if isinstance(label, PrimeLabel):
+        return (label.value, label.self_label)
+    if isinstance(label, OrderSizeLabel):
+        return (label.order, label.size)
+    if isinstance(label, StartEndLabel):
+        start, end = label.start, label.end
+        if int(start) != start or int(end) != end:
+            raise LabelingError("fractional interval labels are not codec-encodable")
+        return (int(start), int(end))
+    if isinstance(label, Bits):
+        return (label.length, label.value)
+    if isinstance(label, tuple):
+        return tuple(int(component) for component in label)
+    if isinstance(label, int):  # bottom-up prime labels are bare products
+        return (label,)
+    raise LabelingError(f"no integer decomposition for label {label!r}")
+
+
+def ints_to_label(kind: str, parts: Tuple[int, ...]) -> Any:
+    """Reassemble a label from :func:`label_to_ints` output.
+
+    ``kind`` is one of ``prime``, ``order-size``, ``start-end``, ``bits``,
+    ``dewey``.
+    """
+    if kind == "prime":
+        value, self_label = parts
+        return PrimeLabel(value=value, self_label=self_label)
+    if kind == "order-size":
+        order, size = parts
+        return OrderSizeLabel(order=order, size=size)
+    if kind == "start-end":
+        start, end = parts
+        return StartEndLabel(start=start, end=end)
+    if kind == "bits":
+        length, value = parts
+        return Bits(value, length)
+    if kind == "dewey":
+        return tuple(parts)
+    if kind == "int":
+        (value,) = parts
+        return value
+    raise LabelingError(f"unknown label kind {kind!r}")
+
+
+def _kind_of(label: Any) -> str:
+    if isinstance(label, PrimeLabel):
+        return "prime"
+    if isinstance(label, OrderSizeLabel):
+        return "order-size"
+    if isinstance(label, StartEndLabel):
+        return "start-end"
+    if isinstance(label, Bits):
+        return "bits"
+    if isinstance(label, tuple):
+        return "dewey"
+    if isinstance(label, int):
+        return "int"
+    raise LabelingError(f"no codec kind for label {label!r}")
+
+
+class FixedWidthCodec:
+    """Fixed-length encoding sized to a document's widest label.
+
+    Construct from a labeled scheme (:meth:`for_scheme`) or explicitly with
+    ``(kind, field_count, field_bytes)``.  Every encoded label occupies
+    ``field_count * field_bytes`` bytes (Dewey labels are padded to the
+    document's maximum component count with zeros, which are invalid Dewey
+    ordinals and therefore unambiguous).
+    """
+
+    def __init__(self, kind: str, field_count: int, field_bytes: int):
+        if field_count < 1 or field_bytes < 1:
+            raise LabelingError("field_count and field_bytes must be >= 1")
+        self.kind = kind
+        self.field_count = field_count
+        self.field_bytes = field_bytes
+
+    @classmethod
+    def for_scheme(cls, scheme: LabelingScheme) -> "FixedWidthCodec":
+        """Size a codec to hold every label the scheme has issued."""
+        labels = [scheme.label_of(node) for node in scheme.labeled_nodes()]
+        if not labels:
+            raise LabelingError("scheme has no labels to size a codec from")
+        kind = _kind_of(labels[0])
+        # A lone Dewey root has the empty label; keep at least one field so
+        # records have nonzero width.
+        field_count = max(1, max(len(label_to_ints(label)) for label in labels))
+        widest = max(
+            (part for label in labels for part in label_to_ints(label)), default=0
+        )
+        field_bytes = max((widest.bit_length() + 7) // 8, 1)
+        return cls(kind, field_count, field_bytes)
+
+    @property
+    def record_bytes(self) -> int:
+        """Encoded size of one label, in bytes."""
+        return self.field_count * self.field_bytes
+
+    def encode(self, label: Any) -> bytes:
+        """Encode one label into exactly ``record_bytes`` bytes."""
+        parts = label_to_ints(label)
+        if len(parts) > self.field_count:
+            raise LabelingError(
+                f"label has {len(parts)} fields; codec holds {self.field_count}"
+            )
+        padded = parts + (0,) * (self.field_count - len(parts))
+        chunks = []
+        for part in padded:
+            if part < 0 or part.bit_length() > self.field_bytes * 8:
+                raise LabelingError(
+                    f"field {part} does not fit in {self.field_bytes} bytes"
+                )
+            chunks.append(part.to_bytes(self.field_bytes, "big"))
+        return b"".join(chunks)
+
+    def decode(self, blob: bytes) -> Any:
+        """Decode one fixed-width record back into a label."""
+        if len(blob) != self.record_bytes:
+            raise LabelingError(
+                f"expected {self.record_bytes} bytes, got {len(blob)}"
+            )
+        parts = tuple(
+            int.from_bytes(blob[i * self.field_bytes : (i + 1) * self.field_bytes], "big")
+            for i in range(self.field_count)
+        )
+        if self.kind == "dewey":
+            parts = tuple(part for part in parts if part != 0)
+        return ints_to_label(self.kind, parts)
+
+    def encode_column(self, scheme: LabelingScheme) -> bytes:
+        """Encode every label of the scheme into one packed column."""
+        return b"".join(
+            self.encode(scheme.label_of(node)) for node in scheme.labeled_nodes()
+        )
+
+    def decode_column(self, blob: bytes) -> List[Any]:
+        """Decode a packed column into its label list."""
+        if len(blob) % self.record_bytes:
+            raise LabelingError("column length is not a multiple of the record size")
+        return [
+            self.decode(blob[offset : offset + self.record_bytes])
+            for offset in range(0, len(blob), self.record_bytes)
+        ]
+
+
+class VarintCodec:
+    """Variable-length (LEB128-style) label encoding with field counts.
+
+    Layout per label: ``varint(field_count) || varint(field_0) || ...``.
+    Self-delimiting, so columns can be decoded without a side table.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+    @classmethod
+    def for_scheme(cls, scheme: LabelingScheme) -> "VarintCodec":
+        nodes = list(scheme.labeled_nodes())
+        if not nodes:
+            raise LabelingError("scheme has no labels to derive a codec from")
+        return cls(_kind_of(scheme.label_of(nodes[0])))
+
+    @staticmethod
+    def _write_varint(value: int, out: List[int]) -> None:
+        if value < 0:
+            raise LabelingError(f"varints are unsigned; got {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                return
+
+    @staticmethod
+    def _read_varint(blob: bytes, offset: int) -> Tuple[int, int]:
+        result = 0
+        shift = 0
+        while True:
+            if offset >= len(blob):
+                raise LabelingError("truncated varint")
+            byte = blob[offset]
+            offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, offset
+            shift += 7
+
+    def encode(self, label: Any) -> bytes:
+        """Encode one label as a self-delimiting varint record."""
+        parts = label_to_ints(label)
+        out: List[int] = []
+        self._write_varint(len(parts), out)
+        for part in parts:
+            self._write_varint(part, out)
+        return bytes(out)
+
+    def decode(self, blob: bytes, offset: int = 0) -> Tuple[Any, int]:
+        """Decode one label starting at ``offset``; returns (label, next)."""
+        count, offset = self._read_varint(blob, offset)
+        parts = []
+        for _ in range(count):
+            part, offset = self._read_varint(blob, offset)
+            parts.append(part)
+        return ints_to_label(self.kind, tuple(parts)), offset
+
+    def encode_column(self, scheme: LabelingScheme) -> bytes:
+        """Encode every label of the scheme into one packed column."""
+        return b"".join(
+            self.encode(scheme.label_of(node)) for node in scheme.labeled_nodes()
+        )
+
+    def decode_column(self, blob: bytes) -> List[Any]:
+        """Decode a packed varint column into its label list."""
+        labels = []
+        offset = 0
+        while offset < len(blob):
+            label, offset = self.decode(blob, offset)
+            labels.append(label)
+        return labels

@@ -1,0 +1,215 @@
+"""Tree decomposition for deep trees (Kaplan, Milo & Shabo, SODA'02).
+
+Section 3.2 notes the prime scheme "can also benefit from the tree
+decomposition approach when the depth of the tree is high": split the tree
+into sub-trees of bounded depth, label each sub-tree independently, and
+label a *global tree* formed by the sub-tree roots.  A node's effective
+label is then ``(global label of its sub-tree root, local label)``, and the
+per-component label sizes stay bounded by the (much smaller) component
+depth.
+
+Ancestor test on decomposed labels: ``x`` is an ancestor of ``y`` iff
+
+* same component: local ancestor test, or
+* different components: ``x``'s component root is a (non-strict) global
+  ancestor of ``y``'s component root **and** (when ``x`` is not its
+  component's root) ``x`` is a local ancestor of the *entry node* — the
+  ancestor of ``y``'s component root that lives in ``x``'s component.
+
+To keep that second case decidable from stored labels alone, the global
+tree stores, for every component, the local label of its *attachment node*
+(the parent, inside the parent component, of the component's root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.labeling.base import LabelingScheme
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["DecomposedLabeling", "decompose_tree"]
+
+
+@dataclass(frozen=True)
+class _Component:
+    """One sub-tree of the decomposition."""
+
+    index: int
+    root: XmlElement
+    parent_component: Optional[int]
+    #: node (in the parent component) that the component root hangs below
+    attachment: Optional[XmlElement]
+
+
+class DecomposedLabeling:
+    """Labels a deep tree as bounded-depth components plus a component tree.
+
+    Parameters
+    ----------
+    root:
+        Document root.
+    scheme_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.labeling.base.LabelingScheme` for each component and
+        for the global component tree.
+    max_depth:
+        Maximum depth (edges) of any component; the tree is cut every
+        ``max_depth + 1`` levels.
+    """
+
+    def __init__(
+        self,
+        root: XmlElement,
+        scheme_factory: Callable[[], LabelingScheme],
+        max_depth: int = 3,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.root = root
+        self.max_depth = max_depth
+        self._components: List[_Component] = []
+        self._component_of: Dict[int, int] = {}
+        self._local_schemes: List[LabelingScheme] = []
+        self._decompose(root)
+        for component in self._components:
+            scheme = scheme_factory()
+            self._label_component(scheme, component)
+            self._local_schemes.append(scheme)
+        self._global_scheme = scheme_factory()
+        self._global_scheme.label_tree(self._build_component_tree())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _decompose(self, root: XmlElement) -> None:
+        """Cut the tree into components of depth <= max_depth."""
+        pending = [(root, None, None)]  # (component root, parent comp, attachment)
+        while pending:
+            comp_root, parent_index, attachment = pending.pop()
+            index = len(self._components)
+            self._components.append(
+                _Component(
+                    index=index,
+                    root=comp_root,
+                    parent_component=parent_index,
+                    attachment=attachment,
+                )
+            )
+            frontier = [(comp_root, 0)]
+            while frontier:
+                node, depth = frontier.pop()
+                self._component_of[id(node)] = index
+                for child in node.children:
+                    if depth + 1 > self.max_depth:
+                        pending.append((child, index, node))
+                    else:
+                        frontier.append((child, depth + 1))
+
+    def _component_members(self, component: _Component) -> List[XmlElement]:
+        members = []
+        frontier = [component.root]
+        while frontier:
+            node = frontier.pop()
+            members.append(node)
+            frontier.extend(
+                child
+                for child in node.children
+                if self._component_of[id(child)] == component.index
+            )
+        return members
+
+    def _label_component(self, scheme: LabelingScheme, component: _Component) -> None:
+        """Label one component in isolation (as a detached copy of its shape).
+
+        We cannot call ``label_tree`` on the in-place subtree because its
+        children cross component boundaries, so we rebuild the component's
+        shape, label it, and transfer labels back by construction order.
+        """
+        mapping: Dict[int, XmlElement] = {}
+
+        def rebuild(node: XmlElement) -> XmlElement:
+            clone = XmlElement(node.tag)
+            mapping[id(clone)] = node
+            for child in node.children:
+                if self._component_of[id(child)] == component.index:
+                    clone.append(rebuild(child))
+            return clone
+
+        shadow_root = rebuild(component.root)
+        scheme.label_tree(shadow_root)
+        # Transfer: label_of(shadow) becomes label of the original node.
+        for shadow in shadow_root.iter_preorder():
+            original = mapping[id(shadow)]
+            scheme._set_label(original, scheme.label_of(shadow))
+
+    def _build_component_tree(self) -> XmlElement:
+        nodes = [XmlElement(f"component-{c.index}") for c in self._components]
+        self._global_nodes = nodes
+        for component in self._components:
+            if component.parent_component is not None:
+                nodes[component.parent_component].append(nodes[component.index])
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def component_index(self, node: XmlElement) -> int:
+        """Index of the component containing ``node``."""
+        return self._component_of[id(node)]
+
+    def local_label(self, node: XmlElement):
+        """The node's label within its own component."""
+        return self._local_schemes[self.component_index(node)].label_of(node)
+
+    def global_label(self, node: XmlElement):
+        """The component-tree label of the node's component."""
+        index = self.component_index(node)
+        return self._global_scheme.label_of(self._global_nodes[index])
+
+    def is_ancestor(self, first: XmlElement, second: XmlElement) -> bool:
+        """Ancestor test across the decomposition."""
+        comp_a, comp_b = self.component_index(first), self.component_index(second)
+        if comp_a == comp_b:
+            return self._local_schemes[comp_a].is_ancestor(first, second)
+        node_a = self._global_nodes[comp_a]
+        node_b = self._global_nodes[comp_b]
+        if not self._global_scheme.is_ancestor_label(
+            self._global_scheme.label_of(node_a), self._global_scheme.label_of(node_b)
+        ):
+            return False
+        # first's component strictly contains an ancestor of second's
+        # component root; find the component on the path whose parent is
+        # comp_a and test locally against its attachment node.
+        component = self._components[comp_b]
+        while component.parent_component is not None and component.parent_component != comp_a:
+            component = self._components[component.parent_component]
+        if component.parent_component != comp_a:
+            return False
+        attachment = component.attachment
+        assert attachment is not None
+        if attachment is first:
+            return True
+        return self._local_schemes[comp_a].is_ancestor(first, attachment)
+
+    def max_label_bits(self) -> int:
+        """Widest combined (global + local) label over the document, in bits."""
+        global_bits = self._global_scheme.max_label_bits()
+        local_bits = max(scheme.max_label_bits() for scheme in self._local_schemes)
+        return global_bits + local_bits
+
+    @property
+    def component_count(self) -> int:
+        return len(self._components)
+
+
+def decompose_tree(
+    root: XmlElement,
+    scheme_factory: Callable[[], LabelingScheme],
+    max_depth: int = 3,
+) -> DecomposedLabeling:
+    """Convenience wrapper around :class:`DecomposedLabeling`."""
+    return DecomposedLabeling(root, scheme_factory, max_depth=max_depth)

@@ -1,0 +1,99 @@
+"""Optimization Opt3: combine repeated paths (Section 3.2, Figure 6).
+
+Real-world XML conforming to a DTD repeats structural patterns — a ``book``
+with three ``author`` children carries the path ``book/author`` three times.
+Opt3 collapses identical sibling subtree *shapes* into one representative
+node, so the shared structure is labeled once; the collapsed node remembers
+how many original siblings it stands for and their sibling positions, which
+is "the position information at the leaf nodes to indicate their orders
+among the siblings".
+
+The collapse operates on the *shape* of subtrees (tag structure, ignoring
+text and attributes): two sibling subtrees merge iff they are shape-equal.
+Labeling the collapsed tree with any scheme yields an upper bound on
+structural-query fidelity with a strictly smaller label budget; the
+experiments (Figure 13's "Opt3" bars) measure exactly that size reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["CollapsedNode", "collapse_tree", "collapse_ratio"]
+
+
+@dataclass
+class CollapsedNode:
+    """A node of the collapsed tree.
+
+    ``multiplicity`` counts how many original sibling subtrees this node
+    represents; ``positions`` records their original sibling indices so
+    document order can be reconstructed.
+    """
+
+    tag: str
+    multiplicity: int = 1
+    positions: List[int] = field(default_factory=list)
+    children: List["CollapsedNode"] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        """Nodes in this collapsed subtree (each merged group counts once)."""
+        return 1 + sum(child.node_count for child in self.children)
+
+    def to_element(self) -> XmlElement:
+        """Materialize the collapsed structure as a plain element tree."""
+        node = XmlElement(self.tag)
+        if self.multiplicity > 1:
+            node.attributes["repro:count"] = str(self.multiplicity)
+            node.attributes["repro:positions"] = ",".join(map(str, self.positions))
+        for child in self.children:
+            node.append(child.to_element())
+        return node
+
+
+def _shape_signature(node: XmlElement, cache: Dict[int, Tuple]) -> Tuple:
+    """A hashable signature of the subtree's tag structure."""
+    cached = cache.get(id(node))
+    if cached is None:
+        cached = (node.tag, tuple(_shape_signature(child, cache) for child in node.children))
+        cache[id(node)] = cached
+    return cached
+
+
+def collapse_tree(root: XmlElement) -> CollapsedNode:
+    """Collapse repeated sibling patterns under every node of ``root``.
+
+    Sibling subtrees with identical shape signatures merge into a single
+    collapsed child whose ``multiplicity``/``positions`` record the originals.
+    Children are recursively collapsed first, so nested repetition (three
+    ``act``s each holding five identical ``scene`` shapes) compounds.
+    """
+    cache: Dict[int, Tuple] = {}
+
+    def visit(node: XmlElement, position: int) -> CollapsedNode:
+        collapsed = CollapsedNode(tag=node.tag, positions=[position])
+        groups: Dict[Tuple, CollapsedNode] = {}
+        for index, child in enumerate(node.children):
+            signature = _shape_signature(child, cache)
+            existing = groups.get(signature)
+            if existing is None:
+                child_collapsed = visit(child, index)
+                groups[signature] = child_collapsed
+                collapsed.children.append(child_collapsed)
+            else:
+                existing.multiplicity += 1
+                existing.positions.append(index)
+        return collapsed
+
+    return visit(root, 0)
+
+
+def collapse_ratio(root: XmlElement) -> float:
+    """Fraction of nodes removed by Opt3 (0.0 = nothing collapsed)."""
+    original = root.stats().node_count
+    collapsed = collapse_tree(root).node_count
+    return 1.0 - collapsed / original

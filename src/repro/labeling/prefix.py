@@ -1,0 +1,222 @@
+"""Binary prefix labeling baselines (Cohen, Kaplan & Milo, PODS'02).
+
+A node's label is the concatenation of *sibling codes* along the path from
+the root; ``x`` is an ancestor of ``y`` iff ``label(x)`` is a proper prefix
+of ``label(y)``.  Correctness rests on sibling codes being prefix-free.
+
+* :class:`Prefix1Scheme` — the basic scheme: the i-th child's code is
+  ``1^(i-1) 0``, so label sizes grow *linearly* with fan-out
+  (equation 1: ``Lmax = D * F``).
+* :class:`Prefix2Scheme` — the optimized scheme: sibling codes follow the
+  binary increment rule ``0, 10, 1100, 1101, 1110, 11110000, ...`` (when an
+  increment would produce all ones, the code doubles in length by appending
+  zeros), giving ``Lmax = D * 4 log F`` (equation 2).
+
+Both schemes are dynamic in the unordered sense: a new sibling takes the
+next unused code for its parent, relabeling nobody else.  Order-sensitive
+insertion between siblings (Figure 18) forces the canonical, order-encoding
+assignment and therefore relabels the shifted siblings' subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.labeling.base import LabelingScheme, RelabelReport
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["Bits", "Prefix1Scheme", "Prefix2Scheme"]
+
+
+@dataclass(frozen=True)
+class Bits:
+    """An immutable bit string stored as ``(value, length)``, MSB first.
+
+    ``Bits(0b110, 3)`` is the string ``110``.  Supports concatenation and
+    prefix testing — everything a prefix labeling scheme needs.
+    """
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"length must be >= 0, got {self.length}")
+        if self.value < 0 or self.value >> self.length:
+            raise ValueError(f"value {self.value} does not fit in {self.length} bits")
+
+    @classmethod
+    def empty(cls) -> "Bits":
+        return cls(0, 0)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Bits":
+        """Parse a string of ``0``/``1`` characters, e.g. ``Bits.from_string("1101")``."""
+        if text and set(text) - {"0", "1"}:
+            raise ValueError(f"not a bit string: {text!r}")
+        return cls(int(text, 2) if text else 0, len(text))
+
+    def __str__(self) -> str:
+        return format(self.value, f"0{self.length}b") if self.length else ""
+
+    def __len__(self) -> int:
+        return self.length
+
+    def concat(self, other: "Bits") -> "Bits":
+        """Return ``self`` followed by ``other``."""
+        return Bits((self.value << other.length) | other.value, self.length + other.length)
+
+    def is_prefix_of(self, other: "Bits") -> bool:
+        """True iff ``self`` is a (not necessarily proper) prefix of ``other``."""
+        if self.length > other.length:
+            return False
+        return (other.value >> (other.length - self.length)) == self.value
+
+    def is_proper_prefix_of(self, other: "Bits") -> bool:
+        """True iff ``self`` is a strictly shorter prefix of ``other``."""
+        return self.length < other.length and self.is_prefix_of(other)
+
+    @property
+    def all_ones(self) -> bool:
+        return self.length > 0 and self.value == (1 << self.length) - 1
+
+
+def prefix1_code(ordinal: int) -> Bits:
+    """Sibling code of the ``ordinal``-th child (1-based) in Prefix-1: ``1^(i-1) 0``."""
+    if ordinal < 1:
+        raise ValueError(f"ordinal must be >= 1, got {ordinal}")
+    return Bits(((1 << (ordinal - 1)) - 1) << 1, ordinal)
+
+
+def prefix2_first_code() -> Bits:
+    """The first sibling code in Prefix-2: ``0``."""
+    return Bits(0, 1)
+
+
+def prefix2_next_code(code: Bits) -> Bits:
+    """The sibling code following ``code`` in Prefix-2.
+
+    Increment as a binary number; if the result is all ones, double the
+    length by appending that many zeros.  Reproduces the paper's sequence
+    ``0, 10, 1100, 1101, 1110, 11110000, ...``.
+    """
+    incremented = Bits(code.value + 1, code.length)
+    if incremented.all_ones:
+        return Bits(incremented.value << incremented.length, incremented.length * 2)
+    return incremented
+
+
+class _PrefixSchemeBase(LabelingScheme):
+    """Shared machinery for both prefix schemes.
+
+    Subclasses provide the sibling-code sequence via :meth:`_first_code` and
+    :meth:`_next_code`.  Per-parent "last issued code" state makes unordered
+    insertion O(1) relabels.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_code: Dict[int, Bits] = {}
+
+    def _first_code(self) -> Bits:
+        raise NotImplementedError
+
+    def _next_code(self, code: Bits) -> Bits:
+        raise NotImplementedError
+
+    def _issue_code(self, parent: XmlElement) -> Bits:
+        previous = self._last_code.get(id(parent))
+        code = self._first_code() if previous is None else self._next_code(previous)
+        self._last_code[id(parent)] = code
+        return code
+
+    def _assign_labels(self, root: XmlElement) -> None:
+        self._last_code.clear()
+        self._set_label(root, Bits.empty())
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            label: Bits = self.label_of(node)
+            for child in node.children:
+                self._set_label(child, label.concat(self._issue_code(node)))
+                stack.append(child)
+
+    def is_ancestor_label(self, ancestor_label: Bits, descendant_label: Bits) -> bool:
+        return ancestor_label.is_proper_prefix_of(descendant_label)
+
+    def label_bits(self, label: Bits) -> int:
+        return label.length
+
+    def _relabel_subtree(self, top: XmlElement) -> None:
+        """Assign fresh labels to ``top`` and its descendants only."""
+        parent = top.parent
+        assert parent is not None
+        self._set_label(top, self.label_of(parent).concat(self._issue_code(parent)))
+        self._last_code.pop(id(top), None)
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            label: Bits = self.label_of(node)
+            for child in node.children:
+                self._set_label(child, label.concat(self._issue_code(node)))
+                stack.append(child)
+
+    def _after_structural_change(self, new_node: XmlElement) -> None:
+        if new_node.is_leaf:
+            parent = new_node.parent
+            assert parent is not None
+            self._set_label(
+                new_node, self.label_of(parent).concat(self._issue_code(parent))
+            )
+        else:
+            # A wrap: the new internal node and everything moved under it
+            # inherit a fresh path; nothing outside the subtree changes.
+            self._relabel_subtree(new_node)
+
+    def insert_leaf_ordered(
+        self, parent: XmlElement, index: int, tag: str = "new"
+    ) -> RelabelReport:
+        """Order-sensitive insertion: codes must reflect sibling order.
+
+        Canonically relabels ``parent``'s children from position ``index``
+        onwards (codes shift), together with their subtrees — the update
+        cost Figure 18 charts for prefix schemes.
+        """
+        before = self._snapshot()
+        node = XmlElement(tag)
+        parent.insert(index, node)
+        # Rewind the parent's code counter to the code of the sibling that
+        # previously occupied `index`, then reissue codes from there.
+        self._last_code.pop(id(parent), None)
+        for position, child in enumerate(parent.children):
+            if position < index:
+                # Recreate counter state for the untouched leading siblings.
+                self._issue_code(parent)
+            else:
+                self._relabel_subtree(child)
+        return self._diff_report(before, node)
+
+
+class Prefix1Scheme(_PrefixSchemeBase):
+    """The basic unary-coded prefix scheme (``Lmax = D * F``)."""
+
+    name = "prefix-1"
+
+    def _first_code(self) -> Bits:
+        return prefix1_code(1)
+
+    def _next_code(self, code: Bits) -> Bits:
+        return prefix1_code(code.length + 1)
+
+
+class Prefix2Scheme(_PrefixSchemeBase):
+    """The optimized binary-increment prefix scheme (``Lmax = D * 4 log F``)."""
+
+    name = "prefix-2"
+
+    def _first_code(self) -> Bits:
+        return prefix2_first_code()
+
+    def _next_code(self, code: Bits) -> Bits:
+        return prefix2_next_code(code)

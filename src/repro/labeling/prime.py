@@ -1,0 +1,314 @@
+"""The prime number labeling schemes — the paper's core contribution.
+
+:class:`PrimeScheme` implements the *top-down* scheme of Section 3 /
+Figure 7: every node's label is ``parent_label * self_label``, where the
+self-label is
+
+* ``1`` for the root,
+* a fresh prime for each non-leaf node — drawn from a reserved pool of the
+  smallest primes when the node sits directly below the root (Opt1), and
+* ``2**n`` for the ``n``-th leaf child of a parent when Opt2 is enabled
+  (else a fresh prime).
+
+Ancestor tests are a single modulo (Properties 2/3):
+
+* plain top-down: ``x`` ancestor of ``y``  iff  ``label(y) mod label(x) == 0``
+  (labels distinct);
+* with Opt2: additionally require ``label(x)`` odd, because even labels
+  belong to leaves, which have no descendants.
+
+:class:`BottomUpPrimeScheme` implements the motivating bottom-up variant of
+Figure 1 (leaves get primes, parents get products of their children, plus
+the "special handling" the paper notes for single-child nodes).
+
+Dynamic behaviour: inserting a node never relabels anyone outside the
+insertion site — the new node takes a never-used prime.  The single
+exception is Opt2's leaf-turned-parent case, which the paper calls out
+("the optimized prime number labeling scheme needs to re-label 2 nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.labeling.base import LabelingScheme, RelabelReport
+from repro.primes.gen import PrimeGenerator
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["PrimeLabel", "PrimeScheme", "BottomUpPrimeScheme"]
+
+#: Default size of the Opt1 reserved pool of small primes for top-level nodes.
+DEFAULT_RESERVED_PRIMES = 64
+
+
+@dataclass(frozen=True)
+class PrimeLabel:
+    """A top-down prime label.
+
+    ``value`` is the full label (product of self-labels from the root);
+    ``self_label`` is the factor assigned to this node itself.  The parent's
+    full label is always ``value // self_label``.
+    """
+
+    value: int
+    self_label: int
+
+    @property
+    def parent_value(self) -> int:
+        """The full label of this node's parent (1 for top-level nodes)."""
+        return self.value // self.self_label
+
+    def __post_init__(self) -> None:
+        if self.self_label < 1 or self.value % self.self_label:
+            raise ValueError(
+                f"self_label {self.self_label} does not divide label {self.value}"
+            )
+
+
+class PrimeScheme(LabelingScheme):
+    """Top-down prime number labeling (Figure 7's ``PrimeLabel`` algorithm).
+
+    Parameters
+    ----------
+    reserved_primes:
+        Size of the Opt1 pool of smallest primes kept for top-level nodes.
+        ``0`` disables Opt1 (the "Original" configuration of Figure 13).
+    power2_leaves:
+        Enable Opt2 — label the n-th leaf child of a parent ``2**n``.
+    leaf_threshold_bits:
+        Optional Opt2 refinement from Section 3.2: once a power-of-two leaf
+        self-label would exceed this many bits, remaining leaf siblings of
+        that parent fall back to fresh primes.
+    """
+
+    name = "prime"
+
+    def __init__(
+        self,
+        reserved_primes: int = DEFAULT_RESERVED_PRIMES,
+        power2_leaves: bool = True,
+        leaf_threshold_bits: Optional[int] = None,
+    ):
+        super().__init__()
+        if leaf_threshold_bits is not None and leaf_threshold_bits < 2:
+            raise ValueError(
+                f"leaf_threshold_bits must be >= 2, got {leaf_threshold_bits}"
+            )
+        self.reserved_primes = reserved_primes
+        self.power2_leaves = power2_leaves
+        self.leaf_threshold_bits = leaf_threshold_bits
+        self._generator = PrimeGenerator(reserved=reserved_primes)
+        #: per-parent count of leaf children labeled so far (Fig 7's childNum)
+        self._leaf_counter: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Label issuing
+    # ------------------------------------------------------------------
+
+    def _issue_internal_self_label(self, node: XmlElement) -> int:
+        if node.parent is not None and node.parent.is_root:
+            return self._generator.get_reserved_prime()
+        return self._generator.get_prime()
+
+    def _issue_leaf_self_label(self, parent: XmlElement) -> int:
+        if not self.power2_leaves:
+            return self._generator.get_prime()
+        ordinal = self._leaf_counter.get(id(parent), 0) + 1
+        candidate = PrimeGenerator.get_power2(ordinal)
+        if (
+            self.leaf_threshold_bits is not None
+            and candidate.bit_length() > self.leaf_threshold_bits
+        ):
+            return self._generator.get_prime()
+        self._leaf_counter[id(parent)] = ordinal
+        return candidate
+
+    def _label_node(self, node: XmlElement) -> PrimeLabel:
+        if node.is_root:
+            return PrimeLabel(value=1, self_label=1)
+        parent_label: PrimeLabel = self.label_of(node.parent)
+        if node.is_leaf:
+            self_label = self._issue_leaf_self_label(node.parent)
+        else:
+            self_label = self._issue_internal_self_label(node)
+        return PrimeLabel(value=parent_label.value * self_label, self_label=self_label)
+
+    def _discard_prime_two(self) -> None:
+        """Under Opt2 the prime 2 is never issued as a self-label.
+
+        Non-leaf labels must be odd (Property 3's test is ``odd(label(x))``),
+        and a pool-issued 2 would collide with the power-of-two leaf label
+        ``2**1`` — "the number 2 is the only even prime number", so the
+        optimized scheme reserves evenness entirely for leaves.
+        """
+        if not self.power2_leaves:
+            return
+        if self.reserved_primes > 0:
+            discarded = self._generator.get_reserved_prime()
+        else:
+            discarded = self._generator.get_prime()
+        assert discarded == 2
+
+    def _assign_labels(self, root: XmlElement) -> None:
+        self._generator = PrimeGenerator(reserved=self.reserved_primes)
+        self._discard_prime_two()
+        self._leaf_counter.clear()
+        for node in root.iter_preorder():
+            self._set_label(node, self._label_node(node))
+
+    # ------------------------------------------------------------------
+    # Relationship tests
+    # ------------------------------------------------------------------
+
+    def is_ancestor_label(self, ancestor_label: PrimeLabel, descendant_label: PrimeLabel) -> bool:
+        if ancestor_label.value == descendant_label.value:
+            return False
+        if self.power2_leaves and ancestor_label.value % 2 == 0:
+            # Property 3: even labels are leaves, never ancestors.
+            return False
+        return descendant_label.value % ancestor_label.value == 0
+
+    def is_parent_label(self, parent_label: PrimeLabel, child_label: PrimeLabel) -> bool:
+        """Parent/child test: the child's inherited part equals the parent."""
+        return child_label.value // child_label.self_label == parent_label.value
+
+    def label_bits(self, label: PrimeLabel) -> int:
+        return max(label.value.bit_length(), 1)
+
+    def self_label_bits(self, label: PrimeLabel) -> int:
+        """Width of the self-label alone, in bits."""
+        return max(label.self_label.bit_length(), 1)
+
+    def max_self_label_bits(self) -> int:
+        """Largest *self*-label width — the quantity Figures 4/5 model."""
+        return max(self.self_label_bits(label) for label in self._labels.values())
+
+    # ------------------------------------------------------------------
+    # Dynamic updates (genuinely incremental)
+    # ------------------------------------------------------------------
+
+    def _after_structural_change(self, new_node: XmlElement) -> None:
+        parent = new_node.parent
+        assert parent is not None
+        if new_node.is_leaf:
+            # Opt2's documented cost: a parent that used to be a leaf holds a
+            # power-of-two self-label and must be upgraded to a prime.
+            parent_label: PrimeLabel = self.label_of(parent)
+            if self.power2_leaves and not parent.is_root and parent_label.self_label % 2 == 0:
+                new_self = self._issue_internal_self_label(parent)
+                grandparent_value = parent_label.value // parent_label.self_label
+                self._set_label(
+                    parent,
+                    PrimeLabel(value=grandparent_value * new_self, self_label=new_self),
+                )
+            self._set_label(new_node, self._label_node(new_node))
+        else:
+            # A wrap: the new internal node takes a fresh prime; every moved
+            # descendant's full label gains that factor (self-labels keep).
+            self_label = self._issue_internal_self_label(new_node)
+            parent_value = self.label_of(parent).value
+            self._set_label(
+                new_node,
+                PrimeLabel(value=parent_value * self_label, self_label=self_label),
+            )
+            for descendant in new_node.iter_descendants():
+                old: PrimeLabel = self.label_of(descendant)
+                self._set_label(
+                    descendant,
+                    PrimeLabel(value=old.value * self_label, self_label=old.self_label),
+                )
+
+    def insert_leaf_ordered(
+        self, parent: XmlElement, index: int, tag: str = "new"
+    ) -> RelabelReport:
+        """Order-sensitive insertion costs the prime scheme nothing extra.
+
+        The label itself carries no order, so inserting between siblings is
+        identical to appending; document order lives in the SC table
+        (:mod:`repro.order`), which charges its own record updates.
+        """
+        return self.insert_leaf(parent, tag=tag, index=index)
+
+
+class BottomUpPrimeScheme(LabelingScheme):
+    """Bottom-up prime labeling (Figure 1): parents are products of children.
+
+    Leaves take fresh primes in document order; an internal node's label is
+    the product of its children's labels, multiplied by one extra fresh
+    prime when it has a single child (the "special handling" the paper
+    notes, without which a one-child parent would equal its child).
+
+    Ancestor test is Property 2: ``x`` ancestor of ``y`` iff
+    ``label(x) mod label(y) == 0``.
+    """
+
+    name = "prime-bottomup"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._generator = PrimeGenerator()
+
+    def _assign_labels(self, root: XmlElement) -> None:
+        self._generator = PrimeGenerator()
+
+        def visit(node: XmlElement) -> int:
+            if node.is_leaf:
+                label = self._generator.get_prime()
+            else:
+                label = 1
+                for child in node.children:
+                    label *= visit(child)
+                if len(node.children) == 1:
+                    label *= self._generator.get_prime()
+            self._set_label(node, label)
+            return label
+
+        visit(root)
+
+    def is_ancestor_label(self, ancestor_label: int, descendant_label: int) -> bool:
+        if ancestor_label == descendant_label:
+            return False
+        return ancestor_label % descendant_label == 0
+
+    def label_bits(self, label: int) -> int:
+        return max(label.bit_length(), 1)
+
+    def _after_structural_change(self, new_node: XmlElement) -> None:
+        if new_node.is_leaf:
+            prime = self._generator.get_prime()
+            self._set_label(new_node, prime)
+            # Every ancestor's product gains the new leaf's prime factor.
+            ancestor = new_node.parent
+            while ancestor is not None:
+                self._set_label(ancestor, self.label_of(ancestor) * prime)
+                ancestor = ancestor.parent
+        else:
+            # A wrapper's children may be *all* of its parent's children, in
+            # which case the bare product would equal the parent's label (the
+            # single-child collision in general form) — so every dynamically
+            # inserted wrapper gets its own fresh prime factor, propagated to
+            # the ancestors like any new leaf prime.
+            extra = self._generator.get_prime()
+            label = extra
+            for child in new_node.children:
+                label *= self.label_of(child)
+            self._set_label(new_node, label)
+            ancestor = new_node.parent
+            while ancestor is not None:
+                self._set_label(ancestor, self.label_of(ancestor) * extra)
+                ancestor = ancestor.parent
+            # If the wrap took *all* of the parent's children, the parent's
+            # product now equals the wrapper's — the single-child collision
+            # one level up.  Re-distinguish with fresh primes, cascading as
+            # far as the equalities reach.
+            node = new_node.parent
+            while node is not None and any(
+                self.label_of(node) == self.label_of(child) for child in node.children
+            ):
+                distinguisher = self._generator.get_prime()
+                cursor = node
+                while cursor is not None:
+                    self._set_label(cursor, self.label_of(cursor) * distinguisher)
+                    cursor = cursor.parent
+                node = node.parent

@@ -1,0 +1,187 @@
+"""Reconstructing tree structure from labels alone.
+
+The paper's first requirement for a labeling scheme is that it be
+*deterministic*: "the relationships between two nodes can be uniquely and
+quickly determined simply by examining their labels".  Taken to its
+logical end, a deterministic scheme's label set encodes the entire tree —
+this module performs that reconstruction, which is both a practical
+recovery tool (rebuild structure from a persisted label column) and the
+strongest possible correctness oracle: ``reconstruct(label_tree(T)) ≅ T``
+is asserted across schemes in the test suite.
+
+Supported label families:
+
+* prime top-down (:class:`~repro.labeling.prime.PrimeLabel`) — the parent's
+  full label is ``value // self_label``; sibling order is ascending
+  self-label (primes are issued in document order, and Opt2's power-of-two
+  leaf labels order leaves after conversion to their issue ordinal);
+* intervals — containment nesting, sibling order by start;
+* prefix ``Bits`` — the prefix lattice, sibling order lexicographic;
+* Dewey tuples — trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import LabelingError
+from repro.labeling.interval import OrderSizeLabel, StartEndLabel
+from repro.labeling.prefix import Bits
+from repro.labeling.prime import PrimeLabel
+from repro.xmlkit.tree import XmlElement
+
+__all__ = [
+    "reconstruct_from_prime",
+    "reconstruct_from_intervals",
+    "reconstruct_from_prefix",
+    "reconstruct_from_dewey",
+]
+
+TaggedLabel = Tuple[str, object]
+
+
+def _attach_sorted(
+    items: Sequence[Tuple[str, object]],
+    parent_of: Dict[int, int],
+    order_key,
+) -> XmlElement:
+    """Build the tree given each item's parent index and a sibling key.
+
+    ``parent_of`` maps item index -> parent item index (roots map to -1);
+    exactly one root is required.
+    """
+    roots = [index for index in range(len(items)) if parent_of[index] == -1]
+    if len(roots) != 1:
+        raise LabelingError(f"label set has {len(roots)} roots; expected exactly 1")
+    elements = [XmlElement(tag) for tag, _label in items]
+    children: Dict[int, List[int]] = {index: [] for index in range(len(items))}
+    for index in range(len(items)):
+        parent = parent_of[index]
+        if parent >= 0:
+            children[parent].append(index)
+    for parent, kids in children.items():
+        kids.sort(key=lambda index: order_key(items[index][1]))
+        for kid in kids:
+            elements[parent].append(elements[kid])
+    return elements[roots[0]]
+
+
+def reconstruct_from_prime(
+    labeled: Sequence[TaggedLabel], sc_table=None
+) -> XmlElement:
+    """Rebuild the tree from ``(tag, PrimeLabel)`` pairs.
+
+    Structure (who is whose parent) is always exact — that is the
+    determinism property.  Sibling *order* is exact for the original
+    scheme on a bulk-labeled document (primes ascend in document order);
+    for Opt2 labelings or post-update documents, pass the document's
+    ``sc_table`` (:class:`repro.order.sc_table.SCTable`) and order is
+    recovered from the SC values — exactly the paper's division of labour
+    between labels (structure) and SC table (order).
+    """
+    by_value: Dict[int, int] = {}
+    for index, (_tag, label) in enumerate(labeled):
+        if not isinstance(label, PrimeLabel):
+            raise LabelingError(f"expected PrimeLabel, got {label!r}")
+        if label.value in by_value:
+            raise LabelingError(f"duplicate label value {label.value}")
+        by_value[label.value] = index
+    parent_of: Dict[int, int] = {}
+    for index, (_tag, label) in enumerate(labeled):
+        if label.value == 1:
+            parent_of[index] = -1
+            continue
+        parent_value = label.parent_value
+        parent_index = by_value.get(parent_value)
+        if parent_index is None:
+            raise LabelingError(
+                f"label {label.value} has no parent with value {parent_value}"
+            )
+        parent_of[index] = parent_index
+
+    if sc_table is not None:
+
+        def sibling_key(label: PrimeLabel):
+            if label.self_label == 1:
+                return -1  # the root; never a sibling anyway
+            return sc_table.order_of(label.self_label)
+
+    else:
+
+        def sibling_key(label: PrimeLabel):
+            # Original scheme: primes are issued in document order, so raw
+            # magnitude is sibling order.  (Opt2 interleaves two monotone
+            # sequences — primes for internals, powers of two for leaves —
+            # whose relative order is NOT recoverable from magnitude; that
+            # is precisely why the paper stores order in the SC table.)
+            return label.self_label
+
+    return _attach_sorted(list(labeled), parent_of, sibling_key)
+
+
+def reconstruct_from_intervals(labeled: Sequence[TaggedLabel]) -> XmlElement:
+    """Rebuild from ``(tag, OrderSizeLabel | StartEndLabel)`` pairs."""
+
+    def as_range(label) -> Tuple[int, int]:
+        if isinstance(label, OrderSizeLabel):
+            return (label.order, label.order + label.size)
+        if isinstance(label, StartEndLabel):
+            return (int(label.start), int(label.end))
+        raise LabelingError(f"expected an interval label, got {label!r}")
+
+    indexed = sorted(range(len(labeled)), key=lambda i: as_range(labeled[i][1])[0])
+    parent_of: Dict[int, int] = {}
+    stack: List[int] = []  # indices of open ancestors
+    for index in indexed:
+        start, _end = as_range(labeled[index][1])
+        while stack and as_range(labeled[stack[-1]][1])[1] < start:
+            stack.pop()
+        parent_of[index] = stack[-1] if stack else -1
+        stack.append(index)
+    return _attach_sorted(list(labeled), parent_of, lambda label: as_range(label)[0])
+
+
+def reconstruct_from_prefix(labeled: Sequence[TaggedLabel]) -> XmlElement:
+    """Rebuild from ``(tag, Bits)`` pairs (Prefix-1 or Prefix-2 labels)."""
+    for _tag, label in labeled:
+        if not isinstance(label, Bits):
+            raise LabelingError(f"expected Bits, got {label!r}")
+    # Parent = the longest proper prefix present in the set.  Sorting by
+    # length groups candidates; labels are unique.
+    indexed = sorted(range(len(labeled)), key=lambda i: len(labeled[i][1]))
+    by_string: Dict[str, int] = {}
+    parent_of: Dict[int, int] = {}
+    for index in indexed:
+        label: Bits = labeled[index][1]
+        text = str(label)
+        if text in by_string:
+            raise LabelingError(f"duplicate prefix label {text!r}")
+        parent_of[index] = -1
+        for length in range(len(text) - 1, -1, -1):
+            candidate = by_string.get(text[:length])
+            if candidate is not None:
+                parent_of[index] = candidate
+                break
+        by_string[text] = index
+    return _attach_sorted(list(labeled), parent_of, lambda label: str(label))
+
+
+def reconstruct_from_dewey(labeled: Sequence[TaggedLabel]) -> XmlElement:
+    """Rebuild from ``(tag, tuple)`` Dewey pairs."""
+    by_tuple: Dict[tuple, int] = {}
+    for index, (_tag, label) in enumerate(labeled):
+        if not isinstance(label, tuple):
+            raise LabelingError(f"expected a Dewey tuple, got {label!r}")
+        if label in by_tuple:
+            raise LabelingError(f"duplicate Dewey label {label}")
+        by_tuple[label] = index
+    parent_of: Dict[int, int] = {}
+    for index, (_tag, label) in enumerate(labeled):
+        if not label:
+            parent_of[index] = -1
+            continue
+        parent = by_tuple.get(label[:-1])
+        if parent is None:
+            raise LabelingError(f"Dewey label {label} has no parent in the set")
+        parent_of[index] = parent
+    return _attach_sorted(list(labeled), parent_of, lambda label: label)

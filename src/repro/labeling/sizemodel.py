@@ -1,0 +1,121 @@
+"""Analytic maximum-label-size models (Section 3.1, equations 1–3).
+
+The paper compares the three dynamic schemes by the maximum number of bits a
+label can need on a worst-case *perfect* tree with depth ``D`` and fan-out
+``F``:
+
+* Prefix-1:  ``Lmax = D * F``                                   (eq. 1)
+* Prefix-2:  ``Lmax = D * 4 * log2(F)``                         (eq. 2)
+* Prime:     ``Lmax = D * log2(N * log2(N))`` with
+  ``N = sum_{i=0..D} F^i``                                      (eq. 3)
+
+Figures 4 and 5 plot the *per-level* factor of each formula (the "maximum
+size of a self label", i.e. ``Lmax / D``) against fan-out (D fixed at 2) and
+against depth (F fixed at 15).  The functions here return exactly those
+series so the benchmark harness can print them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "perfect_tree_nodes",
+    "prefix1_max_bits",
+    "prefix2_max_bits",
+    "prime_max_bits",
+    "prefix1_self_label_bits",
+    "prefix2_self_label_bits",
+    "prime_self_label_bits",
+    "figure4_series",
+    "figure5_series",
+]
+
+
+def perfect_tree_nodes(depth: int, fanout: int) -> int:
+    """Number of nodes in a perfect tree: ``sum_{i=0..D} F^i``."""
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    if fanout == 1:
+        return depth + 1
+    return (fanout ** (depth + 1) - 1) // (fanout - 1)
+
+
+def prefix1_self_label_bits(fanout: int) -> float:
+    """Per-level label growth of Prefix-1: the ``F``-th sibling code has F bits."""
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    return float(fanout)
+
+
+def prefix2_self_label_bits(fanout: int) -> float:
+    """Per-level label growth of Prefix-2: ``4 * log2(F)`` bits."""
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    return 4.0 * math.log2(fanout) if fanout > 1 else 1.0
+
+
+def prime_self_label_bits(depth: int, fanout: int) -> float:
+    """Per-level label growth of Prime: bits of the ``N``-th prime,
+    estimated as ``log2(N * log2(N))`` with ``N`` the perfect-tree node count.
+    """
+    nodes = perfect_tree_nodes(depth, fanout)
+    if nodes < 2:
+        return 1.0
+    return math.log2(nodes * math.log2(nodes))
+
+
+def prefix1_max_bits(depth: int, fanout: int) -> float:
+    """Equation 1: ``Lmax = D * F``."""
+    return depth * prefix1_self_label_bits(fanout)
+
+
+def prefix2_max_bits(depth: int, fanout: int) -> float:
+    """Equation 2: ``Lmax = D * 4 log2(F)``."""
+    return depth * prefix2_self_label_bits(fanout)
+
+
+def prime_max_bits(depth: int, fanout: int) -> float:
+    """Equation 3: ``Lmax = D * log2(N log2 N)`` on the perfect tree."""
+    return depth * prime_self_label_bits(depth, fanout)
+
+
+def figure4_series(
+    fanouts: Iterable[int] = range(1, 51), depth: int = 2
+) -> List[Tuple[int, Dict[str, float]]]:
+    """Figure 4: self-label bits vs fan-out at fixed depth (default D=2)."""
+    rows = []
+    for fanout in fanouts:
+        rows.append(
+            (
+                fanout,
+                {
+                    "prefix-1": prefix1_self_label_bits(fanout),
+                    "prefix-2": prefix2_self_label_bits(fanout),
+                    "prime": prime_self_label_bits(depth, fanout),
+                },
+            )
+        )
+    return rows
+
+
+def figure5_series(
+    depths: Iterable[int] = range(0, 11), fanout: int = 15
+) -> List[Tuple[int, Dict[str, float]]]:
+    """Figure 5: self-label bits vs depth at fixed fan-out (default F=15)."""
+    rows = []
+    for depth in depths:
+        rows.append(
+            (
+                depth,
+                {
+                    "prefix-1": prefix1_self_label_bits(fanout),
+                    "prefix-2": prefix2_self_label_bits(fanout),
+                    "prime": prime_self_label_bits(depth, fanout),
+                },
+            )
+        )
+    return rows

@@ -1,0 +1,113 @@
+"""Per-scheme label-space statistics and storage estimates.
+
+Section 5.1 reports only the *maximum* label size per dataset; an adopter
+deciding on column types needs the whole distribution.  This module
+computes, for any labeled scheme:
+
+* the label-size histogram (bits, bucketed),
+* the fixed-length column cost (every label at the widest size — what the
+  paper's Figure 14 charges),
+* the exact variable-length cost, and the varint-encoded on-disk cost,
+
+and renders them as a :class:`~repro.bench.harness.ResultTable` for easy
+printing alongside the paper's exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import ResultTable
+from repro.labeling.base import LabelingScheme
+from repro.labeling.codec import VarintCodec
+
+__all__ = ["LabelSpaceReport", "label_space_report", "compare_space"]
+
+
+@dataclass(frozen=True)
+class LabelSpaceReport:
+    """Space statistics for one scheme on one document."""
+
+    scheme: str
+    node_count: int
+    max_bits: int
+    mean_bits: float
+    median_bits: int
+    total_bits: int
+    fixed_column_bytes: int
+    varint_column_bytes: int
+    histogram: Dict[int, int]  # bucket lower bound (bits) -> count
+
+    @property
+    def fixed_overhead_ratio(self) -> float:
+        """How much padding the fixed-length layout wastes vs exact bits."""
+        exact_bytes = (self.total_bits + 7) // 8
+        if exact_bytes == 0:
+            return 0.0
+        return self.fixed_column_bytes / exact_bytes
+
+
+def label_space_report(
+    scheme: LabelingScheme, bucket_bits: int = 8
+) -> LabelSpaceReport:
+    """Measure the label-space profile of a labeled ``scheme``."""
+    if bucket_bits < 1:
+        raise ValueError(f"bucket_bits must be >= 1, got {bucket_bits}")
+    sizes = sorted(
+        scheme.label_bits(scheme.label_of(node)) for node in scheme.labeled_nodes()
+    )
+    if not sizes:
+        raise ValueError("scheme has no labels; call label_tree() first")
+    histogram: Dict[int, int] = {}
+    for size in sizes:
+        bucket = (size // bucket_bits) * bucket_bits
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    max_bits = sizes[-1]
+    fixed_record_bytes = (max_bits + 7) // 8
+    varint = VarintCodec.for_scheme(scheme)
+    return LabelSpaceReport(
+        scheme=scheme.name,
+        node_count=len(sizes),
+        max_bits=max_bits,
+        mean_bits=sum(sizes) / len(sizes),
+        median_bits=sizes[len(sizes) // 2],
+        total_bits=sum(sizes),
+        fixed_column_bytes=fixed_record_bytes * len(sizes),
+        varint_column_bytes=len(varint.encode_column(scheme)),
+        histogram=histogram,
+    )
+
+
+def compare_space(
+    root, scheme_factories: Sequence, bucket_bits: int = 8
+) -> ResultTable:
+    """Label ``root`` with each factory and tabulate the space profiles.
+
+    ``scheme_factories`` is a sequence of zero-argument callables returning
+    fresh :class:`~repro.labeling.base.LabelingScheme` instances.
+    """
+    table = ResultTable(
+        title="Label space comparison",
+        columns=(
+            "scheme",
+            "max bits",
+            "mean bits",
+            "fixed KiB",
+            "varint KiB",
+            "padding x",
+        ),
+    )
+    for factory in scheme_factories:
+        scheme = factory()
+        scheme.label_tree(root)
+        report = label_space_report(scheme, bucket_bits=bucket_bits)
+        table.add_row(
+            report.scheme,
+            report.max_bits,
+            round(report.mean_bits, 1),
+            round(report.fixed_column_bytes / 1024, 2),
+            round(report.varint_column_bytes / 1024, 2),
+            round(report.fixed_overhead_ratio, 2),
+        )
+    return table

@@ -1,0 +1,27 @@
+"""Document order via simultaneous-congruence (SC) values — Section 4.
+
+The prime labels themselves carry no order.  The paper's trick: group node
+*self-labels* (distinct primes) and store, per group, one integer ``SC``
+with ``SC mod self_label(v) == order(v)`` for every node ``v`` in the group
+(Chinese Remainder Theorem).  Order-sensitive insertion then updates a few
+SC records instead of relabeling nodes.
+
+* :mod:`repro.order.sc_table` — the SC table itself.
+* :mod:`repro.order.document` — :class:`OrderedDocument`, the facade tying
+  tree + prime labels + SC table together, with order-maintaining updates.
+* :mod:`repro.order.axes` — the three order-sensitive query classes
+  (preceding/following, sibling axes, position=n) answered from labels and
+  SC values only.
+"""
+
+from repro.order.axes import OrderedAxes
+from repro.order.document import OrderedDocument, OrderedUpdateReport
+from repro.order.sc_table import SCRecord, SCTable
+
+__all__ = [
+    "OrderedAxes",
+    "OrderedDocument",
+    "OrderedUpdateReport",
+    "SCRecord",
+    "SCTable",
+]

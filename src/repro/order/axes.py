@@ -1,0 +1,129 @@
+"""Order-sensitive query axes answered from labels and SC values only.
+
+Section 4.3's three query classes:
+
+a) ``preceding`` / ``following`` — nodes before/after the context node in
+   document order, excluding ancestors (preceding) or descendants
+   (following);
+b) ``preceding-sibling`` / ``following-sibling`` — same-parent nodes before/
+   after the context node;
+c) ``position() = n`` — the n-th node of a context set, by document order.
+
+Everything here is computed from the stored labels and the SC table — the
+tree is never walked, which is the entire point of a labeling scheme.
+Sibling detection uses the parent-label identity
+(``label // self_label`` equal for siblings); document order comes from
+``SC mod self_label``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.labeling.prime import PrimeLabel
+from repro.order.document import OrderedDocument
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["OrderedAxes"]
+
+
+class OrderedAxes:
+    """Order-sensitive axes over an :class:`OrderedDocument`."""
+
+    def __init__(self, document: OrderedDocument):
+        self.document = document
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _all_nodes(self) -> Iterable[XmlElement]:
+        return self.document.scheme.labeled_nodes()
+
+    def _is_ancestor(self, first: XmlElement, second: XmlElement) -> bool:
+        scheme = self.document.scheme
+        return scheme.is_ancestor_label(scheme.label_of(first), scheme.label_of(second))
+
+    def _sorted_by_order(self, nodes: Iterable[XmlElement]) -> List[XmlElement]:
+        return sorted(nodes, key=self.document.order_of)
+
+    # ------------------------------------------------------------------
+    # Axis a: preceding / following
+    # ------------------------------------------------------------------
+
+    def following(self, context: XmlElement) -> List[XmlElement]:
+        """All nodes after ``context`` in document order, minus descendants."""
+        pivot = self.document.order_of(context)
+        return self._sorted_by_order(
+            node
+            for node in self._all_nodes()
+            if self.document.order_of(node) > pivot
+            and not self._is_ancestor(context, node)
+        )
+
+    def preceding(self, context: XmlElement) -> List[XmlElement]:
+        """All nodes before ``context`` in document order, minus ancestors."""
+        pivot = self.document.order_of(context)
+        return self._sorted_by_order(
+            node
+            for node in self._all_nodes()
+            if self.document.order_of(node) < pivot
+            and not self._is_ancestor(node, context)
+        )
+
+    # ------------------------------------------------------------------
+    # Axis b: sibling axes
+    # ------------------------------------------------------------------
+
+    def _siblings(self, context: XmlElement) -> List[XmlElement]:
+        if context.is_root:
+            return []
+        context_label: PrimeLabel = self.document.label_of(context)
+        parent_value = context_label.parent_value
+        return [
+            node
+            for node in self._all_nodes()
+            if node is not context
+            and self.document.label_of(node).parent_value == parent_value
+            and not node.is_root
+        ]
+
+    def following_siblings(self, context: XmlElement) -> List[XmlElement]:
+        """Same-parent nodes after ``context``, by SC order."""
+        pivot = self.document.order_of(context)
+        return self._sorted_by_order(
+            node for node in self._siblings(context) if self.document.order_of(node) > pivot
+        )
+
+    def preceding_siblings(self, context: XmlElement) -> List[XmlElement]:
+        """Same-parent nodes before ``context``, by SC order."""
+        pivot = self.document.order_of(context)
+        return self._sorted_by_order(
+            node for node in self._siblings(context) if self.document.order_of(node) < pivot
+        )
+
+    # ------------------------------------------------------------------
+    # Axis c: position = n
+    # ------------------------------------------------------------------
+
+    def position(self, context_set: Sequence[XmlElement], n: int) -> XmlElement:
+        """The ``n``-th node (1-based) of ``context_set`` in document order.
+
+        This is the strategy of Section 4.3: "the author nodes are sorted
+        first according to their order numbers; finally, we return the
+        author node that is in the [n-th] position".
+        """
+        if n < 1:
+            raise ValueError(f"position must be >= 1, got {n}")
+        ranked = self._sorted_by_order(context_set)
+        if n > len(ranked):
+            raise IndexError(f"position {n} out of range for {len(ranked)} nodes")
+        return ranked[n - 1]
+
+    def descendants_by_tag(self, context: XmlElement, tag: str) -> List[XmlElement]:
+        """All ``tag`` descendants of ``context``, by label tests alone."""
+        return self._sorted_by_order(
+            node
+            for node in self._all_nodes()
+            if node.tag == tag and self._is_ancestor(context, node)
+        )

@@ -1,0 +1,260 @@
+"""The ordered document: tree + prime labels + SC table, kept consistent.
+
+:class:`OrderedDocument` is the paper's full system (Sections 3 + 4): nodes
+carry top-down prime labels for structural tests, and global document order
+lives in an :class:`repro.order.sc_table.SCTable`.  Order-sensitive
+insertion follows Section 4.2 exactly:
+
+1. the new node takes a fresh prime self-label (no existing label changes),
+2. its order number is its document position, and every node after it gets
+   ``order + 1`` — applied as SC-record rewrites, one record at a time.
+
+Two faithful deviations from the paper's presentation, both documented in
+DESIGN.md:
+
+* The SC machinery requires ``order < self_label`` (a CRT residue must be
+  smaller than its modulus).  Bulk labeling in document order guarantees it
+  (the k-th prime exceeds k), but repeated insertions can push a node's
+  order up to its prime; when that happens the node is relabeled with a
+  fresh prime (its descendants inherit the change) and the cost is charged
+  to the update's relabel count.  The paper does not address this case.
+* Opt2's power-of-two leaf self-labels are not pairwise coprime and cannot
+  serve as CRT moduli, so ordered documents default to the *original*
+  top-down scheme — consistent with the paper's own Figure 9, whose
+  self-labels are all primes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OrderingError
+from repro.labeling.prime import PrimeLabel, PrimeScheme
+from repro.order.sc_table import SCTable
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["OrderedDocument", "OrderedUpdateReport"]
+
+
+@dataclass
+class OrderedUpdateReport:
+    """Cost breakdown of one order-sensitive update.
+
+    ``total_cost`` is the paper's Figure 18 metric: relabeled nodes plus SC
+    record updates, "a record update in the SC table [counts] as a node that
+    requires re-labeling".
+    """
+
+    new_node: Optional[XmlElement] = None
+    relabeled_nodes: List[XmlElement] = field(default_factory=list)
+    sc_records_updated: int = 0
+
+    @property
+    def node_relabels(self) -> int:
+        return len(self.relabeled_nodes)
+
+    @property
+    def total_cost(self) -> int:
+        return self.node_relabels + self.sc_records_updated
+
+
+class OrderedDocument:
+    """A prime-labeled XML document with CRT-maintained global order."""
+
+    def __init__(
+        self,
+        root: XmlElement,
+        group_size: int | None = 5,
+        scheme: Optional[PrimeScheme] = None,
+    ):
+        if scheme is None:
+            scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        if scheme.power2_leaves:
+            raise OrderingError(
+                "ordered documents need pairwise-coprime self-labels; "
+                "construct the PrimeScheme with power2_leaves=False"
+            )
+        self.scheme = scheme
+        self.sc_table = SCTable(group_size=group_size)
+        self.root = root
+        scheme.label_tree(root)
+        for order, node in enumerate(root.iter_preorder()):
+            if order == 0:
+                continue  # the root's order is 0 by definition and not stored
+            self.sc_table.register(self._self_label(node), order)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _self_label(self, node: XmlElement) -> int:
+        label: PrimeLabel = self.scheme.label_of(node)
+        return label.self_label
+
+    def label_of(self, node: XmlElement) -> PrimeLabel:
+        """The node's prime label (value + self-label)."""
+        return self.scheme.label_of(node)
+
+    def order_of(self, node: XmlElement) -> int:
+        """Global order number of ``node`` (root is 0), from the SC table."""
+        if node.is_root:
+            return 0
+        return self.sc_table.order_of(self._self_label(node))
+
+    def nodes_in_order(self) -> List[XmlElement]:
+        """Every labeled node sorted by SC-derived order — no tree walk."""
+        return sorted(self.scheme.labeled_nodes(), key=self.order_of)
+
+    # ------------------------------------------------------------------
+    # Order-sensitive updates (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def _preorder_rank(self, node: XmlElement) -> int:
+        """Order number a node at this tree position should carry.
+
+        The node immediately preceding ``node`` in document order is either
+        the deepest last descendant of its previous sibling, or its parent;
+        the rank is that node's order plus one (correct even when deletions
+        have left gaps in the order sequence).
+        """
+        parent = node.parent
+        assert parent is not None
+        index = node.child_index
+        if index == 0:
+            return self.order_of(parent) + 1
+        predecessor = parent.children[index - 1]
+        while predecessor.children:
+            predecessor = predecessor.children[-1]
+        return self.order_of(predecessor) + 1
+
+    def insert_child(
+        self, parent: XmlElement, index: int, tag: str = "new"
+    ) -> OrderedUpdateReport:
+        """Insert a new element at sibling position ``index`` under ``parent``.
+
+        Follows Section 4.2: fresh prime for the new node, ``+1`` order shift
+        for everything after it (SC record rewrites), one registration for
+        the new congruence.
+        """
+        report = OrderedUpdateReport()
+        relabel = self.scheme.insert_leaf(parent, tag=tag, index=index)
+        report.new_node = relabel.new_node
+        report.relabeled_nodes.extend(relabel.relabeled)
+        assert relabel.new_node is not None
+        rank = self._preorder_rank(relabel.new_node)
+        touched, overflowed = self.sc_table.shift_orders_from(rank)
+        report.sc_records_updated += touched
+        report.relabeled_nodes.extend(self._repair_residue_overflows(overflowed))
+        report.sc_records_updated += self.sc_table.register(
+            self._self_label(relabel.new_node), rank
+        )
+        return report
+
+    def insert_before(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
+        """Insert a new sibling immediately before ``reference``."""
+        if reference.is_root:
+            raise OrderingError("cannot insert a sibling of the root")
+        return self.insert_child(reference.parent, reference.child_index, tag=tag)
+
+    def insert_after(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
+        """Insert a new sibling immediately after ``reference``."""
+        if reference.is_root:
+            raise OrderingError("cannot insert a sibling of the root")
+        return self.insert_child(reference.parent, reference.child_index + 1, tag=tag)
+
+    def append_child(self, parent: XmlElement, tag: str = "new") -> OrderedUpdateReport:
+        """Insert as the last child of ``parent``."""
+        return self.insert_child(parent, len(parent.children), tag=tag)
+
+    def delete(self, node: XmlElement) -> OrderedUpdateReport:
+        """Delete ``node`` and its subtree.
+
+        Per Section 4.2, "the deletion of nodes from an XML tree does not
+        affect any node ordering": remaining orders keep their (now gappy)
+        values, which still compare correctly.
+        """
+        report = OrderedUpdateReport()
+        for gone in node.iter_preorder():
+            self.sc_table.unregister(self._self_label(gone))
+        self.scheme.delete(node)
+        return report
+
+    def _repair_residue_overflows(
+        self, overflowed: List[tuple[int, int]]
+    ) -> List[XmlElement]:
+        """Relabel nodes whose shifted order reached their self-label.
+
+        A CRT residue must stay below its modulus.  The affected node (and,
+        through inheritance, its whole subtree) takes a fresh prime — an
+        update cost the paper's presentation overlooks; in practice it only
+        bites nodes holding the very smallest primes.  The SC table has
+        already unregistered these nodes; we relabel and re-register them.
+        """
+        relabeled: List[XmlElement] = []
+        if not overflowed:
+            return relabeled
+        by_self_label: Dict[int, XmlElement] = {
+            self._self_label(node): node for node in self.scheme.labeled_nodes()
+        }
+        for old_self, order in overflowed:
+            node = by_self_label[old_self]
+            old_label: PrimeLabel = self.scheme.label_of(node)
+            new_self = self.scheme._generator.get_prime()
+            while new_self <= order:
+                new_self = self.scheme._generator.get_prime()
+            self.scheme._set_label(
+                node,
+                PrimeLabel(value=old_label.parent_value * new_self, self_label=new_self),
+            )
+            relabeled.append(node)
+            for descendant in node.iter_descendants():
+                sub: PrimeLabel = self.scheme.label_of(descendant)
+                self.scheme._set_label(
+                    descendant,
+                    PrimeLabel(
+                        value=sub.value // old_self * new_self,
+                        self_label=sub.self_label,
+                    ),
+                )
+                relabeled.append(descendant)
+            self.sc_table.register(new_self, order)
+        return relabeled
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Renumber orders densely and rebuild the SC table.
+
+        Deletions leave gaps in the order sequence; gaps are harmless for
+        comparisons but inflate SC residues and (after heavy churn) SC
+        values.  Compaction reassigns orders 1..N in document order and
+        rebuilds the table from scratch.  Returns the number of SC records
+        in the rebuilt table.  Labels are untouched — order is the SC
+        table's business alone.
+        """
+        self.sc_table = SCTable(group_size=self.sc_table.group_size)
+        for order, node in enumerate(self.root.iter_preorder()):
+            if order == 0:
+                continue
+            self.sc_table.register(self._self_label(node), order)
+        return len(self.sc_table)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check(self) -> bool:
+        """Verify SC-derived order matches true document order everywhere."""
+        if not self.sc_table.check():
+            return False
+        expected = {
+            id(node): position
+            for position, node in enumerate(self.root.iter_preorder())
+        }
+        actual = {id(node): self.order_of(node) for node in self.root.iter_preorder()}
+        ranked_expected = sorted(expected, key=expected.__getitem__)
+        ranked_actual = sorted(actual, key=actual.__getitem__)
+        return ranked_expected == ranked_actual

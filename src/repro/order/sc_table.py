@@ -1,0 +1,222 @@
+"""The SC (simultaneous congruence) table of Section 4.
+
+Each record covers a group of node self-labels (pairwise-coprime, in
+practice distinct primes) and stores
+
+* ``sc`` — the CRT value with ``sc mod self_label == order`` for every
+  member, and
+* ``max_prime`` — the largest self-label in the group, which is what the
+  paper stores to route lookups ("we record the maximum prime number for
+  each SC value in the SC table").
+
+Order numbers follow the paper's convention: the root is order 0 and the
+remaining nodes are numbered by document position.
+
+Cost model: the paper counts **one record update as one relabeled node**
+("We consider a record update in the SC table as a node that requires
+re-labeling", Section 5.4); :meth:`SCTable.shift_orders_from` and
+:meth:`SCTable.register` return how many records they touched so the
+Figure 18 experiment can charge exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import OrderingError
+from repro.primes.crt import CongruenceSystem
+
+__all__ = ["SCRecord", "SCTable"]
+
+
+@dataclass
+class SCRecord:
+    """One row of the SC table: a congruence system plus its routing key."""
+
+    system: CongruenceSystem
+    max_prime: int
+
+    @property
+    def sc(self) -> int:
+        """The simultaneous congruence value of this record."""
+        return self.system.value
+
+    def __len__(self) -> int:
+        return len(self.system)
+
+
+class SCTable:
+    """Maintains global document order for prime-labeled nodes.
+
+    Parameters
+    ----------
+    group_size:
+        Maximum number of nodes per SC record.  The paper's Figure 18 run
+        uses ``group_size=5`` ("we use one SC value to maintain the order of
+        5 nodes"); a single huge record (``group_size=None``) reproduces the
+        single-SC-value presentation of Figure 9.
+    """
+
+    def __init__(self, group_size: int | None = 5):
+        if group_size is not None and group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.group_size = group_size
+        self._records: List[SCRecord] = []
+        self._record_of: Dict[int, int] = {}  # self_label -> record index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SCRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> Tuple[SCRecord, ...]:
+        return tuple(self._records)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._record_of)
+
+    def record_for(self, self_label: int) -> SCRecord:
+        """The record covering ``self_label``.
+
+        Routing follows the paper: scan for the first record whose
+        ``max_prime`` is >= the self-label (records are built in ascending
+        prime order, so ranges are disjoint); the exact membership index
+        keeps this O(1).
+        """
+        try:
+            return self._records[self._record_of[self_label]]
+        except KeyError:
+            raise OrderingError(f"self-label {self_label} is not in the SC table") from None
+
+    def record_for_by_scan(self, self_label: int) -> SCRecord:
+        """The paper's literal routing: scan ``max_prime`` boundaries.
+
+        "We record the maximum prime number for each SC value in the SC
+        table.  These maximum prime numbers will indicate the set of nodes
+        whose ordering is captured by the corresponding SC value."  The
+        O(1) index of :meth:`record_for` returns the same record (the
+        equivalence is tested); this method exists to validate the paper's
+        storage story — a plain relational SC table needs no side index.
+        """
+        for record in self._records:
+            if self_label <= record.max_prime and self_label in record.system:
+                return record
+        raise OrderingError(f"self-label {self_label} is not in the SC table")
+
+    def order_of(self, self_label: int) -> int:
+        """Order number of the node with ``self_label``: ``SC mod self_label``."""
+        return self.record_for(self_label).sc % self_label
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def register(self, self_label: int, order: int) -> int:
+        """Add a node's (self-label, order) pair; returns records touched (1).
+
+        Appends to the last record while it has room, else opens a new one.
+        ``max_prime`` of the receiving record is raised when the new
+        self-label exceeds it — the paper's "search for the largest maximum
+        prime number ... and update it".
+        """
+        if self_label < 2:
+            raise OrderingError(
+                f"self-label must be >= 2 to carry a residue, got {self_label}"
+            )
+        if self_label in self._record_of:
+            raise OrderingError(f"self-label {self_label} already registered")
+        if order < 0:
+            raise OrderingError(f"order must be >= 0, got {order}")
+        if order >= self_label:
+            raise OrderingError(
+                f"order {order} cannot be a residue of modulus {self_label}; "
+                "the node needs a larger prime self-label"
+            )
+        if self._records and (
+            self.group_size is None or len(self._records[-1]) < self.group_size
+        ):
+            record = self._records[-1]
+            record.system.append(self_label, order)
+            record.max_prime = max(record.max_prime, self_label)
+            self._record_of[self_label] = len(self._records) - 1
+        else:
+            system = CongruenceSystem([self_label], [order])
+            self._records.append(SCRecord(system=system, max_prime=self_label))
+            self._record_of[self_label] = len(self._records) - 1
+        return 1
+
+    def unregister(self, self_label: int) -> None:
+        """Remove a node (deletion never shifts other orders, Section 4.2)."""
+        index = self._record_of.pop(self_label, None)
+        if index is None:
+            raise OrderingError(f"self-label {self_label} is not in the SC table")
+        record = self._records[index]
+        record.system.remove(self_label)
+        if self_label == record.max_prime:
+            record.max_prime = max(record.system.moduli, default=0)
+
+    def shift_orders_from(self, threshold: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Add 1 to the order of every node with order >= ``threshold``.
+
+        This is the bulk rewrite an order-sensitive insertion triggers for
+        "the nodes that come after the newly inserted node".  Returns
+        ``(records_touched, overflowed)``:
+
+        * ``records_touched`` — how many SC records were rewritten, the
+          paper's update-cost unit;
+        * ``overflowed`` — ``(self_label, new_order)`` pairs whose shifted
+          order reached the self-label (a CRT residue must stay below its
+          modulus, a case the paper does not address).  These nodes are
+          *unregistered* here; the caller must relabel them with a larger
+          prime and re-register.
+        """
+        touched = 0
+        overflowed: List[Tuple[int, int]] = []
+        for record in self._records:
+            updates: Dict[int, int] = {}
+            for modulus in record.system.moduli:
+                residue = record.system.residue(modulus)
+                if residue < threshold:
+                    continue
+                if residue + 1 >= modulus:
+                    overflowed.append((modulus, residue + 1))
+                else:
+                    updates[modulus] = residue + 1
+            if updates:
+                record.system.set_residues(updates)
+                touched += 1
+        for self_label, _new_order in overflowed:
+            self.unregister(self_label)
+        return touched, overflowed
+
+    def set_order(self, self_label: int, order: int) -> int:
+        """Rewrite a single node's order; returns records touched (1)."""
+        if not 0 <= order < self_label:
+            raise OrderingError(
+                f"order {order} is not a valid residue of modulus {self_label}"
+            )
+        record = self.record_for(self_label)
+        record.system.set_residues({self_label: order})
+        return 1
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check(self) -> bool:
+        """Verify every record's CRT value reproduces its residues."""
+        return all(record.system.check() for record in self._records)
+
+    def orders(self) -> Dict[int, int]:
+        """Snapshot mapping self-label -> order for every registered node."""
+        return {
+            self_label: self.order_of(self_label) for self_label in self._record_of
+        }

@@ -1,0 +1,49 @@
+"""Number-theory substrate for the prime number labeling scheme.
+
+The paper relies on four number-theoretic building blocks:
+
+* a supply of prime numbers (:mod:`repro.primes.sieve`,
+  :mod:`repro.primes.gen`),
+* primality testing for numbers beyond any precomputed sieve
+  (:mod:`repro.primes.primality`),
+* the extended Euclidean algorithm / modular inverses
+  (:mod:`repro.primes.euclid`), and
+* the Chinese Remainder Theorem used to build SC values
+  (:mod:`repro.primes.crt`).
+
+:mod:`repro.primes.estimates` implements the Prime Number Theorem
+approximations used in the paper's size analysis (Section 3.1, Figure 3),
+and :mod:`repro.primes.totient` implements Euler's totient function used by
+the paper's Euler-quotient CRT formula.
+"""
+
+from repro.primes.crt import CongruenceSystem, solve_congruences
+from repro.primes.euclid import extended_gcd, gcd, modular_inverse
+from repro.primes.estimates import (
+    estimated_bit_length,
+    estimated_nth_prime,
+    prime_count_estimate,
+)
+from repro.primes.gen import PrimeGenerator
+from repro.primes.primality import is_prime, next_prime
+from repro.primes.sieve import nth_prime, primes_below, primes_first_n, sieve_of_eratosthenes
+from repro.primes.totient import totient
+
+__all__ = [
+    "CongruenceSystem",
+    "solve_congruences",
+    "extended_gcd",
+    "gcd",
+    "modular_inverse",
+    "estimated_bit_length",
+    "estimated_nth_prime",
+    "prime_count_estimate",
+    "PrimeGenerator",
+    "is_prime",
+    "next_prime",
+    "nth_prime",
+    "primes_below",
+    "primes_first_n",
+    "sieve_of_eratosthenes",
+    "totient",
+]

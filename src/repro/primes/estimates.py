@@ -1,0 +1,57 @@
+"""Prime Number Theorem estimates used in the paper's size analysis.
+
+Section 3.1 of the paper estimates the n-th prime as ``n * log2(n)`` (the
+paper consistently uses base-2 logarithms, footnote 1) and the bit length of
+the n-th prime as ``log2(n * log2(n))``.  Figure 3 compares that estimate
+against the true bit lengths of the first 10,000 primes; the benchmark
+``benchmarks/test_fig03_prime_estimate.py`` regenerates exactly that series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.primes.sieve import primes_first_n
+
+__all__ = [
+    "estimated_nth_prime",
+    "estimated_bit_length",
+    "prime_count_estimate",
+    "figure3_series",
+]
+
+
+def estimated_nth_prime(n: int) -> float:
+    """The paper's estimate of the n-th prime: ``n * log2(n)`` (n >= 1).
+
+    For n = 1 the logarithm vanishes; we clamp to 2, the first prime.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 2.0
+    return n * math.log2(n)
+
+
+def estimated_bit_length(n: int) -> float:
+    """Estimated bit length of the n-th prime: ``log2(n * log2(n))``."""
+    return math.log2(estimated_nth_prime(n))
+
+
+def prime_count_estimate(x: float) -> float:
+    """The paper's estimate of pi(x): ``x / log2(x)`` primes below ``x``."""
+    if x < 2:
+        return 0.0
+    return x / math.log2(x)
+
+
+def figure3_series(count: int = 10_000) -> List[Tuple[int, int, float]]:
+    """Return ``(n, actual_bits, estimated_bits)`` for the first ``count`` primes.
+
+    This is the raw data behind Figure 3 of the paper.
+    """
+    rows = []
+    for index, prime in enumerate(primes_first_n(count), start=1):
+        rows.append((index, prime.bit_length(), estimated_bit_length(index)))
+    return rows

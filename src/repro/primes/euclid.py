@@ -1,0 +1,55 @@
+"""Euclidean algorithms: gcd, extended gcd, and modular inverses.
+
+The extended Euclidean algorithm is the workhorse behind the Chinese
+Remainder Theorem solver in :mod:`repro.primes.crt`, which in turn powers the
+paper's SC (simultaneous congruence) table.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["gcd", "extended_gcd", "modular_inverse", "lcm"]
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor of ``a`` and ``b`` (always non-negative)."""
+    a, b = abs(a), abs(b)
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of ``a`` and ``b`` (non-negative)."""
+    if a == 0 or b == 0:
+        return 0
+    return abs(a // gcd(a, b) * b)
+
+
+def extended_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_x, x = x, old_x - quotient * x
+        old_y, y = y, old_y - quotient * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def modular_inverse(a: int, modulus: int) -> int:
+    """Return ``x`` in ``[0, modulus)`` with ``a*x = 1 (mod modulus)``.
+
+    Raises ``ValueError`` when ``a`` is not invertible (gcd != 1).
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    g, x, _ = extended_gcd(a % modulus, modulus)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {modulus} (gcd={g})")
+    return x % modulus

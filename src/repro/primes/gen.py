@@ -1,0 +1,113 @@
+"""Incremental prime supply with a reserved pool for top-level nodes.
+
+The paper's ``PrimeLabel`` algorithm (Figure 7) draws primes from two
+sources:
+
+* ``getReservedPrime()`` — a pool of the smallest primes set aside for the
+  nodes directly below the root (optimization Opt1, Section 3.2), because
+  those labels are inherited by every descendant and dominate label size;
+* ``getPrime()`` — the next smallest unreserved prime, for every other
+  non-leaf node.
+
+:class:`PrimeGenerator` implements both, backed by a sieve that extends
+itself on demand and by Miller–Rabin once candidates outgrow the sieve.  It
+also provides ``get_power2(n)`` for optimization Opt2 (labeling the n-th leaf
+child with ``2**n``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.primes.sieve import primes_first_n, segmented_sieve
+
+__all__ = ["PrimeGenerator"]
+
+_BOOTSTRAP_COUNT = 1024
+
+
+class PrimeGenerator:
+    """Hands out primes in ascending order, never repeating one.
+
+    Parameters
+    ----------
+    reserved:
+        How many of the smallest primes to set aside for
+        :meth:`get_reserved_prime` (Opt1).  With ``reserved=0`` the reserved
+        pool is disabled and :meth:`get_reserved_prime` falls through to
+        :meth:`get_prime`.
+
+    The generator is deterministic: two generators constructed with the same
+    ``reserved`` hand out identical sequences.
+    """
+
+    def __init__(self, reserved: int = 0):
+        if reserved < 0:
+            raise ValueError(f"reserved must be >= 0, got {reserved}")
+        self._cache: List[int] = primes_first_n(max(_BOOTSTRAP_COUNT, reserved))
+        self._reserved_limit = reserved
+        self._next_reserved_index = 0
+        self._next_general_index = reserved
+        self._issued = 0
+
+    @property
+    def reserved_remaining(self) -> int:
+        """How many reserved primes are still available."""
+        return self._reserved_limit - self._next_reserved_index
+
+    @property
+    def issued(self) -> int:
+        """Total primes handed out so far (reserved + general)."""
+        return self._issued
+
+    @property
+    def largest_issued(self) -> int:
+        """The largest prime handed out so far (0 if none)."""
+        largest = 0
+        if self._next_reserved_index > 0:
+            largest = self._cache[self._next_reserved_index - 1]
+        if self._next_general_index > self._reserved_limit:
+            largest = max(largest, self._cache[self._next_general_index - 1])
+        return largest
+
+    def _ensure_cached(self, index: int) -> None:
+        # Extend in bulk with a segmented sieve: doubling the sieved range
+        # keeps amortized cost near-linear even for very large documents.
+        while index >= len(self._cache):
+            low = self._cache[-1] + 1
+            high = max(low * 2, low + 10_000)
+            self._cache.extend(segmented_sieve(low, high))
+
+    def get_reserved_prime(self) -> int:
+        """Return the next prime from the reserved pool (Opt1).
+
+        Falls back to :meth:`get_prime` when the pool is exhausted or was
+        never configured, matching the paper's intent that Opt1 is purely an
+        optimization, never a correctness requirement.
+        """
+        if self._next_reserved_index >= self._reserved_limit:
+            return self.get_prime()
+        prime = self._cache[self._next_reserved_index]
+        self._next_reserved_index += 1
+        self._issued += 1
+        return prime
+
+    def get_prime(self) -> int:
+        """Return the next smallest unreserved, unissued prime."""
+        self._ensure_cached(self._next_general_index)
+        prime = self._cache[self._next_general_index]
+        self._next_general_index += 1
+        self._issued += 1
+        return prime
+
+    @staticmethod
+    def get_power2(n: int) -> int:
+        """Return ``2**n``, the Opt2 label for the n-th leaf child (n >= 1)."""
+        if n < 1:
+            raise ValueError(f"leaf ordinal must be >= 1, got {n}")
+        return 1 << n
+
+    def iter_primes(self) -> Iterator[int]:
+        """Yield primes from :meth:`get_prime` forever (general pool only)."""
+        while True:
+            yield self.get_prime()

@@ -1,0 +1,86 @@
+"""Primality testing via deterministic Miller–Rabin.
+
+Labels in the prime number scheme grow multiplicatively with depth, so the
+scheme sometimes needs to test or search around integers far beyond any
+precomputed sieve.  The Miller–Rabin witnesses used here are a proven
+deterministic set for every integer below 3.3 * 10^24, and a probabilistic
+extension (with fixed extra witnesses) beyond — more than enough for label
+self-values, which stay in the millions for realistic documents.
+"""
+
+from __future__ import annotations
+
+__all__ = ["is_prime", "next_prime", "previous_prime"]
+
+# Deterministic for n < 3,317,044,064,679,887,385,961,981 (Sorenson & Webster).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _miller_rabin_witness(n: int, witness: int) -> bool:
+    """Return True if ``witness`` proves ``n`` composite."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(witness, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int) -> bool:
+    """Return True iff ``n`` is prime.
+
+    Deterministic for all inputs below ~3.3e24; beyond that the witness set
+    still gives an error probability far below 4^-13.
+    """
+    if n < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if n == prime:
+            return True
+        if n % prime == 0:
+            return False
+    witnesses = _DETERMINISTIC_WITNESSES
+    if n >= _DETERMINISTIC_LIMIT:
+        witnesses = _DETERMINISTIC_WITNESSES + (43, 47, 53, 59)
+    return not any(_miller_rabin_witness(n, w % n) for w in witnesses if w % n)
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    if n < 2:
+        return 2
+    candidate = n + 1
+    if candidate % 2 == 0:
+        if candidate == 2:
+            return 2
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def previous_prime(n: int) -> int:
+    """Return the largest prime strictly smaller than ``n``.
+
+    Raises ``ValueError`` when no such prime exists (``n <= 2``).
+    """
+    if n <= 2:
+        raise ValueError(f"no prime below {n}")
+    if n == 3:
+        return 2
+    candidate = n - 1
+    if candidate % 2 == 0:
+        candidate -= 1
+    while candidate > 2 and not is_prime(candidate):
+        candidate -= 2
+    return candidate if candidate > 1 else 2

@@ -1,0 +1,101 @@
+"""Sieve of Eratosthenes and friends.
+
+These functions produce the bulk prime supplies used when labeling whole
+documents at once.  For incremental label assignment (dynamic inserts) see
+:class:`repro.primes.gen.PrimeGenerator`, and for testing arbitrary integers
+see :mod:`repro.primes.primality`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+__all__ = [
+    "sieve_of_eratosthenes",
+    "primes_below",
+    "primes_first_n",
+    "nth_prime",
+    "segmented_sieve",
+]
+
+
+def sieve_of_eratosthenes(limit: int) -> List[bool]:
+    """Return a boolean table ``t`` where ``t[i]`` is True iff ``i`` is prime.
+
+    The table has ``limit + 1`` entries (indices ``0..limit``).  ``limit`` may
+    be 0 or negative, in which case a table marking nothing prime is returned.
+    """
+    if limit < 1:
+        return [False] * (max(limit, 0) + 1)
+    table = [True] * (limit + 1)
+    table[0] = False
+    if limit >= 1:
+        table[1] = False
+    for candidate in range(2, math.isqrt(limit) + 1):
+        if table[candidate]:
+            start = candidate * candidate
+            table[start : limit + 1 : candidate] = [False] * len(
+                range(start, limit + 1, candidate)
+            )
+    return table
+
+
+def primes_below(limit: int) -> List[int]:
+    """Return all primes strictly less than ``limit``, ascending."""
+    if limit <= 2:
+        return []
+    table = sieve_of_eratosthenes(limit - 1)
+    return [value for value, flag in enumerate(table) if flag]
+
+
+def _upper_bound_for_nth_prime(n: int) -> int:
+    """A proven upper bound on the n-th prime (1-indexed).
+
+    For ``n >= 6`` the bound ``n * (ln n + ln ln n)`` holds (Rosser).  Smaller
+    ``n`` use a fixed constant.
+    """
+    if n < 6:
+        return 13
+    logn = math.log(n)
+    return int(n * (logn + math.log(logn))) + 1
+
+
+def primes_first_n(n: int) -> List[int]:
+    """Return the first ``n`` primes (so ``primes_first_n(3) == [2, 3, 5]``)."""
+    if n <= 0:
+        return []
+    limit = _upper_bound_for_nth_prime(n)
+    primes = primes_below(limit + 1)
+    while len(primes) < n:  # bound is proven, but stay safe
+        limit *= 2
+        primes = primes_below(limit + 1)
+    return primes[:n]
+
+
+def nth_prime(n: int) -> int:
+    """Return the ``n``-th prime, 1-indexed: ``nth_prime(1) == 2``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return primes_first_n(n)[-1]
+
+
+def segmented_sieve(low: int, high: int) -> Iterator[int]:
+    """Yield primes in ``[low, high)`` without sieving everything below.
+
+    Memory use is ``O(sqrt(high) + (high - low))`` instead of ``O(high)``,
+    which matters when generating labels for very large documents whose next
+    free prime sits far from zero.
+    """
+    if high <= 2 or high <= low:
+        return
+    low = max(low, 2)
+    base = primes_below(math.isqrt(high - 1) + 1)
+    span = [True] * (high - low)
+    for prime in base:
+        start = max(prime * prime, ((low + prime - 1) // prime) * prime)
+        for multiple in range(start, high, prime):
+            span[multiple - low] = False
+    for offset, flag in enumerate(span):
+        if flag:
+            yield low + offset

@@ -1,0 +1,32 @@
+"""Euler's totient function.
+
+Used only by the paper's Euler-quotient CRT formula
+(:func:`repro.primes.crt.solve_congruences_euler`); the production CRT path
+uses the extended Euclidean algorithm instead.
+"""
+
+from __future__ import annotations
+
+__all__ = ["totient"]
+
+
+def totient(n: int) -> int:
+    """Return ``phi(n)``: how many integers in ``[1, n]`` are coprime to ``n``.
+
+    Computed by trial-division factorization, fine for the label-sized inputs
+    this library deals with.
+    """
+    if n <= 0:
+        raise ValueError(f"totient is defined for positive integers, got {n}")
+    result = n
+    remaining = n
+    factor = 2
+    while factor * factor <= remaining:
+        if remaining % factor == 0:
+            while remaining % factor == 0:
+                remaining //= factor
+            result -= result // factor
+        factor += 1 if factor == 2 else 2
+    if remaining > 1:
+        result -= result // remaining
+    return result

@@ -1,0 +1,49 @@
+"""Label-store query engine — the paper's Section 5.2 setting, in memory.
+
+The paper loads labels into a relational DBMS and translates XPath queries
+to SQL whose predicates are pure label comparisons (``mod``/``<``/``>`` for
+prime and interval; a ``check prefix`` user-defined function for prefix
+labels).  This package reproduces that architecture without the DBMS:
+
+* :mod:`repro.query.store` — the element table: one row per node with its
+  tag, label, depth and document id, plus per-scheme comparison operations;
+* :mod:`repro.query.ast` / :mod:`repro.query.xpath` — the XPath subset of
+  Table 2 (child/descendant steps, the four order axes, positional
+  predicates);
+* :mod:`repro.query.engine` — set-at-a-time evaluation over the store using
+  only label comparisons (the source tree is never walked);
+* :mod:`repro.query.sql` — the equivalent SQL text, for illustration.
+"""
+
+from repro.query.ast import Axis, Query, Step
+from repro.query.dataguide import DataGuide, GuidedQueryEngine
+from repro.query.engine import QueryEngine
+from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
+from repro.query.live import LiveCollection
+from repro.query.persist import load_store, save_store
+from repro.query.sql import to_sql
+from repro.query.store import ElementRow, LabelStore
+from repro.query.twig import TwigNode, TwigPattern, match_twig
+from repro.query.xpath import parse_query
+
+__all__ = [
+    "Axis",
+    "Query",
+    "Step",
+    "DataGuide",
+    "GuidedQueryEngine",
+    "QueryEngine",
+    "nested_loop_join",
+    "prime_merge_join",
+    "stack_tree_join",
+    "to_sql",
+    "ElementRow",
+    "LabelStore",
+    "LiveCollection",
+    "load_store",
+    "save_store",
+    "TwigNode",
+    "TwigPattern",
+    "match_twig",
+    "parse_query",
+]

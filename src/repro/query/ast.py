@@ -1,0 +1,80 @@
+"""Query AST for the XPath subset of Table 2."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Axis", "Step", "Query"]
+
+
+class Axis(enum.Enum):
+    """Navigation axis of one query step."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    FOLLOWING = "following"
+    PRECEDING = "preceding"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One step: axis, tag test, optional positional predicate.
+
+    ``position`` implements the paper's strategy for ``[n]``: matches are
+    grouped per context node, sorted by document order, and the n-th is
+    kept.
+
+    ``text`` filters matches by their character data (the paper's
+    motivating query ``book/author[2]/"John"`` — "retrieves a list of books
+    whose second author is John"); applied before the positional predicate.
+
+    ``from_descendants`` records that an explicit order axis was written
+    after ``//`` (e.g. ``act[5]//Following::speech``).  Per XPath, that
+    abbreviation expands to ``descendant-or-self`` *before* the axis, so the
+    result is the union of the axis over the whole subtree — which reaches
+    back inside the context's own subtree and is why the paper's Q4/Q5/Q7
+    retrieve so many nodes.
+    """
+
+    axis: Axis
+    tag: str
+    position: Optional[int] = None
+    text: Optional[str] = None
+    from_descendants: bool = False
+
+    def __str__(self) -> str:
+        axis_text = {
+            Axis.CHILD: "/",
+            Axis.DESCENDANT: "//",
+            Axis.PARENT: "/Parent::",
+            Axis.ANCESTOR: "/Ancestor::",
+            Axis.FOLLOWING: "//Following::",
+            Axis.PRECEDING: "//Preceding::",
+            Axis.FOLLOWING_SIBLING: "//Following-Sibling::",
+            Axis.PRECEDING_SIBLING: "//Preceding-Sibling::",
+        }[self.axis]
+        predicate = f"[{self.position}]" if self.position is not None else ""
+        if self.text is not None:
+            predicate += f"[.={self.text!r}]"
+        return f"{axis_text}{self.tag}{predicate}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed query: a pipeline of steps applied left to right.
+
+    The first step seeds the context: it matches elements with its tag at
+    *any* depth of each document (the paper's own queries rely on this —
+    ``/act[5]`` addresses act elements although ``act`` is never the root).
+    """
+
+    steps: Tuple[Step, ...]
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)

@@ -1,0 +1,147 @@
+"""A live, updatable collection: ordered documents + a query surface.
+
+:class:`LabelStore` is a static snapshot; the paper's whole pitch is
+*dynamic* documents.  :class:`LiveCollection` closes the loop: it manages
+one :class:`~repro.order.document.OrderedDocument` per document, applies
+order-sensitive updates through them (charging the paper's costs), and
+exposes an always-consistent query engine over the prime label store.
+
+The store is rebuilt lazily after mutations (dirty tracking); queries
+between mutations reuse the cached store.  Rebuilding keeps correctness
+trivially — the per-update *cost model* still comes from the ordered
+documents' reports, so experiments are unaffected by the engineering
+choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import QueryEvaluationError
+from repro.order.document import OrderedDocument, OrderedUpdateReport
+from repro.query.engine import QueryEngine
+from repro.query.store import ElementRow, LabelStore, PrimeOps
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["LiveCollection"]
+
+
+class LiveCollection:
+    """Ordered, queryable, updatable collection of XML documents."""
+
+    def __init__(
+        self,
+        documents: Sequence[XmlElement],
+        group_size: int | None = 5,
+        strategy: str = "scan",
+    ):
+        if not documents:
+            raise QueryEvaluationError("a collection needs at least one document")
+        self.group_size = group_size
+        self.strategy = strategy
+        self._ordered: List[OrderedDocument] = [
+            OrderedDocument(root, group_size=group_size) for root in documents
+        ]
+        self._engine: Optional[QueryEngine] = None
+        self.total_update_cost = 0
+
+    # ------------------------------------------------------------------
+    # Store management
+    # ------------------------------------------------------------------
+
+    @property
+    def documents(self) -> List[XmlElement]:
+        """The document roots, in collection order."""
+        return [ordered.root for ordered in self._ordered]
+
+    def _invalidate(self) -> None:
+        self._engine = None
+
+    def _build_engine(self) -> QueryEngine:
+        rows: List[ElementRow] = []
+        ordered_by_doc: Dict[int, OrderedDocument] = {}
+        next_id = 0
+        for doc_id, document in enumerate(self._ordered):
+            ordered_by_doc[doc_id] = document
+            doc_rows, next_id = LabelStore._make_rows(
+                doc_id, document.root, document.scheme.label_of, next_id
+            )
+            rows.extend(doc_rows)
+        store = LabelStore(rows, PrimeOps(self._ordered[0].scheme, ordered_by_doc))
+        return QueryEngine(store, strategy=self.strategy)
+
+    @property
+    def engine(self) -> QueryEngine:
+        """A query engine over the current state (rebuilt after updates)."""
+        if self._engine is None:
+            self._engine = self._build_engine()
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> List[ElementRow]:
+        """Evaluate an XPath-subset query over the whole collection."""
+        return self.engine.evaluate(text)
+
+    def count(self, text: str) -> int:
+        """Number of nodes the query retrieves."""
+        return len(self.query(text))
+
+    def document_of(self, node: XmlElement) -> OrderedDocument:
+        """The ordered document owning ``node``."""
+        root = node.root
+        for ordered in self._ordered:
+            if ordered.root is root:
+                return ordered
+        raise QueryEvaluationError("node does not belong to this collection")
+
+    # ------------------------------------------------------------------
+    # Updates (order-sensitive, charged per the paper)
+    # ------------------------------------------------------------------
+
+    def insert_child(
+        self, parent: XmlElement, index: int, tag: str = "new"
+    ) -> OrderedUpdateReport:
+        """Order-sensitive insertion under ``parent`` at ``index``."""
+        report = self.document_of(parent).insert_child(parent, index, tag=tag)
+        self.total_update_cost += report.total_cost
+        self._invalidate()
+        return report
+
+    def insert_before(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
+        """Insert a new sibling immediately before ``reference``."""
+        report = self.document_of(reference).insert_before(reference, tag=tag)
+        self.total_update_cost += report.total_cost
+        self._invalidate()
+        return report
+
+    def insert_after(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
+        """Insert a new sibling immediately after ``reference``."""
+        report = self.document_of(reference).insert_after(reference, tag=tag)
+        self.total_update_cost += report.total_cost
+        self._invalidate()
+        return report
+
+    def delete(self, node: XmlElement) -> OrderedUpdateReport:
+        """Delete ``node`` and its subtree (free, per Section 4.2)."""
+        report = self.document_of(node).delete(node)
+        self._invalidate()
+        return report
+
+    def add_document(self, root: XmlElement) -> int:
+        """Add a whole document; returns its collection index."""
+        self._ordered.append(OrderedDocument(root, group_size=self.group_size))
+        self._invalidate()
+        return len(self._ordered) - 1
+
+    def compact(self) -> None:
+        """Compact every document's SC table (after heavy churn)."""
+        for ordered in self._ordered:
+            ordered.compact()
+        self._invalidate()
+
+    def check(self) -> bool:
+        """Verify every document's SC-derived order."""
+        return all(ordered.check() for ordered in self._ordered)

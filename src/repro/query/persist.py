@@ -1,0 +1,215 @@
+"""On-disk persistence for label stores.
+
+The paper stores labels in DBMS tables precisely so they outlive the
+documents; this module provides the equivalent for the in-memory
+:class:`~repro.query.store.LabelStore`: a compact binary file holding one
+record per element (document id, tag, depth, parent id, encoded label),
+written with the fixed-width codec of :mod:`repro.labeling.codec`.
+
+File layout (all integers big-endian)::
+
+    magic   4 bytes  b"RPLS"
+    version 1 byte
+    scheme  1 byte length + UTF-8 name        ("prime" | "interval" | "prefix-2")
+    kind    1 byte length + UTF-8 codec kind
+    widths  2 bytes field_count, 2 bytes field_bytes
+    tags    4 bytes count, then per tag: 2 bytes length + UTF-8
+    rows    4 bytes count, then per row:
+              4B doc_id  4B element_id  4B tag_index  2B depth
+              4B parent_id (0xFFFFFFFF = none)  record_bytes label
+              2B text length + UTF-8 text (the value column)
+
+Loading rebuilds a fully queryable store.  The ``node`` back-references of
+a loaded store are *placeholder* elements (tag only) — queries never touch
+them; they exist so result rows still render a tag.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.errors import QueryEvaluationError
+from repro.labeling.codec import FixedWidthCodec, label_to_ints
+from repro.order.sc_table import SCTable
+from repro.query.store import (
+    ElementRow,
+    IntervalOps,
+    LabelStore,
+    PrefixOps,
+    PrimeOps,
+    StoreOps,
+)
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["save_store", "load_store"]
+
+_MAGIC = b"RPLS"
+_VERSION = 1
+_NO_PARENT = 0xFFFFFFFF
+
+_KIND_BY_SCHEME = {"prime": "prime", "interval": "order-size", "prefix-2": "bits"}
+
+
+def _write_string(out: List[bytes], text: str, width: str) -> None:
+    data = text.encode("utf-8")
+    out.append(struct.pack(width, len(data)))
+    out.append(data)
+
+
+class _Reader:
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.blob):
+            raise QueryEvaluationError("truncated label store file")
+        chunk = self.blob[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def unpack(self, fmt: str):
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+    def string(self, width: str) -> str:
+        (length,) = self.unpack(width)
+        return self.take(length).decode("utf-8")
+
+
+def _scheme_name(ops: StoreOps) -> str:
+    if isinstance(ops, PrimeOps):
+        return "prime"
+    if isinstance(ops, IntervalOps):
+        return "interval"
+    if isinstance(ops, PrefixOps):
+        return "prefix-2"
+    raise QueryEvaluationError(f"cannot persist ops of type {type(ops).__name__}")
+
+
+def save_store(store: LabelStore, path: str | Path) -> int:
+    """Write ``store`` to ``path``; returns the number of bytes written."""
+    scheme = _scheme_name(store.ops)
+    kind = _KIND_BY_SCHEME[scheme]
+    field_count = max(
+        (len(label_to_ints(row.label)) for row in store.rows), default=1
+    )
+    field_count = max(field_count, 1)
+    widest = max(
+        (part for row in store.rows for part in label_to_ints(row.label)), default=0
+    )
+    codec = FixedWidthCodec(kind, field_count, max((widest.bit_length() + 7) // 8, 1))
+
+    tags: List[str] = []
+    tag_index: Dict[str, int] = {}
+    for row in store.rows:
+        if row.tag not in tag_index:
+            tag_index[row.tag] = len(tags)
+            tags.append(row.tag)
+
+    out: List[bytes] = [_MAGIC, struct.pack(">B", _VERSION)]
+    _write_string(out, scheme, ">B")
+    _write_string(out, kind, ">B")
+    out.append(struct.pack(">HH", codec.field_count, codec.field_bytes))
+    out.append(struct.pack(">I", len(tags)))
+    for tag in tags:
+        _write_string(out, tag, ">H")
+    out.append(struct.pack(">I", len(store.rows)))
+    for row in store.rows:
+        parent = _NO_PARENT if row.parent_id is None else row.parent_id
+        out.append(
+            struct.pack(
+                ">IIIHI", row.doc_id, row.element_id, tag_index[row.tag], row.depth, parent
+            )
+        )
+        out.append(codec.encode(row.label))
+        _write_string(out, row.text, ">H")
+    blob = b"".join(out)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def _rebuild_ops(scheme: str, rows: List[ElementRow]) -> StoreOps:
+    if scheme == "interval":
+        return IntervalOps()
+    if scheme == "prefix-2":
+        return PrefixOps()
+    # prime: rebuild the per-document SC tables from the stored labels —
+    # document order is recoverable because labels were issued in document
+    # order (ascending primes per document).
+    from repro.labeling.prime import PrimeScheme
+
+    ordered: Dict[int, Any] = {}
+    by_doc: Dict[int, List[ElementRow]] = {}
+    for row in rows:
+        by_doc.setdefault(row.doc_id, []).append(row)
+    for doc_id, doc_rows in by_doc.items():
+        table = SCTable(group_size=5)
+        ranked = sorted(
+            (row for row in doc_rows if row.depth > 0),
+            key=lambda row: row.label.self_label,
+        )
+        for order, row in enumerate(ranked, start=1):
+            table.register(row.label.self_label, order)
+        holder = _LoadedOrderHolder(table)
+        ordered[doc_id] = holder
+    return PrimeOps(PrimeScheme(reserved_primes=0, power2_leaves=False), ordered)
+
+
+class _LoadedOrderHolder:
+    """Duck-typed stand-in for OrderedDocument: only ``sc_table`` is used."""
+
+    def __init__(self, sc_table: SCTable):
+        self.sc_table = sc_table
+
+
+def load_store(path: str | Path) -> LabelStore:
+    """Load a store written by :func:`save_store`.
+
+    Raises :class:`repro.errors.QueryEvaluationError` on anything that is
+    not a well-formed store file (wrong magic, truncation, corrupted
+    indices or labels).
+    """
+    try:
+        return _load_store_checked(path)
+    except (ValueError, IndexError, UnicodeDecodeError, struct.error) as error:
+        raise QueryEvaluationError(f"corrupt label store {path}: {error}") from error
+
+
+def _load_store_checked(path: str | Path) -> LabelStore:
+    reader = _Reader(Path(path).read_bytes())
+    if reader.take(4) != _MAGIC:
+        raise QueryEvaluationError(f"{path} is not a label store file")
+    (version,) = reader.unpack(">B")
+    if version != _VERSION:
+        raise QueryEvaluationError(f"unsupported label store version {version}")
+    scheme = reader.string(">B")
+    kind = reader.string(">B")
+    if scheme not in _KIND_BY_SCHEME or _KIND_BY_SCHEME[scheme] != kind:
+        raise QueryEvaluationError(
+            f"corrupt label store: scheme {scheme!r} / kind {kind!r}"
+        )
+    field_count, field_bytes = reader.unpack(">HH")
+    codec = FixedWidthCodec(kind, field_count, field_bytes)
+    (tag_count,) = reader.unpack(">I")
+    tags = [reader.string(">H") for _ in range(tag_count)]
+    (row_count,) = reader.unpack(">I")
+    rows: List[ElementRow] = []
+    for _ in range(row_count):
+        doc_id, element_id, tag_idx, depth, parent = reader.unpack(">IIIHI")
+        label = codec.decode(reader.take(codec.record_bytes))
+        text = reader.string(">H")
+        rows.append(
+            ElementRow(
+                doc_id=doc_id,
+                element_id=element_id,
+                tag=tags[tag_idx],
+                label=label,
+                depth=depth,
+                parent_id=None if parent == _NO_PARENT else parent,
+                node=XmlElement(tags[tag_idx]),
+                text=text,
+            )
+        )
+    return LabelStore(rows, _rebuild_ops(scheme, rows))

@@ -1,0 +1,93 @@
+"""Illustrative SQL translation of queries, per labeling scheme.
+
+Section 5.2: "All these queries are first transformed into SQL using an
+approach similar to [Tatarinov et al.]".  The in-memory engine is the thing
+we measure; this module renders the equivalent SQL text so examples and
+docs can show exactly which native operators (``mod``, ``<``, ``>``) or
+user-defined functions (``check_prefix``) each scheme would push into a
+DBMS.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QueryEvaluationError
+from repro.query.ast import Axis, Query
+from repro.query.xpath import parse_query
+
+__all__ = ["to_sql"]
+
+_JOIN_TEMPLATES = {
+    "prime": {
+        Axis.CHILD: "{child}.label / {child}.self_label = {parent}.label",
+        Axis.DESCENDANT: "MOD({desc}.label, {anc}.label) = 0 AND {desc}.label <> {anc}.label",
+        Axis.FOLLOWING: "sc_order({next}.self_label) > sc_order({prev}.self_label) "
+        "AND MOD({next}.label, {prev}.label) <> 0",
+        Axis.PRECEDING: "sc_order({next}.self_label) < sc_order({prev}.self_label) "
+        "AND MOD({prev}.label, {next}.label) <> 0",
+        Axis.FOLLOWING_SIBLING: "{next}.label / {next}.self_label = {prev}.label / {prev}.self_label "
+        "AND sc_order({next}.self_label) > sc_order({prev}.self_label)",
+        Axis.PRECEDING_SIBLING: "{next}.label / {next}.self_label = {prev}.label / {prev}.self_label "
+        "AND sc_order({next}.self_label) < sc_order({prev}.self_label)",
+    },
+    "interval": {
+        Axis.CHILD: "{child}.ord > {parent}.ord AND {child}.ord <= {parent}.ord + {parent}.size "
+        "AND {child}.depth = {parent}.depth + 1",
+        Axis.DESCENDANT: "{desc}.ord > {anc}.ord AND {desc}.ord <= {anc}.ord + {anc}.size",
+        Axis.FOLLOWING: "{next}.ord > {prev}.ord + {prev}.size",
+        Axis.PRECEDING: "{next}.ord + {next}.size < {prev}.ord",
+        Axis.FOLLOWING_SIBLING: "{next}.parent_id = {prev}.parent_id AND {next}.ord > {prev}.ord",
+        Axis.PRECEDING_SIBLING: "{next}.parent_id = {prev}.parent_id AND {next}.ord < {prev}.ord",
+    },
+    "prefix-2": {
+        Axis.CHILD: "check_prefix({parent}.label, {child}.label) "
+        "AND {child}.depth = {parent}.depth + 1",
+        Axis.DESCENDANT: "check_prefix({anc}.label, {desc}.label)",
+        Axis.FOLLOWING: "{next}.label > {prev}.label AND NOT check_prefix({prev}.label, {next}.label)",
+        Axis.PRECEDING: "{next}.label < {prev}.label AND NOT check_prefix({next}.label, {prev}.label)",
+        Axis.FOLLOWING_SIBLING: "{next}.parent_id = {prev}.parent_id AND {next}.label > {prev}.label",
+        Axis.PRECEDING_SIBLING: "{next}.parent_id = {prev}.parent_id AND {next}.label < {prev}.label",
+    },
+}
+
+
+def _fill(template: str, prev_alias: str, next_alias: str) -> str:
+    return template.format(
+        parent=prev_alias,
+        child=next_alias,
+        anc=prev_alias,
+        desc=next_alias,
+        prev=prev_alias,
+        next=next_alias,
+    )
+
+
+def to_sql(query: Query | str, scheme: str = "prime", table: str = "elements") -> str:
+    """Render the SQL a DBMS-backed evaluation of ``query`` would run."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    try:
+        templates = _JOIN_TEMPLATES[scheme]
+    except KeyError:
+        raise QueryEvaluationError(
+            f"unknown scheme {scheme!r}; choose from {', '.join(sorted(_JOIN_TEMPLATES))}"
+        ) from None
+    aliases = [f"e{i}" for i in range(len(query.steps))]
+    conditions: List[str] = [f"{aliases[0]}.tag = '{query.steps[0].tag}'"]
+    for index, step in enumerate(query.steps[1:], start=1):
+        conditions.append(f"{aliases[index]}.tag = '{step.tag}'")
+        conditions.append(_fill(templates[step.axis], aliases[index - 1], aliases[index]))
+    for index, step in enumerate(query.steps):
+        if step.position is not None:
+            conditions.append(f"/* position() = {step.position} over {aliases[index]} */")
+        if step.text is not None:
+            escaped = step.text.replace("'", "''")
+            conditions.append(f"{aliases[index]}.value = '{escaped}'")
+    from_clause = ", ".join(f"{table} {alias}" for alias in aliases)
+    where_clause = "\n  AND ".join(conditions)
+    return (
+        f"SELECT {aliases[-1]}.element_id\n"
+        f"FROM {from_clause}\n"
+        f"WHERE {where_clause};"
+    )

@@ -1,0 +1,308 @@
+"""The element table: labels in relational form, plus per-scheme operators.
+
+Section 5.2 stores one row per element in a DBMS; every query predicate is
+a comparison over label columns.  :class:`LabelStore` is that table in
+memory.  Each document in the collection is labeled by its own scheme
+instance (the Niagara repository is multi-document), and rows carry:
+
+* ``doc_id`` and ``element_id`` — table keys,
+* ``tag`` — the element name,
+* ``label`` — the scheme's label,
+* ``depth`` and ``parent_id`` — standard companion columns of relational
+  XML storage (XISS keeps both; parent/child and sibling predicates need
+  them for schemes whose labels cannot express parenthood alone).
+
+The scheme-specific comparison logic lives in :class:`StoreOps` objects:
+
+* ``prime`` — ancestor test by modulo (Property 2), parenthood and
+  siblinghood by the ``parent-label`` identity, document order by the SC
+  table (``SC mod self_label``), computed per access so the paper's "SC
+  overhead" is really paid at query time;
+* ``interval`` — containment tests, order from the ``order`` column;
+* ``prefix`` — a ``check_prefix`` *user-defined function* implemented over
+  the label's string form, mirroring how a DBMS UDF marshals values (and
+  why Figure 15 shows prefix losing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryEvaluationError
+from repro.labeling.base import LabelingScheme
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Bits, Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+from repro.order.document import OrderedDocument
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["ElementRow", "StoreOps", "LabelStore", "check_prefix"]
+
+
+@dataclass
+class ElementRow:
+    """One row of the element table."""
+
+    doc_id: int
+    element_id: int
+    tag: str
+    label: Any
+    depth: int
+    parent_id: Optional[int]
+    node: XmlElement  # back-reference for result verification only
+    text: str = ""  # the value column of relational XML storage
+
+
+def check_prefix(ancestor_label: Bits, descendant_label: Bits) -> bool:
+    """The prefix scheme's "user-defined function".
+
+    Deliberately string-based: a relational UDF receives marshaled values,
+    and the paper attributes the prefix scheme's slower response times to
+    exactly this call ("the prefix labeling schemes use a user-defined
+    function to retrieve data").
+    """
+    ancestor_text, descendant_text = str(ancestor_label), str(descendant_label)
+    return len(ancestor_text) < len(descendant_text) and descendant_text.startswith(
+        ancestor_text
+    )
+
+
+class StoreOps:
+    """Per-scheme comparison operators over :class:`ElementRow` pairs."""
+
+    name = "abstract"
+
+    def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
+        """Label-only proper-ancestor test between two rows."""
+        raise NotImplementedError
+
+    def is_parent(self, parent: ElementRow, child: ElementRow) -> bool:
+        """Default: ancestor one level up (uses the ``depth`` column)."""
+        return child.depth == parent.depth + 1 and self.is_ancestor(parent, child)
+
+    def same_parent(self, first: ElementRow, second: ElementRow) -> bool:
+        """Default: the relational ``parent_id`` column."""
+        return (
+            first.parent_id is not None
+            and first.parent_id == second.parent_id
+            and first.element_id != second.element_id
+        )
+
+    def order_key(self, row: ElementRow) -> Any:
+        """A sort key realizing document order for this scheme's labels."""
+        raise NotImplementedError
+
+    def parent_key(self, row: ElementRow) -> Any:
+        """A hashable key identifying the row's parent (sibling grouping)."""
+        return row.parent_id
+
+    def node_key(self, row: ElementRow) -> Any:
+        """A hashable key such that ``parent_key(child) == node_key(parent)``."""
+        return row.element_id
+
+
+class PrimeOps(StoreOps):
+    """Prime labels: modulo tests plus SC-table order."""
+
+    name = "prime"
+
+    def __init__(self, scheme: PrimeScheme, ordered: Dict[int, OrderedDocument]):
+        self._scheme = scheme
+        self._ordered = ordered
+
+    def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
+        return self._scheme.is_ancestor_label(ancestor.label, descendant.label)
+
+    def is_parent(self, parent: ElementRow, child: ElementRow) -> bool:
+        # the root's parent-label equals its own label (both 1); identity
+        # must be excluded or the root becomes its own parent
+        return (
+            parent.element_id != child.element_id
+            and child.label.parent_value == parent.label.value
+        )
+
+    def same_parent(self, first: ElementRow, second: ElementRow) -> bool:
+        # a root (parent-label == own label) has no siblings; without the
+        # exclusion it would pose as a sibling of the top-level nodes
+        return (
+            first.element_id != second.element_id
+            and first.label.parent_value == second.label.parent_value
+            and first.label.parent_value != first.label.value
+            and second.label.parent_value != second.label.value
+        )
+
+    def order_key(self, row: ElementRow) -> int:
+        # Computed from the SC value on every access — this is the paper's
+        # "overhead ... to generate global order via the SC table".
+        if row.depth == 0:
+            return 0
+        return self._ordered[row.doc_id].sc_table.order_of(row.label.self_label)
+
+    def parent_key(self, row: ElementRow) -> int:
+        return row.label.parent_value
+
+    def node_key(self, row: ElementRow) -> int:
+        return row.label.value
+
+
+class IntervalOps(StoreOps):
+    """XISS interval labels: containment tests, order = the order column."""
+
+    name = "interval"
+
+    def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
+        return (
+            ancestor.label.order
+            < descendant.label.order
+            <= ancestor.label.order + ancestor.label.size
+        )
+
+    def order_key(self, row: ElementRow) -> int:
+        return row.label.order
+
+
+class PrefixOps(StoreOps):
+    """Prefix labels: the ``check_prefix`` UDF; order = lexicographic bits."""
+
+    name = "prefix-2"
+
+    def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
+        return check_prefix(ancestor.label, descendant.label)
+
+    def order_key(self, row: ElementRow) -> str:
+        # Prefix-2 sibling codes grow lexicographically, and an ancestor's
+        # label is a prefix of (hence sorts before) its descendants', so the
+        # label's string form *is* a document-order key.
+        return str(row.label)
+
+
+class LabelStore:
+    """The in-memory element table for a document collection."""
+
+    def __init__(self, rows: List[ElementRow], ops: StoreOps):
+        self.rows = rows
+        self.ops = ops
+        self._by_doc_tag: Dict[Tuple[int, str], List[ElementRow]] = {}
+        self._by_doc: Dict[int, List[ElementRow]] = {}
+        self._doc_ids: List[int] = []
+        for row in rows:
+            self._by_doc_tag.setdefault((row.doc_id, row.tag), []).append(row)
+            if row.doc_id not in self._by_doc:
+                self._by_doc[row.doc_id] = []
+                self._doc_ids.append(row.doc_id)
+            self._by_doc[row.doc_id].append(row)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, documents: Sequence[XmlElement], scheme: str = "prime"
+    ) -> "LabelStore":
+        """Label ``documents`` with ``scheme`` and load the element table.
+
+        ``scheme`` is one of ``"prime"``, ``"interval"``, ``"prefix-2"`` —
+        the three contenders of Figure 15.
+        """
+        builders: Dict[str, Callable[[], LabelStore]] = {
+            "prime": lambda: cls._build_prime(documents),
+            "interval": lambda: cls._build_simple(documents, XissIntervalScheme, IntervalOps()),
+            "prefix-2": lambda: cls._build_simple(documents, Prefix2Scheme, PrefixOps()),
+        }
+        try:
+            builder = builders[scheme]
+        except KeyError:
+            raise QueryEvaluationError(
+                f"unknown scheme {scheme!r}; choose from {', '.join(sorted(builders))}"
+            ) from None
+        return builder()
+
+    @classmethod
+    def _make_rows(
+        cls,
+        doc_id: int,
+        root: XmlElement,
+        label_of: Callable[[XmlElement], Any],
+        next_id: int,
+    ) -> Tuple[List[ElementRow], int]:
+        rows: List[ElementRow] = []
+        ids: Dict[int, int] = {}
+        depths: Dict[int, int] = {id(root): 0}
+        for node in root.iter_preorder():
+            element_id = next_id
+            next_id += 1
+            ids[id(node)] = element_id
+            if node.parent is not None:
+                depths[id(node)] = depths[id(node.parent)] + 1
+            rows.append(
+                ElementRow(
+                    doc_id=doc_id,
+                    element_id=element_id,
+                    tag=node.tag,
+                    label=label_of(node),
+                    depth=depths[id(node)],
+                    parent_id=ids[id(node.parent)] if node.parent is not None else None,
+                    node=node,
+                    text=node.text,
+                )
+            )
+        return rows, next_id
+
+    @classmethod
+    def _build_prime(cls, documents: Sequence[XmlElement]) -> "LabelStore":
+        rows: List[ElementRow] = []
+        ordered: Dict[int, OrderedDocument] = {}
+        next_id = 0
+        scheme_for_ops: Optional[PrimeScheme] = None
+        for doc_id, root in enumerate(documents):
+            document = OrderedDocument(root)
+            ordered[doc_id] = document
+            scheme_for_ops = scheme_for_ops or document.scheme
+            doc_rows, next_id = cls._make_rows(
+                doc_id, root, document.scheme.label_of, next_id
+            )
+            rows.extend(doc_rows)
+        if scheme_for_ops is None:
+            raise QueryEvaluationError("cannot build a store over zero documents")
+        return cls(rows, PrimeOps(scheme_for_ops, ordered))
+
+    @classmethod
+    def _build_simple(
+        cls,
+        documents: Sequence[XmlElement],
+        scheme_class: Callable[[], LabelingScheme],
+        ops: StoreOps,
+    ) -> "LabelStore":
+        rows: List[ElementRow] = []
+        next_id = 0
+        for doc_id, root in enumerate(documents):
+            scheme = scheme_class()
+            scheme.label_tree(root)
+            doc_rows, next_id = cls._make_rows(doc_id, root, scheme.label_of, next_id)
+            rows.extend(doc_rows)
+        if not rows:
+            raise QueryEvaluationError("cannot build a store over zero documents")
+        return cls(rows, ops)
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    @property
+    def doc_ids(self) -> List[int]:
+        return list(self._doc_ids)
+
+    def rows_with_tag(self, doc_id: int, tag: str) -> List[ElementRow]:
+        """The tag-index scan every step starts from (``*`` = any tag)."""
+        if tag == "*":
+            return self.rows_in_doc(doc_id)
+        return self._by_doc_tag.get((doc_id, tag), [])
+
+    def rows_in_doc(self, doc_id: int) -> List[ElementRow]:
+        """Every row of one document (the descendant-or-self expansions)."""
+        return self._by_doc.get(doc_id, [])
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,87 @@
+"""Parser for the XPath subset used by the paper's test queries (Table 2).
+
+Grammar (axis names are case-insensitive, as the paper mixes casings)::
+
+    query  := ('/' | '//') step ( ('/' | '//') step )*
+    step   := [ axis '::' ] name [ '[' integer ']' ]
+    axis   := 'Following' | 'Preceding' | 'Following-Sibling' | 'Preceding-Sibling'
+
+``/`` introduces a child step and ``//`` a descendant step; an explicit
+axis overrides the separator (the paper writes ``//Following::act`` where
+the ``//`` is decorative).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import Axis, Query, Step
+
+__all__ = ["parse_query"]
+
+_AXES = {
+    "child": Axis.CHILD,
+    "descendant": Axis.DESCENDANT,
+    "parent": Axis.PARENT,
+    "ancestor": Axis.ANCESTOR,
+    "following": Axis.FOLLOWING,
+    "preceding": Axis.PRECEDING,
+    "following-sibling": Axis.FOLLOWING_SIBLING,
+    "preceding-sibling": Axis.PRECEDING_SIBLING,
+}
+
+_STEP_PATTERN = re.compile(
+    r"""
+    (?P<sep> // | / )
+    \s*
+    (?: (?P<axis> [A-Za-z-]+ ) \s* :: \s* )?
+    (?P<name> [A-Za-z_][\w.-]* | \* )
+    (?: \[ (?P<position> \d+ ) \] )?
+    (?: \[ \s* \.\s*=\s* (?P<quote>["']) (?P<text> [^"']* ) (?P=quote) \s* \] )?
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_query(text: str) -> Query:
+    """Parse ``text`` into a :class:`repro.query.ast.Query`.
+
+    Raises :class:`repro.errors.QuerySyntaxError` on malformed input.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise QuerySyntaxError("empty query")
+    steps: List[Step] = []
+    position = 0
+    while position < len(stripped):
+        match = _STEP_PATTERN.match(stripped, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"cannot parse query {text!r} at offset {position}: "
+                f"{stripped[position:position + 20]!r}"
+            )
+        axis_name = match.group("axis")
+        if axis_name is not None:
+            axis = _AXES.get(axis_name.lower())
+            if axis is None:
+                raise QuerySyntaxError(f"unknown axis {axis_name!r} in {text!r}")
+        else:
+            axis = Axis.DESCENDANT if match.group("sep") == "//" else Axis.CHILD
+        predicate = match.group("position")
+        if predicate is not None and int(predicate) < 1:
+            raise QuerySyntaxError(f"positions are 1-based; got [{predicate}]")
+        steps.append(
+            Step(
+                axis=axis,
+                tag=match.group("name"),
+                position=int(predicate) if predicate is not None else None,
+                text=match.group("text"),
+                from_descendants=(
+                    axis_name is not None and match.group("sep") == "//"
+                ),
+            )
+        )
+        position = match.end()
+    return Query(steps=tuple(steps))

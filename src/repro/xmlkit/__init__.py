@@ -1,0 +1,51 @@
+"""From-scratch XML substrate: tokenizer, parser, ordered tree, serializer.
+
+The paper's data model is the *ordered XML tree*: element nodes whose
+children appear in document order.  This subpackage provides everything the
+labeling schemes need without touching the standard library's ``xml``
+package:
+
+* :mod:`repro.xmlkit.tokenizer` — a hand-written scanner for a practical XML
+  subset (elements, attributes, character data, CDATA, comments, processing
+  instructions, the five predefined entities, and numeric character
+  references);
+* :mod:`repro.xmlkit.events` + :mod:`repro.xmlkit.parser` — a SAX-like event
+  stream with well-formedness checking, and a DOM builder on top;
+* :mod:`repro.xmlkit.tree` — the ordered :class:`XmlElement` tree with the
+  structural statistics (node count, depth, fan-out) the size analysis needs;
+* :mod:`repro.xmlkit.serialize` — serialization back to XML text;
+* :mod:`repro.xmlkit.builder` — terse programmatic construction
+  (``element("book", element("author", text="John"))``).
+"""
+
+from repro.xmlkit.builder import element
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.parser import iter_events, parse_document
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.streaming import StreamedLabel, stream_labels, stream_prime_labels
+from repro.xmlkit.tree import TreeStats, XmlElement
+
+__all__ = [
+    "element",
+    "Characters",
+    "Comment",
+    "EndElement",
+    "ProcessingInstruction",
+    "StartElement",
+    "XmlEvent",
+    "iter_events",
+    "parse_document",
+    "serialize",
+    "StreamedLabel",
+    "stream_labels",
+    "stream_prime_labels",
+    "TreeStats",
+    "XmlElement",
+]

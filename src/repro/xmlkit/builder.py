@@ -1,0 +1,27 @@
+"""Terse programmatic tree construction.
+
+``element("book", element("title", text="TCP/IP"), element("author"))``
+builds the same tree a parse of the corresponding document would, which
+keeps tests and examples readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["element"]
+
+
+def element(
+    tag: str,
+    *children: XmlElement,
+    attributes: Optional[Dict[str, str]] = None,
+    text: str = "",
+) -> XmlElement:
+    """Create an :class:`XmlElement` with ``children`` already attached."""
+    node = XmlElement(tag, attributes, text)
+    for child in children:
+        node.append(child)
+    return node

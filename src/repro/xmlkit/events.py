@@ -1,0 +1,61 @@
+"""SAX-like parse events.
+
+The tokenizer/parser pipeline communicates through these small frozen
+dataclasses.  Consumers that only care about structure (e.g. the relabeling
+experiments that insert "the first level-4 node in SAX parse order",
+Section 5.3) can iterate events without building a tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+__all__ = [
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "Comment",
+    "ProcessingInstruction",
+    "XmlEvent",
+]
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """An opening tag, e.g. ``<speech id="1">``."""
+
+    name: str
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """A closing tag, e.g. ``</speech>`` (also emitted for ``<empty/>``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Characters:
+    """Character data between tags, entity references already resolved."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class Comment:
+    """An XML comment; the text excludes the ``<!--``/``-->`` delimiters."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class ProcessingInstruction:
+    """A processing instruction such as ``<?xml-stylesheet ...?>``."""
+
+    target: str
+    data: str
+
+
+XmlEvent = Union[StartElement, EndElement, Characters, Comment, ProcessingInstruction]

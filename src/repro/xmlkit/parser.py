@@ -1,0 +1,91 @@
+"""Well-formedness checking and DOM construction on top of the tokenizer.
+
+:func:`iter_events` wraps :func:`repro.xmlkit.tokenizer.tokenize` and
+enforces proper tag nesting, a single root element, and no stray character
+data outside the root.  :func:`parse_document` builds an
+:class:`repro.xmlkit.tree.XmlElement` tree from the checked stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.tokenizer import tokenize
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["iter_events", "parse_document"]
+
+
+def iter_events(text: str) -> Iterator[XmlEvent]:
+    """Yield the event stream for ``text``, enforcing well-formedness.
+
+    Raises :class:`repro.errors.XmlSyntaxError` on mismatched tags, multiple
+    roots, markup after the root closes, or non-whitespace characters outside
+    the root element.
+    """
+    open_tags: List[str] = []
+    seen_root = False
+    for event in tokenize(text):
+        if isinstance(event, StartElement):
+            if not open_tags and seen_root:
+                raise XmlSyntaxError(
+                    f"element <{event.name}> after the root element closed"
+                )
+            open_tags.append(event.name)
+            seen_root = True
+        elif isinstance(event, EndElement):
+            if not open_tags:
+                raise XmlSyntaxError(f"unexpected closing tag </{event.name}>")
+            expected = open_tags.pop()
+            if expected != event.name:
+                raise XmlSyntaxError(
+                    f"mismatched closing tag </{event.name}>; expected </{expected}>"
+                )
+        elif isinstance(event, Characters):
+            if not open_tags and event.text.strip():
+                raise XmlSyntaxError("character data outside the root element")
+        yield event
+    if open_tags:
+        raise XmlSyntaxError(f"unclosed element <{open_tags[-1]}> at end of input")
+    if not seen_root:
+        raise XmlSyntaxError("document has no root element")
+
+
+def parse_document(text: str) -> XmlElement:
+    """Parse ``text`` into an ordered element tree; returns the root.
+
+    Character data is accumulated onto the innermost open element's ``text``
+    (stripped of pure-whitespace runs between elements).  Comments and
+    processing instructions are discarded — the labeling schemes only see
+    element structure.
+    """
+    root: XmlElement | None = None
+    stack: List[XmlElement] = []
+    for event in iter_events(text):
+        if isinstance(event, StartElement):
+            node = XmlElement(event.name, event.attributes)
+            if stack:
+                stack[-1].append(node)
+            else:
+                root = node
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Characters):
+            if stack:
+                chunk = event.text
+                if chunk.strip():
+                    stack[-1].text += chunk.strip() if not stack[-1].text else chunk
+        elif isinstance(event, (Comment, ProcessingInstruction)):
+            continue
+    assert root is not None  # iter_events guarantees a root
+    return root

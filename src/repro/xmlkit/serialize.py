@@ -1,0 +1,64 @@
+"""Serialize element trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["serialize", "escape_text", "escape_attribute"]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _open_tag(node: XmlElement, self_closing: bool) -> str:
+    parts = [node.tag]
+    parts.extend(
+        f'{name}="{escape_attribute(value)}"' for name, value in node.attributes.items()
+    )
+    slash = "/" if self_closing else ""
+    return f"<{' '.join(parts)}{slash}>"
+
+
+def serialize(node: XmlElement, indent: int | None = None) -> str:
+    """Serialize the subtree rooted at ``node`` to XML text.
+
+    With ``indent=None`` (default) the output is compact, a lossless
+    round-trip partner for :func:`repro.xmlkit.parser.parse_document` when
+    the document has no mixed content.  With an integer ``indent``, children
+    are pretty-printed ``indent`` spaces per level (text-bearing elements are
+    kept on one line so their text survives a re-parse).
+    """
+    chunks: List[str] = []
+    _serialize_into(node, chunks, indent, 0)
+    return "".join(chunks)
+
+
+def _serialize_into(
+    node: XmlElement, chunks: List[str], indent: int | None, level: int
+) -> None:
+    pad = "" if indent is None else " " * (indent * level)
+    newline = "" if indent is None else "\n"
+    if not node.children and not node.text:
+        chunks.append(f"{pad}{_open_tag(node, self_closing=True)}{newline}")
+        return
+    if not node.children:
+        chunks.append(
+            f"{pad}{_open_tag(node, False)}{escape_text(node.text)}</{node.tag}>{newline}"
+        )
+        return
+    chunks.append(f"{pad}{_open_tag(node, False)}")
+    if node.text:
+        chunks.append(escape_text(node.text))
+    chunks.append(newline)
+    for child in node.children:
+        _serialize_into(child, chunks, indent, level + 1)
+    chunks.append(f"{pad}</{node.tag}>{newline}")

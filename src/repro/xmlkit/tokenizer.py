@@ -1,0 +1,249 @@
+"""Hand-written XML tokenizer.
+
+Scans XML text into the events defined in :mod:`repro.xmlkit.events`.
+Supported subset (everything the paper's datasets use):
+
+* start/end/empty element tags with attributes (single or double quoted),
+* character data with the five predefined entities (``&amp;`` ``&lt;``
+  ``&gt;`` ``&apos;`` ``&quot;``) and numeric character references
+  (``&#65;`` / ``&#x41;``),
+* CDATA sections, comments, processing instructions,
+* the XML declaration and DOCTYPE declarations (skipped; internal DTD
+  subsets are scanned over but not interpreted).
+
+Well-formedness of tag nesting is the parser's job
+(:mod:`repro.xmlkit.parser`); the tokenizer only validates local syntax and
+reports errors with line/column positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+
+__all__ = ["tokenize"]
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Cursor over the document text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def location(self, pos: int | None = None) -> Tuple[int, int]:
+        """Return (line, column), both 1-based, for ``pos`` (default current)."""
+        if pos is None:
+            pos = self.pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_newline = self.text.rfind("\n", 0, pos)
+        column = pos - last_newline
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> XmlSyntaxError:
+        line, column = self.location(pos)
+        return XmlSyntaxError(message, line=line, column=column)
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.advance(len(literal))
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.peek() in " \t\r\n":
+            self.advance()
+
+    def read_until(self, terminator: str, context: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {context}: missing {terminator!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(terminator)
+        return chunk
+
+    def read_name(self) -> str:
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise self.error("expected an XML name")
+        start = self.pos
+        self.advance()
+        while not self.at_end() and _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start : self.pos]
+
+
+def _resolve_entity(scanner: _Scanner) -> str:
+    """Resolve an entity/char reference; the cursor sits just past ``&``."""
+    start = scanner.pos - 1
+    body = scanner.read_until(";", "entity reference")
+    if body.startswith("#x") or body.startswith("#X"):
+        try:
+            return chr(int(body[2:], 16))
+        except ValueError:
+            raise scanner.error(f"bad character reference &{body};", pos=start) from None
+    if body.startswith("#"):
+        try:
+            return chr(int(body[1:]))
+        except ValueError:
+            raise scanner.error(f"bad character reference &{body};", pos=start) from None
+    try:
+        return _PREDEFINED_ENTITIES[body]
+    except KeyError:
+        raise scanner.error(f"unknown entity &{body};", pos=start) from None
+
+
+def _read_attribute_value(scanner: _Scanner) -> str:
+    quote = scanner.peek()
+    if quote not in "'\"":
+        raise scanner.error("attribute value must be quoted")
+    scanner.advance()
+    parts = []
+    while True:
+        if scanner.at_end():
+            raise scanner.error("unterminated attribute value")
+        ch = scanner.peek()
+        if ch == quote:
+            scanner.advance()
+            return "".join(parts)
+        if ch == "<":
+            raise scanner.error("'<' is not allowed inside attribute values")
+        scanner.advance()
+        if ch == "&":
+            parts.append(_resolve_entity(scanner))
+        else:
+            parts.append(ch)
+
+
+def _read_attributes(scanner: _Scanner) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end() or scanner.peek() in "/>":
+            return attributes
+        name_pos = scanner.pos
+        name = scanner.read_name()
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}", pos=name_pos)
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        attributes[name] = _read_attribute_value(scanner)
+
+
+def _read_tag(scanner: _Scanner) -> Iterator[XmlEvent]:
+    """Read one tag; the cursor sits on the ``<``."""
+    scanner.advance()  # consume '<'
+    if scanner.peek() == "/":
+        scanner.advance()
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect(">")
+        yield EndElement(name)
+        return
+    name = scanner.read_name()
+    attributes = _read_attributes(scanner)
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        yield StartElement(name, attributes)
+        yield EndElement(name)
+        return
+    scanner.expect(">")
+    yield StartElement(name, attributes)
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip ``<!DOCTYPE ...>`` including a bracketed internal subset."""
+    scanner.expect("<!DOCTYPE")
+    depth = 1
+    while depth:
+        if scanner.at_end():
+            raise scanner.error("unterminated DOCTYPE declaration")
+        ch = scanner.peek()
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        scanner.advance()
+
+
+def _read_character_data(scanner: _Scanner) -> str:
+    parts = []
+    while not scanner.at_end() and scanner.peek() != "<":
+        ch = scanner.peek()
+        scanner.advance()
+        if ch == "&":
+            parts.append(_resolve_entity(scanner))
+        else:
+            parts.append(ch)
+    return "".join(parts)
+
+
+def tokenize(text: str) -> Iterator[XmlEvent]:
+    """Yield parse events for ``text``.
+
+    Purely lexical: tag-nesting errors surface in
+    :func:`repro.xmlkit.parser.iter_events`, which wraps this generator.
+    """
+    scanner = _Scanner(text)
+    while not scanner.at_end():
+        if scanner.peek() != "<":
+            data = _read_character_data(scanner)
+            if data:
+                yield Characters(data)
+            continue
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            yield Comment(scanner.read_until("-->", "comment"))
+        elif scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            yield Characters(scanner.read_until("]]>", "CDATA section"))
+        elif scanner.startswith("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            target = scanner.read_name()
+            raw = scanner.read_until("?>", "processing instruction")
+            yield ProcessingInstruction(target, raw.strip())
+        elif scanner.startswith("<!"):
+            raise scanner.error("unsupported markup declaration")
+        else:
+            yield from _read_tag(scanner)

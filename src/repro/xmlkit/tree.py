@@ -1,0 +1,289 @@
+"""Ordered XML tree model.
+
+The labeling schemes operate on *element* trees: every node is an element
+with a tag name, attributes, an ordered list of element children, and the
+character data that appeared directly inside it.  This matches the paper's
+data model — its labels are assigned to element nodes, and sibling order is
+the document order the SC table must preserve.
+
+:class:`XmlElement` is deliberately mutable (children can be inserted and
+removed) because the whole point of the paper is *dynamic* trees.
+Mutation helpers keep parent pointers consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["XmlElement", "TreeStats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Structural statistics used throughout the size analysis (Section 3.1).
+
+    ``depth`` counts edges on the longest root-to-leaf path (a lone root has
+    depth 0), matching the paper's ``D``.  ``max_fanout`` is the paper's
+    ``F``; ``node_count`` is ``N``.
+    """
+
+    node_count: int
+    depth: int
+    max_fanout: int
+    leaf_count: int
+
+    @property
+    def internal_count(self) -> int:
+        return self.node_count - self.leaf_count
+
+
+class XmlElement:
+    """One element node in an ordered XML tree.
+
+    Parameters
+    ----------
+    tag:
+        Element name, e.g. ``"author"``.
+    attributes:
+        Optional attribute mapping; copied defensively.
+    text:
+        Character data appearing directly inside the element (concatenated
+        across child boundaries — enough fidelity for the paper's workloads).
+    """
+
+    __slots__ = ("tag", "attributes", "text", "parent", "_children")
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ):
+        if not tag:
+            raise ValueError("element tag must be a non-empty string")
+        self.tag = tag
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.text = text
+        self.parent: Optional["XmlElement"] = None
+        self._children: List["XmlElement"] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"<XmlElement {self.tag!r} children={len(self._children)}>"
+
+    @property
+    def children(self) -> Tuple["XmlElement", ...]:
+        """The element children, in document order (read-only view)."""
+        return tuple(self._children)
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator["XmlElement"]:
+        return iter(self._children)
+
+    def __getitem__(self, index: int) -> "XmlElement":
+        return self._children[index]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def depth(self) -> int:
+        """Edges between this node and the root (root has depth 0)."""
+        count = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            count += 1
+        return count
+
+    @property
+    def root(self) -> "XmlElement":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def child_index(self) -> int:
+        """This node's position among its siblings (0-based).
+
+        Raises ``ValueError`` on the root, which has no siblings.
+        """
+        if self.parent is None:
+            raise ValueError("the root has no sibling position")
+        for index, sibling in enumerate(self.parent._children):
+            if sibling is self:
+                return index
+        raise AssertionError("node not found among its parent's children")
+
+    def path(self) -> str:
+        """The tag path from the root, e.g. ``/play/act/scene``."""
+        tags = []
+        node: Optional[XmlElement] = self
+        while node is not None:
+            tags.append(node.tag)
+            node = node.parent
+        return "/" + "/".join(reversed(tags))
+
+    # ------------------------------------------------------------------
+    # Mutation (keeps parent pointers consistent)
+    # ------------------------------------------------------------------
+
+    def append(self, child: "XmlElement") -> "XmlElement":
+        """Append ``child`` as the last child; returns the child."""
+        return self.insert(len(self._children), child)
+
+    def insert(self, index: int, child: "XmlElement") -> "XmlElement":
+        """Insert ``child`` at sibling position ``index``; returns the child."""
+        if child.parent is not None:
+            raise ValueError("child already attached; detach() it first")
+        if child is self or self._is_descendant_of(child):
+            raise ValueError("inserting a node under its own descendant")
+        self._children.insert(index, child)
+        child.parent = self
+        return child
+
+    def detach(self) -> "XmlElement":
+        """Remove this node (and its subtree) from its parent; returns self."""
+        if self.parent is not None:
+            self.parent._children.remove(self)
+            self.parent = None
+        return self
+
+    def wrap_children(self, tag: str, start: int, end: int) -> "XmlElement":
+        """Interpose a new ``tag`` element over children ``[start, end)``.
+
+        This implements "insert a node as a parent of existing nodes"
+        (the non-leaf insertion experiment, Section 5.3).  Returns the new
+        intermediate element.
+        """
+        if not 0 <= start <= end <= len(self._children):
+            raise IndexError(
+                f"bad wrap range [{start}, {end}) for {len(self._children)} children"
+            )
+        moved = self._children[start:end]
+        wrapper = XmlElement(tag)
+        for node in moved:
+            node.parent = wrapper
+        wrapper._children = list(moved)
+        self._children[start:end] = [wrapper]
+        wrapper.parent = self
+        return wrapper
+
+    def _is_descendant_of(self, other: "XmlElement") -> bool:
+        node = self.parent
+        while node is not None:
+            if node is other:
+                return True
+            node = node.parent
+        return False
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def iter_preorder(self) -> Iterator["XmlElement"]:
+        """Yield this node and all descendants in document (preorder) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def iter_descendants(self) -> Iterator["XmlElement"]:
+        """Like :meth:`iter_preorder` but excluding this node itself."""
+        iterator = self.iter_preorder()
+        next(iterator)
+        return iterator
+
+    def iter_leaves(self) -> Iterator["XmlElement"]:
+        """Yield the subtree's leaves in document order."""
+        return (node for node in self.iter_preorder() if node.is_leaf)
+
+    def iter_level(self, level: int) -> Iterator["XmlElement"]:
+        """Yield the nodes exactly ``level`` edges below this node, in order."""
+        frontier: Sequence[XmlElement] = [self]
+        for _ in range(level):
+            frontier = [child for node in frontier for child in node._children]
+        return iter(frontier)
+
+    def find_all(self, predicate: Callable[["XmlElement"], bool]) -> List["XmlElement"]:
+        """All nodes in this subtree satisfying ``predicate``, document order."""
+        return [node for node in self.iter_preorder() if predicate(node)]
+
+    def find_by_tag(self, tag: str) -> List["XmlElement"]:
+        """All ``tag`` elements in this subtree, document order."""
+        return self.find_all(lambda node: node.tag == tag)
+
+    def is_ancestor_of(self, other: "XmlElement") -> bool:
+        """True iff ``self`` is a proper ancestor of ``other``.
+
+        This is the ground-truth test the labeling schemes must agree with.
+        """
+        return other is not self and other._is_descendant_of(self)
+
+    def document_position(self) -> int:
+        """0-based position of this node in the whole document's preorder."""
+        for index, node in enumerate(self.root.iter_preorder()):
+            if node is self:
+                return index
+        raise AssertionError("node not reachable from its own root")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> TreeStats:
+        """Compute :class:`TreeStats` for the subtree rooted here."""
+        node_count = 0
+        leaf_count = 0
+        max_fanout = 0
+        max_depth = 0
+        stack: List[Tuple[XmlElement, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            node_count += 1
+            fanout = len(node._children)
+            max_fanout = max(max_fanout, fanout)
+            max_depth = max(max_depth, depth)
+            if fanout == 0:
+                leaf_count += 1
+            stack.extend((child, depth + 1) for child in node._children)
+        return TreeStats(
+            node_count=node_count,
+            depth=max_depth,
+            max_fanout=max_fanout,
+            leaf_count=leaf_count,
+        )
+
+    def copy(self) -> "XmlElement":
+        """Deep-copy this subtree (the copy is detached)."""
+        clone = XmlElement(self.tag, self.attributes, self.text)
+        for child in self._children:
+            clone.append(child.copy())
+        return clone
+
+    def structurally_equal(self, other: "XmlElement") -> bool:
+        """True iff both subtrees have the same shape, tags, attrs and text."""
+        if (
+            self.tag != other.tag
+            or self.attributes != other.attributes
+            or self.text != other.text
+            or len(self._children) != len(other._children)
+        ):
+            return False
+        return all(
+            mine.structurally_equal(theirs)
+            for mine, theirs in zip(self._children, other._children)
+        )

@@ -1,0 +1,135 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.shakespeare import play
+from repro.xmlkit.serialize import serialize
+
+DOC = "<play><title/><act><scene><speech><line/></speech></scene></act></play>"
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def play_file(tmp_path):
+    path = tmp_path / "play.xml"
+    path.write_text(serialize(play(seed=1)), encoding="utf-8")
+    return str(path)
+
+
+class TestStats:
+    def test_prints_characteristics(self, xml_file, capsys):
+        assert main(["stats", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes=6" in out and "depth=4" in out
+
+    def test_multiple_files(self, xml_file, capsys):
+        assert main(["stats", xml_file, xml_file]) == 0
+        assert capsys.readouterr().out.count("nodes=") == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/no/such/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>", encoding="utf-8")
+        assert main(["stats", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLabel:
+    def test_prints_labels(self, xml_file, capsys):
+        assert main(["label", xml_file, "--scheme", "prime"]) == 0
+        out = capsys.readouterr().out
+        assert "play" in out and "max label" in out
+
+    @pytest.mark.parametrize(
+        "scheme",
+        ["prime", "prime-original", "prime-bottomup", "interval",
+         "interval-startend", "prefix-1", "prefix-2", "dewey"],
+    )
+    def test_all_schemes_available(self, xml_file, capsys, scheme):
+        assert main(["label", xml_file, "--scheme", scheme]) == 0
+
+    def test_annotate_writes_parseable_file(self, xml_file, tmp_path, capsys):
+        out_path = tmp_path / "annotated.xml"
+        assert main(["label", xml_file, "--annotate", str(out_path)]) == 0
+        from repro.xmlkit.parser import parse_document
+
+        annotated = parse_document(out_path.read_text(encoding="utf-8"))
+        assert "label" in annotated.attributes
+
+
+class TestCheck:
+    def test_valid_labeling_exits_zero(self, xml_file, capsys):
+        assert main(["check", xml_file, "--scheme", "prefix-2"]) == 0
+        assert "0 mismatches" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_counts_and_paths(self, play_file, capsys):
+        assert main(["query", "/PLAY//ACT[2]", play_file]) == 0
+        out = capsys.readouterr().out
+        assert "node(s) retrieved" in out
+        assert "/PLAY/ACT" in out
+
+    def test_scheme_choice(self, play_file, capsys):
+        assert main(["query", "/PLAY//SPEECH", play_file, "--scheme", "prefix-2"]) == 0
+
+    def test_bad_query_is_an_error(self, play_file, capsys):
+        assert main(["query", "PLAY//", play_file]) == 1
+
+
+class TestSql:
+    def test_renders_sql(self, capsys):
+        assert main(["sql", "/play//act", "--scheme", "prime"]) == 0
+        assert "SELECT" in capsys.readouterr().out
+
+
+class TestSpace:
+    def test_space_report_lists_schemes(self, play_file, capsys):
+        assert main(["space", play_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("interval", "prefix-2", "dewey", "prime-bottomup"):
+            assert name in out
+
+
+class TestBench:
+    def test_small_exhibit(self, capsys):
+        assert main(["bench", "fig4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_chart_mode(self, capsys):
+        assert main(["bench", "fig5", "--chart"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        out = tmp_path / "fig4.csv"
+        assert main(["bench", "fig4", "--csv", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("fan-out")
+
+    def test_unknown_exhibit(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+        assert "unknown exhibit" in capsys.readouterr().err
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m(self, xml_file):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", xml_file],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "nodes=6" in result.stdout

@@ -1,0 +1,208 @@
+"""Unit tests for the dataset substrate (dtd, random_tree, niagara, shakespeare)."""
+
+import pytest
+
+from repro.datasets.dtd import SchemaElement, expand_schema
+from repro.datasets.niagara import DATASET_NAMES, build_dataset, dataset_spec, table1_rows
+from repro.datasets.random_tree import RandomTreeBuilder, chain_tree, perfect_tree, star_tree
+from repro.datasets.shakespeare import hamlet, play, shakespeare_corpus
+from repro.errors import DatasetError
+
+
+class TestSchemaExpansion:
+    def simple_schema(self):
+        return (
+            SchemaElement("root", (("item", 1, 100),)),
+            SchemaElement("item", (("name", 1, 1),)),
+            SchemaElement("name", text=True),
+        )
+
+    def test_exact_budget(self):
+        tree = expand_schema(self.simple_schema(), "root", 41, seed=1)
+        assert tree.stats().node_count == 41
+
+    def test_deterministic(self):
+        a = expand_schema(self.simple_schema(), "root", 41, seed=1)
+        b = expand_schema(self.simple_schema(), "root", 41, seed=1)
+        assert a.structurally_equal(b)
+
+    def test_seed_changes_document(self):
+        a = expand_schema(self.simple_schema(), "root", 80, seed=1)
+        b = expand_schema(self.simple_schema(), "root", 80, seed=2)
+        # same structure-counts possible, but the payload texts will differ
+        assert not a.structurally_equal(b)
+
+    def test_minima_respected(self):
+        tree = expand_schema(self.simple_schema(), "root", 100, seed=0)
+        for item in tree.find_by_tag("item"):
+            assert [c.tag for c in item.children] == ["name"]
+
+    def test_budget_too_small_is_partial_not_crash(self):
+        tree = expand_schema(self.simple_schema(), "root", 2, seed=0)
+        assert tree.stats().node_count == 2
+
+    def test_bad_multiplicity_rejected(self):
+        with pytest.raises(DatasetError):
+            SchemaElement("x", (("y", 3, 1),))
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DatasetError):
+            expand_schema(self.simple_schema(), "nope", 10)
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(DatasetError):
+            expand_schema(
+                (SchemaElement("a"), SchemaElement("a")), "a", 5
+            )
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(DatasetError):
+            expand_schema(self.simple_schema(), "root", 0)
+
+
+class TestRandomTrees:
+    def test_exact_node_count(self):
+        tree = RandomTreeBuilder(seed=1).build(500)
+        assert tree.stats().node_count == 500
+
+    def test_depth_and_fanout_caps(self):
+        tree = RandomTreeBuilder(seed=2, max_depth=4, max_fanout=5).build(300)
+        stats = tree.stats()
+        assert stats.depth <= 4
+        assert stats.max_fanout <= 5
+
+    def test_deterministic(self):
+        a = RandomTreeBuilder(seed=9).build(100)
+        b = RandomTreeBuilder(seed=9).build(100)
+        assert a.structurally_equal(b)
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(DatasetError):
+            RandomTreeBuilder(seed=0, max_depth=1, max_fanout=2).build(10)
+
+    def test_perfect_tree(self):
+        tree = perfect_tree(3, 2)
+        stats = tree.stats()
+        assert stats.node_count == 15
+        assert stats.depth == 3
+        assert stats.max_fanout == 2
+
+    def test_chain_and_star(self):
+        assert chain_tree(5).stats().depth == 4
+        star = star_tree(7).stats()
+        assert (star.max_fanout, star.depth) == (7, 1)
+
+    def test_degenerate_args(self):
+        assert perfect_tree(0, 3).stats().node_count == 1
+        assert star_tree(0).stats().node_count == 1
+        with pytest.raises(DatasetError):
+            chain_tree(0)
+
+
+class TestNiagara:
+    def test_table1_node_counts_exact(self):
+        for name, _topic, max_nodes in table1_rows():
+            tree = build_dataset(name)
+            assert tree.stats().node_count == max_nodes, name
+
+    def test_nine_datasets(self):
+        assert DATASET_NAMES == tuple(f"D{i}" for i in range(1, 10))
+
+    def test_deterministic(self):
+        assert build_dataset("D3").structurally_equal(build_dataset("D3"))
+
+    def test_d4_has_huge_fanout(self):
+        assert build_dataset("D4").stats().max_fanout > 1000
+
+    def test_d7_is_deep_with_low_fanout(self):
+        stats = build_dataset("D7").stats()
+        assert stats.depth >= 5
+        assert stats.max_fanout <= 10
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            build_dataset("D10")
+
+    def test_spec_lookup(self):
+        spec = dataset_spec("D1")
+        assert spec.topic == "Sigmod record"
+        assert spec.max_nodes == 41
+
+    def test_collection_sizes_decay_from_table1_max(self):
+        from repro.datasets.niagara import build_collection
+
+        documents = build_collection("D3", files=6, seed=1)
+        sizes = [doc.stats().node_count for doc in documents]
+        assert sizes[0] == 340  # the Table 1 maximum comes first
+        assert all(later <= sizes[0] for later in sizes[1:])
+        assert sizes[-1] < sizes[0]
+
+    def test_collection_deterministic(self):
+        from repro.datasets.niagara import build_collection
+
+        first = build_collection("D2", files=4, seed=9)
+        second = build_collection("D2", files=4, seed=9)
+        assert all(a.structurally_equal(b) for a, b in zip(first, second))
+
+    def test_collection_of_plays(self):
+        from repro.datasets.niagara import build_collection
+
+        documents = build_collection("D8", files=3, seed=2)
+        assert all(doc.tag == "PLAY" for doc in documents)
+
+    def test_collection_rejects_zero_files(self):
+        from repro.datasets.niagara import build_collection
+
+        with pytest.raises(DatasetError):
+            build_collection("D1", files=0)
+
+
+class TestShakespeare:
+    def test_play_structure(self):
+        root = play(seed=0)
+        assert root.tag == "PLAY"
+        assert root.children[0].tag == "TITLE"
+        assert root.children[1].tag == "PERSONAE"
+        acts = [c for c in root.children if c.tag == "ACT"]
+        assert len(acts) == 5
+        for act in acts:
+            assert act.children[0].tag == "TITLE"
+            assert any(c.tag == "SCENE" for c in act.children)
+
+    def test_speech_structure(self):
+        root = play(seed=0)
+        speech = root.find_by_tag("SPEECH")[0]
+        assert speech.children[0].tag == "SPEAKER"
+        assert all(c.tag == "LINE" for c in speech.children[1:])
+
+    def test_exact_node_budget(self):
+        root = play(seed=3, node_budget=2000)
+        assert root.stats().node_count == 2000
+
+    def test_hamlet_is_6636_nodes_with_5_acts(self):
+        root = hamlet()
+        assert root.stats().node_count == 6636
+        assert len([c for c in root.children if c.tag == "ACT"]) == 5
+
+    def test_budget_below_natural_size_rejected(self):
+        with pytest.raises(DatasetError):
+            play(seed=0, node_budget=10)
+
+    def test_corpus_replication(self):
+        documents = shakespeare_corpus(plays=3, replicate=2, seed=5)
+        assert len(documents) == 6
+        assert documents[0].structurally_equal(documents[1])
+        assert not documents[0].structurally_equal(documents[2])
+
+    def test_corpus_acts_vary(self):
+        documents = shakespeare_corpus(plays=10, replicate=1, seed=5)
+        act_counts = {
+            len([c for c in d.children if c.tag == "ACT"]) for d in documents
+        }
+        assert len(act_counts) > 1
+
+    def test_bad_args(self):
+        with pytest.raises(DatasetError):
+            play(acts=0)
+        with pytest.raises(DatasetError):
+            shakespeare_corpus(plays=0)

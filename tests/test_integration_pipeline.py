@@ -1,0 +1,144 @@
+"""Integration tests: the whole system under realistic, mixed workloads.
+
+These tests simulate what a downstream adopter does — parse, label, query,
+edit, re-query, persist — keeping every subsystem's invariants checked at
+each step.  They are the closest thing to an end-to-end editing session.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DataGuide,
+    GuidedQueryEngine,
+    LabelStore,
+    OrderedAxes,
+    OrderedDocument,
+    QueryEngine,
+    TwigPattern,
+    load_store,
+    match_twig,
+    parse_document,
+    save_store,
+    serialize,
+)
+from repro.datasets.shakespeare import play, shakespeare_corpus
+
+
+class TestParseLabelQueryRoundTrip:
+    def test_full_pipeline_on_generated_corpus(self):
+        corpus = shakespeare_corpus(plays=3, seed=77)
+        # serialize + reparse: the store must not care where trees came from
+        reparsed = [parse_document(serialize(doc)) for doc in corpus]
+        for scheme in ("interval", "prime", "prefix-2"):
+            original = QueryEngine(LabelStore.build(corpus, scheme=scheme))
+            recycled = QueryEngine(LabelStore.build(reparsed, scheme=scheme))
+            for query in ("/PLAY//SPEECH", "/PLAY//ACT[2]//LINE", "/SCENE//SPEAKER"):
+                assert original.count(query) == recycled.count(query)
+
+    def test_engine_twig_and_guide_agree_on_paths(self):
+        corpus = shakespeare_corpus(plays=2, seed=78)
+        store = LabelStore.build(corpus, scheme="prime")
+        plain = QueryEngine(store)
+        guided = GuidedQueryEngine(store, guide=DataGuide(corpus))
+        # a pure path query is expressible all three ways
+        engine_count = plain.count("/PLAY//SPEECH/SPEAKER")
+        guided_count = guided.count("/PLAY//SPEECH/SPEAKER")
+        assert engine_count == guided_count
+        from repro.labeling.prime import PrimeScheme
+
+        twig_total = 0
+        for doc in corpus:
+            scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+            scheme.label_tree(doc)
+            twig_total += len(
+                match_twig(
+                    scheme, list(doc.iter_preorder()), TwigPattern.parse("PLAY//SPEECH/SPEAKER")
+                )
+            )
+        assert twig_total == engine_count
+
+
+class TestEditingSession:
+    """A long mixed session of ordered edits with invariants re-checked."""
+
+    def test_session_invariants(self):
+        rng = random.Random(2024)
+        document = OrderedDocument(play(seed=30), group_size=5)
+        axes = OrderedAxes(document)
+        total_cost = 0
+        for step in range(60):
+            action = rng.random()
+            nodes = list(document.root.iter_preorder())
+            if action < 0.5:
+                # ordered insert at a random position
+                parent = rng.choice(nodes)
+                index = rng.randint(0, len(parent.children))
+                report = document.insert_child(parent, index, tag=f"edit{step}")
+                total_cost += report.total_cost
+            elif action < 0.7:
+                # delete a random non-root subtree
+                victims = [n for n in nodes if not n.is_root]
+                if victims:
+                    document.delete(rng.choice(victims))
+            elif action < 0.85:
+                # order-sensitive query: following of a random node
+                target = rng.choice(nodes)
+                following = axes.following(target)
+                pivot = document.order_of(target)
+                assert all(document.order_of(n) > pivot for n in following)
+            else:
+                # position query over a tag group
+                speeches = axes.descendants_by_tag(document.root, "SPEECH")
+                if len(speeches) >= 3:
+                    third = axes.position(speeches, 3)
+                    assert document.order_of(third) > document.order_of(speeches[0])
+            # global invariants after every step
+            if step % 10 == 9:
+                assert document.check(), f"order corrupted at step {step}"
+                assert document.sc_table.check()
+        assert total_cost > 0
+
+    def test_structural_tests_survive_session(self):
+        rng = random.Random(7)
+        document = OrderedDocument(play(seed=31), group_size=5)
+        for step in range(25):
+            nodes = list(document.root.iter_preorder())
+            parent = rng.choice(nodes)
+            document.insert_child(
+                parent, rng.randint(0, len(parent.children)), tag=f"n{step}"
+            )
+        _pairs, mismatches = document.scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_compact_after_heavy_churn(self):
+        rng = random.Random(9)
+        document = OrderedDocument(play(seed=32), group_size=5)
+        for step in range(20):
+            nodes = [n for n in document.root.iter_preorder() if not n.is_root]
+            if step % 2 == 0:
+                parent = rng.choice(nodes)
+                document.insert_child(parent, 0, tag="tmp")
+            else:
+                document.delete(rng.choice(nodes))
+        document.compact()
+        assert document.check()
+
+
+class TestPersistenceAcrossEdits:
+    def test_snapshot_then_edit_then_resnapshot(self, tmp_path):
+        corpus = [play(seed=40)]
+        store = LabelStore.build(corpus, scheme="interval")
+        first = tmp_path / "v1.labels"
+        save_store(store, first)
+        baseline = QueryEngine(load_store(first)).count("/PLAY//LINE")
+
+        # edit the tree, rebuild, persist again: counts must track the edit
+        corpus[0].find_by_tag("SPEECH")[0].append(
+            parse_document("<LINE>new words</LINE>")
+        )
+        store = LabelStore.build(corpus, scheme="interval")
+        second = tmp_path / "v2.labels"
+        save_store(store, second)
+        assert QueryEngine(load_store(second)).count("/PLAY//LINE") == baseline + 1

@@ -1,0 +1,123 @@
+"""Unit tests for the bottom-up prime scheme and the Dewey baseline."""
+
+import pytest
+
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.prime import BottomUpPrimeScheme
+from repro.primes.primality import is_prime
+from repro.xmlkit.builder import element
+
+
+class TestBottomUp:
+    def test_leaves_get_primes(self, paper_tree):
+        scheme = BottomUpPrimeScheme().label_tree(paper_tree)
+        for leaf in paper_tree.iter_leaves():
+            assert is_prime(scheme.label_of(leaf))
+
+    def test_parent_is_product_of_children(self):
+        tree = element("r", element("a"), element("b"))
+        scheme = BottomUpPrimeScheme().label_tree(tree)
+        a, b = tree.children
+        assert scheme.label_of(tree) == scheme.label_of(a) * scheme.label_of(b)
+
+    def test_figure1_property2(self, paper_tree):
+        """Property 2: x ancestor of y iff label(x) mod label(y) == 0."""
+        scheme = BottomUpPrimeScheme().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        a1 = a.children[0]
+        assert scheme.label_of(a) % scheme.label_of(a1) == 0
+        assert scheme.is_ancestor(a, a1)
+        assert not scheme.is_ancestor(a1, a)
+
+    def test_single_child_special_handling(self):
+        """A one-child parent must not collide with its child."""
+        tree = element("r", element("only", element("leaf")))
+        scheme = BottomUpPrimeScheme().label_tree(tree)
+        only = tree.children[0]
+        leaf = only.children[0]
+        assert scheme.label_of(only) != scheme.label_of(leaf)
+        assert scheme.is_ancestor(only, leaf)
+
+    def test_chain_labels_all_distinct(self):
+        from repro.datasets.random_tree import chain_tree
+
+        tree = chain_tree(8)
+        scheme = BottomUpPrimeScheme().label_tree(tree)
+        labels = [scheme.label_of(n) for n in tree.iter_preorder()]
+        assert len(set(labels)) == len(labels)
+
+    def test_matches_ground_truth(self, any_tree):
+        scheme = BottomUpPrimeScheme().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_leaf_insert_relabels_ancestors(self, paper_tree):
+        scheme = BottomUpPrimeScheme().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        report = scheme.insert_leaf(a)
+        # new node + a + root
+        assert report.count == 3
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_root_sees_growth_on_deep_insert(self):
+        tree = element("r", element("a", element("b")))
+        scheme = BottomUpPrimeScheme().label_tree(tree)
+        root_before = scheme.label_of(tree)
+        scheme.insert_leaf(tree.children[0].children[0])
+        assert scheme.label_of(tree) % root_before == 0
+        assert scheme.label_of(tree) > root_before
+
+    def test_wrap_insert_stays_correct(self, paper_tree):
+        scheme = BottomUpPrimeScheme().label_tree(paper_tree)
+        scheme.insert_internal(paper_tree, 0, 2)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_top_labels_grow_fast(self):
+        """The paper's motivation for going top-down: bottom-up roots blow up."""
+        from repro.datasets.random_tree import perfect_tree
+        from repro.labeling.prime import PrimeScheme
+
+        tree = perfect_tree(3, 3)
+        bottom_up = BottomUpPrimeScheme().label_tree(tree)
+        top_down = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(tree)
+        assert bottom_up.max_label_bits() > top_down.max_label_bits()
+
+
+class TestDewey:
+    def test_root_is_empty_tuple(self, paper_tree):
+        scheme = DeweyScheme().label_tree(paper_tree)
+        assert scheme.label_of(paper_tree) == ()
+
+    def test_components_are_sibling_ordinals(self, paper_tree):
+        scheme = DeweyScheme().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        a2 = a.children[1]
+        assert scheme.label_of(a) == (1,)
+        assert scheme.label_of(a2) == (1, 2)
+
+    def test_matches_ground_truth(self, any_tree):
+        scheme = DeweyScheme().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_lexicographic_order_is_document_order(self, any_tree):
+        scheme = DeweyScheme().label_tree(any_tree)
+        nodes = list(any_tree.iter_preorder())
+        labels = [scheme.label_of(n) for n in nodes]
+        assert labels == sorted(labels)
+
+    def test_label_bits_counts_components(self):
+        scheme = DeweyScheme()
+        assert scheme.label_bits(()) == 0
+        assert scheme.label_bits((1,)) == 2
+        assert scheme.label_bits((3, 12)) == (2 + 1) + (4 + 1)
+
+    def test_updates_via_canonical_relabel(self, paper_tree):
+        scheme = DeweyScheme().label_tree(paper_tree)
+        report = scheme.insert_leaf(paper_tree, index=0)
+        # canonical Dewey shifts every following sibling subtree
+        assert report.count == 6
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0

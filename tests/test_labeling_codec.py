@@ -1,0 +1,170 @@
+"""Unit tests for the label codecs (fixed-width and varint)."""
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.codec import FixedWidthCodec, VarintCodec, ints_to_label, label_to_ints
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import (
+    FloatIntervalScheme,
+    OrderSizeLabel,
+    StartEndIntervalScheme,
+    StartEndLabel,
+    XissIntervalScheme,
+)
+from repro.labeling.prefix import Bits, Prefix2Scheme
+from repro.labeling.prime import PrimeLabel, PrimeScheme
+
+ALL_SCHEMES = [
+    XissIntervalScheme,
+    StartEndIntervalScheme,
+    Prefix2Scheme,
+    DeweyScheme,
+    lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+]
+
+
+class TestLabelToInts:
+    def test_prime(self):
+        assert label_to_ints(PrimeLabel(value=30, self_label=5)) == (30, 5)
+
+    def test_interval(self):
+        assert label_to_ints(OrderSizeLabel(order=3, size=7)) == (3, 7)
+        assert label_to_ints(StartEndLabel(start=1, end=12)) == (1, 12)
+
+    def test_bits(self):
+        assert label_to_ints(Bits.from_string("1101")) == (4, 13)
+
+    def test_dewey(self):
+        assert label_to_ints((1, 4, 2)) == (1, 4, 2)
+        assert label_to_ints(()) == ()
+
+    def test_fractional_interval_rejected(self):
+        from fractions import Fraction
+
+        with pytest.raises(LabelingError):
+            label_to_ints(StartEndLabel(start=Fraction(3, 2), end=Fraction(2)))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(LabelingError):
+            label_to_ints("not-a-label")
+
+    def test_round_trip_all_kinds(self):
+        for kind, label in [
+            ("prime", PrimeLabel(value=30, self_label=5)),
+            ("order-size", OrderSizeLabel(order=3, size=7)),
+            ("start-end", StartEndLabel(start=1, end=12)),
+            ("bits", Bits.from_string("0101")),
+            ("dewey", (2, 3)),
+        ]:
+            assert ints_to_label(kind, label_to_ints(label)) == label
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LabelingError):
+            ints_to_label("mystery", (1, 2))
+
+    def test_bare_int_labels(self):
+        assert label_to_ints(42) == (42,)
+        assert ints_to_label("int", (42,)) == 42
+
+    def test_bottomup_scheme_round_trips(self, paper_tree):
+        from repro.labeling.prime import BottomUpPrimeScheme
+
+        scheme = BottomUpPrimeScheme().label_tree(paper_tree)
+        codec = VarintCodec.for_scheme(scheme)
+        column = codec.encode_column(scheme)
+        assert codec.decode_column(column) == [
+            scheme.label_of(n) for n in scheme.labeled_nodes()
+        ]
+
+
+class TestFixedWidthCodec:
+    @pytest.mark.parametrize("factory", ALL_SCHEMES)
+    def test_round_trips_whole_document(self, factory, any_tree):
+        scheme = factory().label_tree(any_tree)
+        codec = FixedWidthCodec.for_scheme(scheme)
+        for node in any_tree.iter_preorder():
+            label = scheme.label_of(node)
+            assert codec.decode(codec.encode(label)) == label
+
+    def test_record_size_fixed(self, paper_tree):
+        scheme = PrimeScheme().label_tree(paper_tree)
+        codec = FixedWidthCodec.for_scheme(scheme)
+        sizes = {
+            len(codec.encode(scheme.label_of(node)))
+            for node in paper_tree.iter_preorder()
+        }
+        assert sizes == {codec.record_bytes}
+
+    def test_column_round_trip(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        codec = FixedWidthCodec.for_scheme(scheme)
+        column = codec.encode_column(scheme)
+        labels = codec.decode_column(column)
+        assert labels == [scheme.label_of(n) for n in scheme.labeled_nodes()]
+
+    def test_oversized_field_rejected(self):
+        codec = FixedWidthCodec("prime", 2, 1)
+        with pytest.raises(LabelingError):
+            codec.encode(PrimeLabel(value=70000, self_label=7))
+
+    def test_bad_blob_length_rejected(self):
+        codec = FixedWidthCodec("prime", 2, 2)
+        with pytest.raises(LabelingError):
+            codec.decode(b"abc")
+
+    def test_bad_column_length_rejected(self):
+        codec = FixedWidthCodec("prime", 2, 2)
+        with pytest.raises(LabelingError):
+            codec.decode_column(b"abcde")
+
+    def test_dewey_padding_unambiguous(self, paper_tree):
+        scheme = DeweyScheme().label_tree(paper_tree)
+        codec = FixedWidthCodec.for_scheme(scheme)
+        root_label = scheme.label_of(paper_tree)
+        assert codec.decode(codec.encode(root_label)) == ()
+
+    def test_empty_scheme_rejected(self):
+        with pytest.raises(LabelingError):
+            FixedWidthCodec.for_scheme(PrimeScheme())
+
+    def test_bad_construction(self):
+        with pytest.raises(LabelingError):
+            FixedWidthCodec("prime", 0, 2)
+
+
+class TestVarintCodec:
+    @pytest.mark.parametrize("factory", ALL_SCHEMES)
+    def test_round_trips_whole_document(self, factory, any_tree):
+        scheme = factory().label_tree(any_tree)
+        codec = VarintCodec.for_scheme(scheme)
+        column = codec.encode_column(scheme)
+        labels = codec.decode_column(column)
+        assert labels == [scheme.label_of(n) for n in scheme.labeled_nodes()]
+
+    def test_small_values_one_byte(self):
+        codec = VarintCodec("dewey")
+        assert len(codec.encode((1,))) == 2  # count byte + one value byte
+
+    def test_multibyte_varint(self):
+        codec = VarintCodec("prime")
+        label = PrimeLabel(value=2**40, self_label=2**40)
+        decoded, _offset = codec.decode(codec.encode(label))
+        assert decoded == label
+
+    def test_truncated_blob_rejected(self):
+        codec = VarintCodec("prime")
+        blob = codec.encode(PrimeLabel(value=300, self_label=300))
+        with pytest.raises(LabelingError):
+            codec.decode(blob[:-1])
+
+    def test_varint_beats_fixed_on_skewed_labels(self):
+        """One huge label forces fixed-width to pad everything."""
+        from repro.xmlkit.builder import element
+        from repro.datasets.random_tree import chain_tree
+
+        tree = chain_tree(20)
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(tree)
+        fixed = FixedWidthCodec.for_scheme(scheme)
+        varint = VarintCodec.for_scheme(scheme)
+        assert len(varint.encode_column(scheme)) < len(fixed.encode_column(scheme))

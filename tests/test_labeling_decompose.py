@@ -1,0 +1,79 @@
+"""Unit tests for tree decomposition (deep-tree optimization)."""
+
+import pytest
+
+from repro.datasets.random_tree import RandomTreeBuilder, chain_tree, perfect_tree
+from repro.labeling.decompose import DecomposedLabeling, decompose_tree
+from repro.labeling.prime import PrimeScheme
+
+
+def prime_factory():
+    return PrimeScheme(reserved_primes=0, power2_leaves=False)
+
+
+class TestDecomposition:
+    def test_shallow_tree_single_component(self, paper_tree):
+        decomposition = decompose_tree(paper_tree, prime_factory, max_depth=5)
+        assert decomposition.component_count == 1
+
+    def test_chain_splits_into_components(self):
+        decomposition = decompose_tree(chain_tree(10), prime_factory, max_depth=2)
+        assert decomposition.component_count == 4  # ceil(10 / 3) levels of 3
+
+    def test_bad_max_depth_rejected(self, paper_tree):
+        with pytest.raises(ValueError):
+            decompose_tree(paper_tree, prime_factory, max_depth=0)
+
+    @pytest.mark.parametrize("max_depth", [1, 2, 3])
+    def test_ancestor_test_matches_ground_truth(self, any_tree, max_depth):
+        decomposition = decompose_tree(any_tree, prime_factory, max_depth=max_depth)
+        nodes = list(any_tree.iter_preorder())
+        for first in nodes:
+            for second in nodes:
+                if first is second:
+                    continue
+                assert decomposition.is_ancestor(first, second) == first.is_ancestor_of(
+                    second
+                ), f"{first.tag} vs {second.tag} (max_depth={max_depth})"
+
+    def test_component_index_consistent(self):
+        tree = chain_tree(7)
+        decomposition = decompose_tree(tree, prime_factory, max_depth=2)
+        indices = [decomposition.component_index(n) for n in tree.iter_preorder()]
+        assert indices == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_local_and_global_labels_exist(self):
+        tree = chain_tree(7)
+        decomposition = decompose_tree(tree, prime_factory, max_depth=2)
+        for node in tree.iter_preorder():
+            assert decomposition.local_label(node) is not None
+            assert decomposition.global_label(node) is not None
+
+
+class TestDecompositionBenefit:
+    def test_reduces_label_size_on_deep_trees(self):
+        """The point of the optimization: deep chains get shorter labels."""
+        tree = chain_tree(60)
+        flat = prime_factory().label_tree(tree).max_label_bits()
+        decomposed = decompose_tree(tree, prime_factory, max_depth=4).max_label_bits()
+        assert decomposed < flat
+
+    def test_no_benefit_needed_on_shallow_trees(self):
+        tree = perfect_tree(2, 5)
+        flat = prime_factory().label_tree(tree.copy()).max_label_bits()
+        decomposed = decompose_tree(tree, prime_factory, max_depth=8).max_label_bits()
+        # a single component plus a trivial global tree: roughly the same
+        assert decomposed <= flat + 2
+
+    def test_random_deep_tree(self):
+        tree = RandomTreeBuilder(seed=5, max_depth=20, max_fanout=3).build(300)
+        decomposition = decompose_tree(tree, prime_factory, max_depth=5)
+        assert decomposition.component_count > 1
+        # spot-check correctness on a sample of pairs
+        nodes = list(tree.iter_preorder())[::7]
+        for first in nodes:
+            for second in nodes:
+                if first is not second:
+                    assert decomposition.is_ancestor(
+                        first, second
+                    ) == first.is_ancestor_of(second)

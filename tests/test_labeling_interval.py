@@ -1,0 +1,143 @@
+"""Unit tests for the interval labeling baselines."""
+
+import pytest
+
+from repro.errors import LabelOverflowError
+from repro.labeling.interval import (
+    FloatIntervalScheme,
+    OrderSizeLabel,
+    StartEndIntervalScheme,
+    XissIntervalScheme,
+)
+from repro.xmlkit.builder import element
+
+
+class TestXissLabels:
+    def test_root_label(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        label = scheme.label_of(paper_tree)
+        assert label == OrderSizeLabel(order=1, size=5)
+
+    def test_orders_are_preorder_ranks(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        orders = [scheme.label_of(n).order for n in paper_tree.iter_preorder()]
+        assert orders == [1, 2, 3, 4, 5, 6]
+
+    def test_sizes_are_descendant_counts(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        assert scheme.label_of(a).size == 2
+
+    def test_matches_ground_truth(self, any_tree):
+        scheme = XissIntervalScheme().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_label_bits(self):
+        scheme = XissIntervalScheme()
+        assert scheme.label_bits(OrderSizeLabel(order=5, size=2)) == 6
+        assert scheme.label_bits(OrderSizeLabel(order=1, size=0)) == 2
+
+
+class TestXissUpdates:
+    def test_leaf_append_relabels_tail(self):
+        # root -> a, b, c ; insert under a: b, c orders shift, root/a sizes grow
+        tree = element("r", element("a"), element("b"), element("c"))
+        scheme = XissIntervalScheme().label_tree(tree)
+        report = scheme.insert_leaf(tree.children[0])
+        # changed: new node, a (size), root (size), b (order), c (order)
+        assert report.count == 5
+
+    def test_relabel_count_grows_with_document(self):
+        small = element("r", *[element("x") for _ in range(10)])
+        large = element("r", *[element("x") for _ in range(100)])
+        small_scheme = XissIntervalScheme().label_tree(small)
+        large_scheme = XissIntervalScheme().label_tree(large)
+        small_count = small_scheme.insert_leaf(small.children[0]).count
+        large_count = large_scheme.insert_leaf(large.children[0]).count
+        assert large_count > small_count
+        assert large_count >= 100
+
+    def test_insert_as_last_child_of_root_is_cheap(self):
+        tree = element("r", element("a"), element("b"))
+        scheme = XissIntervalScheme().label_tree(tree)
+        report = scheme.insert_leaf(tree)
+        # only the new node and the root's size change
+        assert report.count == 2
+
+    def test_labels_valid_after_update(self, any_tree):
+        scheme = XissIntervalScheme().label_tree(any_tree)
+        scheme.insert_leaf(any_tree)
+        scheme.insert_internal(any_tree, 0, len(any_tree.children))
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_delete_relabels_nothing(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        report = scheme.delete(paper_tree.children[0])
+        assert report.count == 0
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+
+class TestStartEnd:
+    def test_root_interval_covers_document(self, paper_tree):
+        scheme = StartEndIntervalScheme().label_tree(paper_tree)
+        label = scheme.label_of(paper_tree)
+        assert label.start == 1
+        assert label.end == 2 * paper_tree.stats().node_count
+
+    def test_matches_ground_truth(self, any_tree):
+        scheme = StartEndIntervalScheme().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_intervals_nested_or_disjoint(self, paper_tree):
+        scheme = StartEndIntervalScheme().label_tree(paper_tree)
+        labels = [scheme.label_of(n) for n in paper_tree.iter_preorder()]
+        for a in labels:
+            for b in labels:
+                if a is b:
+                    continue
+                nested = (a.start < b.start and b.end < a.end) or (
+                    b.start < a.start and a.end < b.end
+                )
+                disjoint = a.end < b.start or b.end < a.start
+                assert nested or disjoint
+
+
+class TestFloatInterval:
+    def test_matches_ground_truth(self, any_tree):
+        scheme = FloatIntervalScheme().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_midpoint_insert_relabels_only_new_node(self, paper_tree):
+        scheme = FloatIntervalScheme().label_tree(paper_tree)
+        report = scheme.insert_leaf(paper_tree, index=1)
+        assert report.count == 1
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_mantissa_exhaustion_triggers_full_relabel(self):
+        tree = element("r", element("a"), element("b"))
+        scheme = FloatIntervalScheme(mantissa_bits=4)
+        scheme.label_tree(tree)
+        for _ in range(20):
+            scheme.insert_leaf(tree, index=1)
+        assert scheme.full_relabels > 0
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_try_insert_raises_instead_of_relabeling(self):
+        tree = element("r", element("a"))
+        scheme = FloatIntervalScheme(mantissa_bits=3)
+        scheme.label_tree(tree)
+        with pytest.raises(LabelOverflowError):
+            for _ in range(30):
+                scheme.try_insert_leaf(tree, index=1)
+        assert scheme.full_relabels == 0
+
+    def test_bad_mantissa_rejected(self):
+        with pytest.raises(ValueError):
+            FloatIntervalScheme(mantissa_bits=0)

@@ -1,0 +1,77 @@
+"""Unit tests for optimization Opt3 (combine repeated paths, Figure 6)."""
+
+from repro.labeling.pathcollapse import collapse_ratio, collapse_tree
+from repro.xmlkit.builder import element
+
+
+class TestCollapseTree:
+    def test_figure6_book_example(self, book_tree):
+        """Three book/author paths combine into one (Figure 6)."""
+        collapsed = collapse_tree(book_tree)
+        tags = [child.tag for child in collapsed.children]
+        assert tags == ["title", "author"]
+        author = collapsed.children[1]
+        assert author.multiplicity == 3
+        assert author.positions == [1, 2, 3]
+
+    def test_node_count_shrinks(self, book_tree):
+        collapsed = collapse_tree(book_tree)
+        assert collapsed.node_count == 3  # book, title, author
+        assert book_tree.stats().node_count == 5
+
+    def test_distinct_shapes_not_merged(self):
+        tree = element(
+            "r",
+            element("a", element("x")),
+            element("a"),  # same tag, different shape: stays separate
+        )
+        collapsed = collapse_tree(tree)
+        assert len(collapsed.children) == 2
+
+    def test_nested_repetition_compounds(self):
+        act = lambda: element("act", *[element("scene") for _ in range(4)])
+        tree = element("play", act(), act(), act())
+        collapsed = collapse_tree(tree)
+        assert collapsed.node_count == 3  # play, act, scene
+        assert collapsed.children[0].multiplicity == 3
+        assert collapsed.children[0].children[0].multiplicity == 4
+
+    def test_single_node(self):
+        collapsed = collapse_tree(element("only"))
+        assert collapsed.node_count == 1
+        assert collapsed.multiplicity == 1
+
+    def test_positions_record_sibling_indices(self):
+        tree = element("r", element("x"), element("y"), element("x"))
+        collapsed = collapse_tree(tree)
+        x_group = next(c for c in collapsed.children if c.tag == "x")
+        assert x_group.positions == [0, 2]
+
+    def test_to_element_materializes_attributes(self, book_tree):
+        materialized = collapse_tree(book_tree).to_element()
+        author = materialized.children[1]
+        assert author.attributes["repro:count"] == "3"
+        assert author.attributes["repro:positions"] == "1,2,3"
+
+    def test_to_element_labels_smaller(self, book_tree):
+        from repro.labeling.prime import PrimeScheme
+
+        full = PrimeScheme().label_tree(book_tree).max_label_bits()
+        collapsed = PrimeScheme().label_tree(
+            collapse_tree(book_tree).to_element()
+        ).max_label_bits()
+        assert collapsed <= full
+
+
+class TestCollapseRatio:
+    def test_zero_when_nothing_repeats(self):
+        tree = element("r", element("a"), element("b", element("c")))
+        assert collapse_ratio(tree) == 0.0
+
+    def test_high_for_repetitive_documents(self, book_tree):
+        assert collapse_ratio(book_tree) == 1.0 - 3 / 5
+
+    def test_shakespeare_is_highly_repetitive(self):
+        from repro.datasets.shakespeare import play
+
+        assert collapse_ratio(play(seed=0)) > 0.5

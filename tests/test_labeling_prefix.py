@@ -1,0 +1,193 @@
+"""Unit tests for the binary prefix schemes (Prefix-1, Prefix-2)."""
+
+import pytest
+
+from repro.labeling.prefix import (
+    Bits,
+    Prefix1Scheme,
+    Prefix2Scheme,
+    prefix1_code,
+    prefix2_first_code,
+    prefix2_next_code,
+)
+from repro.xmlkit.builder import element
+
+
+class TestBits:
+    def test_from_string_and_str(self):
+        assert str(Bits.from_string("1101")) == "1101"
+        assert str(Bits.empty()) == ""
+
+    def test_from_string_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Bits.from_string("10a1")
+
+    def test_value_must_fit(self):
+        with pytest.raises(ValueError):
+            Bits(4, 2)
+        with pytest.raises(ValueError):
+            Bits(-1, 4)
+
+    def test_leading_zeros_preserved(self):
+        assert str(Bits(1, 4)) == "0001"
+
+    def test_concat(self):
+        assert str(Bits.from_string("10").concat(Bits.from_string("01"))) == "1001"
+
+    def test_concat_with_empty(self):
+        code = Bits.from_string("110")
+        assert Bits.empty().concat(code) == code
+        assert code.concat(Bits.empty()) == code
+
+    def test_is_prefix_of(self):
+        assert Bits.from_string("10").is_prefix_of(Bits.from_string("1011"))
+        assert not Bits.from_string("11").is_prefix_of(Bits.from_string("1011"))
+        assert Bits.from_string("10").is_prefix_of(Bits.from_string("10"))
+        assert not Bits.from_string("1011").is_prefix_of(Bits.from_string("10"))
+
+    def test_proper_prefix(self):
+        code = Bits.from_string("10")
+        assert not code.is_proper_prefix_of(code)
+        assert code.is_proper_prefix_of(Bits.from_string("100"))
+
+    def test_empty_is_prefix_of_everything(self):
+        assert Bits.empty().is_prefix_of(Bits.from_string("0"))
+
+    def test_all_ones(self):
+        assert Bits.from_string("111").all_ones
+        assert not Bits.from_string("110").all_ones
+        assert not Bits.empty().all_ones
+
+    def test_len(self):
+        assert len(Bits.from_string("0101")) == 4
+
+
+class TestPrefix1Codes:
+    @pytest.mark.parametrize(
+        "ordinal, expected", [(1, "0"), (2, "10"), (3, "110"), (5, "11110")]
+    )
+    def test_unary_codes(self, ordinal, expected):
+        assert str(prefix1_code(ordinal)) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            prefix1_code(0)
+
+    def test_codes_prefix_free(self):
+        codes = [prefix1_code(i) for i in range(1, 20)]
+        for a in codes:
+            for b in codes:
+                if a is not b:
+                    assert not a.is_prefix_of(b)
+
+
+class TestPrefix2Codes:
+    def test_paper_sequence(self):
+        """The exact sequence from the paper: 0, 10, 1100, 1101, 1110, 11110000."""
+        code = prefix2_first_code()
+        sequence = [str(code)]
+        for _ in range(5):
+            code = prefix2_next_code(code)
+            sequence.append(str(code))
+        assert sequence == ["0", "10", "1100", "1101", "1110", "11110000"]
+
+    def test_lengths_grow_logarithmically(self):
+        code = prefix2_first_code()
+        for _ in range(200):
+            code = prefix2_next_code(code)
+        # After n increments the length is O(log n) doublings: 201 codes fit
+        # in length 16 (codes of length 16 cover ordinals up to ~2^12).
+        assert len(code) <= 16
+
+    def test_codes_prefix_free_and_ordered(self):
+        codes = []
+        code = prefix2_first_code()
+        for _ in range(100):
+            codes.append(code)
+            code = prefix2_next_code(code)
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not a.is_prefix_of(b)
+                if i < j:
+                    assert str(a) < str(b)  # lexicographic = sibling order
+
+
+@pytest.mark.parametrize("scheme_class", [Prefix1Scheme, Prefix2Scheme])
+class TestPrefixSchemes:
+    def test_matches_ground_truth(self, scheme_class, any_tree):
+        scheme = scheme_class().label_tree(any_tree)
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_root_label_empty(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        assert scheme.label_of(paper_tree) == Bits.empty()
+
+    def test_child_inherits_parent_prefix(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        a1 = a.children[0]
+        assert scheme.label_of(a).is_proper_prefix_of(scheme.label_of(a1))
+
+    def test_leaf_append_relabels_one(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        report = scheme.insert_leaf(paper_tree.children[0])
+        assert report.count == 1
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_unordered_mid_insert_relabels_one(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        report = scheme.insert_leaf(paper_tree, index=1)
+        assert report.count == 1
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_wrap_relabels_subtree_only(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        # wrap "a" (which has 2 children): new node + a + a1 + a2 = 4
+        report = scheme.insert_internal(paper_tree, 0, 1)
+        assert report.count == 4
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_ordered_insert_relabels_following_siblings(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        # insert before "b": new node + b + c relabel; "a" subtree untouched
+        report = scheme.insert_leaf_ordered(paper_tree, 1)
+        assert report.count == 3
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+    def test_ordered_insert_at_front_relabels_everything_below_parent(
+        self, scheme_class, paper_tree
+    ):
+        scheme = scheme_class().label_tree(paper_tree)
+        report = scheme.insert_leaf_ordered(paper_tree, 0)
+        # every original child subtree shifts: a,a1,a2,b,c + new = 6
+        assert report.count == 6
+
+    def test_delete_is_free(self, scheme_class, paper_tree):
+        scheme = scheme_class().label_tree(paper_tree)
+        assert scheme.delete(paper_tree.children[0]).count == 0
+        _pairs, mismatches = scheme.check_against_tree()
+        assert mismatches == 0
+
+
+class TestPrefixSizes:
+    def test_prefix1_grows_linearly_with_fanout(self):
+        wide = element("r", *[element("x") for _ in range(30)])
+        scheme = Prefix1Scheme().label_tree(wide)
+        assert scheme.max_label_bits() == 30
+
+    def test_prefix2_grows_logarithmically_with_fanout(self):
+        wide = element("r", *[element("x") for _ in range(30)])
+        scheme = Prefix2Scheme().label_tree(wide)
+        assert scheme.max_label_bits() <= 4 * 5  # 4*log2(30) ~ 19.6
+
+    def test_prefix2_beats_prefix1_on_wide_trees(self):
+        wide = element("r", *[element("x") for _ in range(100)])
+        p1 = Prefix1Scheme().label_tree(wide).max_label_bits()
+        p2 = Prefix2Scheme().label_tree(wide).max_label_bits()
+        assert p2 < p1

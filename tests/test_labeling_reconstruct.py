@@ -1,0 +1,117 @@
+"""Tests for tree reconstruction from label sets — the determinism oracle."""
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
+from repro.labeling.prefix import Bits, Prefix1Scheme, Prefix2Scheme
+from repro.labeling.prime import PrimeLabel, PrimeScheme
+from repro.labeling.reconstruct import (
+    reconstruct_from_dewey,
+    reconstruct_from_intervals,
+    reconstruct_from_prefix,
+    reconstruct_from_prime,
+)
+from repro.order.document import OrderedDocument
+
+
+def tagged_labels(scheme, root):
+    return [(node.tag, scheme.label_of(node)) for node in root.iter_preorder()]
+
+
+def shapes_equal(a, b) -> bool:
+    return a.tag == b.tag and len(a.children) == len(b.children) and all(
+        shapes_equal(x, y) for x, y in zip(a.children, b.children)
+    )
+
+
+class TestPrimeReconstruction:
+    def test_round_trip_original_scheme(self, any_tree):
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(any_tree)
+        rebuilt = reconstruct_from_prime(tagged_labels(scheme, any_tree))
+        assert shapes_equal(rebuilt, any_tree)
+
+    def test_shuffled_input_order_irrelevant(self, paper_tree):
+        import random
+
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(paper_tree)
+        labels = tagged_labels(scheme, paper_tree)
+        random.Random(3).shuffle(labels)
+        rebuilt = reconstruct_from_prime(labels)
+        assert shapes_equal(rebuilt, paper_tree)
+
+    def test_opt2_with_sc_table_recovers_order(self, any_tree):
+        # structure from labels + order from the SC table: the paper's full
+        # division of labour.  (OrderedDocument uses the original scheme.)
+        document = OrderedDocument(any_tree)
+        labels = tagged_labels(document.scheme, any_tree)
+        rebuilt = reconstruct_from_prime(labels, sc_table=document.sc_table)
+        assert shapes_equal(rebuilt, any_tree)
+
+    def test_order_recovery_after_updates(self, paper_tree):
+        document = OrderedDocument(paper_tree)
+        document.insert_child(paper_tree, 1, tag="inserted")
+        document.insert_child(paper_tree.children[0], 0, tag="front")
+        labels = tagged_labels(document.scheme, paper_tree)
+        rebuilt = reconstruct_from_prime(labels, sc_table=document.sc_table)
+        assert shapes_equal(rebuilt, paper_tree)
+
+    def test_missing_parent_rejected(self):
+        labels = [("root", PrimeLabel(value=1, self_label=1)),
+                  ("orphan", PrimeLabel(value=6, self_label=3))]
+        with pytest.raises(LabelingError):
+            reconstruct_from_prime(labels)
+
+    def test_duplicate_label_rejected(self):
+        labels = [("a", PrimeLabel(value=1, self_label=1)),
+                  ("b", PrimeLabel(value=1, self_label=1))]
+        with pytest.raises(LabelingError):
+            reconstruct_from_prime(labels)
+
+    def test_wrong_label_type_rejected(self):
+        with pytest.raises(LabelingError):
+            reconstruct_from_prime([("a", (1, 2))])
+
+
+class TestIntervalReconstruction:
+    @pytest.mark.parametrize("scheme_class", [XissIntervalScheme, StartEndIntervalScheme])
+    def test_round_trip(self, scheme_class, any_tree):
+        scheme = scheme_class().label_tree(any_tree)
+        rebuilt = reconstruct_from_intervals(tagged_labels(scheme, any_tree))
+        assert shapes_equal(rebuilt, any_tree)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(LabelingError):
+            reconstruct_from_intervals([("a", Bits.empty())])
+
+
+class TestPrefixReconstruction:
+    @pytest.mark.parametrize("scheme_class", [Prefix1Scheme, Prefix2Scheme])
+    def test_round_trip(self, scheme_class, any_tree):
+        scheme = scheme_class().label_tree(any_tree)
+        rebuilt = reconstruct_from_prefix(tagged_labels(scheme, any_tree))
+        assert shapes_equal(rebuilt, any_tree)
+
+    def test_duplicate_rejected(self):
+        labels = [("r", Bits.empty()), ("a", Bits.from_string("0")),
+                  ("b", Bits.from_string("0"))]
+        with pytest.raises(LabelingError):
+            reconstruct_from_prefix(labels)
+
+
+class TestDeweyReconstruction:
+    def test_round_trip(self, any_tree):
+        scheme = DeweyScheme().label_tree(any_tree)
+        rebuilt = reconstruct_from_dewey(tagged_labels(scheme, any_tree))
+        assert shapes_equal(rebuilt, any_tree)
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(LabelingError):
+            reconstruct_from_dewey([("r", ()), ("x", (1, 1))])
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(LabelingError):
+            reconstruct_from_dewey([("a", (1,)), ("b", (2,))])

@@ -1,0 +1,97 @@
+"""Unit tests for the analytic size models (Section 3.1, eqs 1–3)."""
+
+import pytest
+
+from repro.labeling.sizemodel import (
+    figure4_series,
+    figure5_series,
+    perfect_tree_nodes,
+    prefix1_max_bits,
+    prefix1_self_label_bits,
+    prefix2_max_bits,
+    prefix2_self_label_bits,
+    prime_max_bits,
+    prime_self_label_bits,
+)
+
+
+class TestPerfectTreeNodes:
+    @pytest.mark.parametrize(
+        "depth, fanout, expected",
+        [(0, 3, 1), (1, 3, 4), (2, 3, 13), (3, 2, 15), (2, 1, 3), (10, 1, 11)],
+    )
+    def test_known_values(self, depth, fanout, expected):
+        assert perfect_tree_nodes(depth, fanout) == expected
+
+    def test_matches_generated_tree(self):
+        from repro.datasets.random_tree import perfect_tree
+
+        assert perfect_tree(3, 4).stats().node_count == perfect_tree_nodes(3, 4)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            perfect_tree_nodes(-1, 2)
+        with pytest.raises(ValueError):
+            perfect_tree_nodes(2, 0)
+
+
+class TestSelfLabelModels:
+    def test_prefix1_linear(self):
+        assert prefix1_self_label_bits(10) == 10.0
+        assert prefix1_self_label_bits(50) == 50.0
+
+    def test_prefix2_logarithmic(self):
+        assert prefix2_self_label_bits(16) == pytest.approx(16.0)
+        assert prefix2_self_label_bits(2) == pytest.approx(4.0)
+
+    def test_prime_vs_fanout_sublogarithmic(self):
+        # The paper's Figure 4 claim: prime barely notices fan-out.
+        small = prime_self_label_bits(2, 5)
+        large = prime_self_label_bits(2, 50)
+        assert large - small < 10
+
+    def test_prime_vs_depth_grows(self):
+        # ... but grows with depth (Figure 5).
+        assert prime_self_label_bits(10, 15) > prime_self_label_bits(2, 15)
+
+
+class TestMaxBits:
+    def test_equation1(self):
+        assert prefix1_max_bits(2, 40) == 80.0
+
+    def test_equation2(self):
+        assert prefix2_max_bits(3, 16) == pytest.approx(48.0)
+
+    def test_equation3_positive_and_monotone_in_depth(self):
+        values = [prime_max_bits(d, 15) for d in range(1, 8)]
+        assert all(v > 0 for v in values)
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestFigureSeries:
+    def test_figure4_prime_flattest(self):
+        """At D=2, prime's curve rises the least across fan-out (Figure 4)."""
+        series = figure4_series(range(5, 51, 5), depth=2)
+        first, last = series[0][1], series[-1][1]
+        growth = {name: last[name] - first[name] for name in first}
+        assert growth["prime"] < growth["prefix-2"] < growth["prefix-1"]
+
+    def test_figure4_prefix1_worst_at_high_fanout(self):
+        _fanout, values = figure4_series([50], depth=2)[0]
+        assert values["prefix-1"] > values["prefix-2"] > values["prime"]
+
+    def test_figure5_prefixes_flat_in_depth(self):
+        """Figure 5: prefixes are unaffected by depth; prime grows linearly."""
+        series = figure5_series(range(0, 11), fanout=15)
+        prefix1 = [row[1]["prefix-1"] for row in series]
+        prefix2 = [row[1]["prefix-2"] for row in series]
+        prime = [row[1]["prime"] for row in series]
+        assert len(set(prefix1)) == 1
+        assert len(set(prefix2)) == 1
+        assert all(a < b for a, b in zip(prime[1:], prime[2:]))
+
+    def test_figure5_crossover(self):
+        """Prime beats prefixes at low depth, loses at high depth (F=15)."""
+        series = dict(figure5_series([1, 10], fanout=15))
+        assert series[1]["prime"] < series[1]["prefix-2"]
+        assert series[10]["prime"] > series[10]["prefix-2"]

@@ -1,0 +1,72 @@
+"""Unit tests for the label-space statistics module."""
+
+import pytest
+
+from repro.datasets.niagara import build_dataset
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+from repro.labeling.stats import LabelSpaceReport, compare_space, label_space_report
+
+
+def labeled_prime(tree):
+    scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+    scheme.label_tree(tree)
+    return scheme
+
+
+class TestLabelSpaceReport:
+    def test_basic_fields(self, paper_tree):
+        report = label_space_report(labeled_prime(paper_tree))
+        assert report.scheme == "prime"
+        assert report.node_count == 6
+        assert report.max_bits >= report.median_bits >= 1
+        assert report.total_bits >= report.max_bits + (report.node_count - 1)
+
+    def test_mean_between_min_and_max(self, paper_tree):
+        report = label_space_report(labeled_prime(paper_tree))
+        assert 1 <= report.mean_bits <= report.max_bits
+
+    def test_histogram_counts_every_node(self, paper_tree):
+        report = label_space_report(labeled_prime(paper_tree), bucket_bits=4)
+        assert sum(report.histogram.values()) == report.node_count
+        assert all(bucket % 4 == 0 for bucket in report.histogram)
+
+    def test_fixed_cost_is_width_times_count(self, paper_tree):
+        report = label_space_report(labeled_prime(paper_tree))
+        assert report.fixed_column_bytes == ((report.max_bits + 7) // 8) * 6
+
+    def test_varint_no_larger_than_fixed_on_skewed_data(self):
+        from repro.datasets.random_tree import chain_tree
+
+        scheme = labeled_prime(chain_tree(25))
+        report = label_space_report(scheme)
+        assert report.varint_column_bytes < report.fixed_column_bytes
+
+    def test_padding_ratio_at_least_one_for_uniform(self, paper_tree):
+        report = label_space_report(labeled_prime(paper_tree))
+        assert report.fixed_overhead_ratio >= 1.0
+
+    def test_unlabeled_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            label_space_report(PrimeScheme())
+
+    def test_bad_bucket_rejected(self, paper_tree):
+        with pytest.raises(ValueError):
+            label_space_report(labeled_prime(paper_tree), bucket_bits=0)
+
+
+class TestCompareSpace:
+    def test_tabulates_all_schemes(self):
+        tree = build_dataset("D3")
+        table = compare_space(
+            tree,
+            [
+                XissIntervalScheme,
+                Prefix2Scheme,
+                lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+            ],
+        )
+        assert table.column("scheme") == ["interval", "prefix-2", "prime"]
+        assert all(value > 0 for value in table.column("max bits"))
+        assert all(value >= 1.0 for value in table.column("padding x"))

@@ -1,0 +1,131 @@
+"""Unit tests for the order-sensitive axes (Section 4.3)."""
+
+import pytest
+
+from repro.order.axes import OrderedAxes
+from repro.order.document import OrderedDocument
+from repro.xmlkit.builder import element
+
+
+@pytest.fixture
+def paper_doc():
+    """The paper's ordered example (Figure 8): a paper with title, authors."""
+    root = element(
+        "paper",
+        element("title"),
+        element("author", text="Jane"),
+        element("author", text="Tom"),
+        element("author", text="John"),
+        element("year"),
+    )
+    return OrderedDocument(root)
+
+
+@pytest.fixture
+def axes(paper_doc):
+    return OrderedAxes(paper_doc)
+
+
+class TestFollowingPreceding:
+    def test_following_excludes_descendants(self):
+        doc = OrderedDocument(
+            element("r", element("a", element("a1")), element("b", element("b1")))
+        )
+        axes = OrderedAxes(doc)
+        a = doc.root.children[0]
+        tags = [n.tag for n in axes.following(a)]
+        assert tags == ["b", "b1"]  # a1 is a descendant, excluded
+
+    def test_preceding_excludes_ancestors(self):
+        doc = OrderedDocument(
+            element("r", element("a", element("a1")), element("b"))
+        )
+        axes = OrderedAxes(doc)
+        a1 = doc.root.children[0].children[0]
+        tags = [n.tag for n in axes.preceding(a1)]
+        assert tags == []  # r and a are ancestors; nothing else precedes
+
+    def test_following_of_title(self, paper_doc, axes):
+        title = paper_doc.root.children[0]
+        assert [n.tag for n in axes.following(title)] == [
+            "author", "author", "author", "year",
+        ]
+
+    def test_preceding_of_year(self, paper_doc, axes):
+        year = paper_doc.root.children[-1]
+        assert [n.tag for n in axes.preceding(year)] == [
+            "title", "author", "author", "author",
+        ]
+
+    def test_results_in_document_order(self, paper_doc, axes):
+        title = paper_doc.root.children[0]
+        orders = [paper_doc.order_of(n) for n in axes.following(title)]
+        assert orders == sorted(orders)
+
+
+class TestSiblingAxes:
+    def test_following_siblings(self, paper_doc, axes):
+        first_author = paper_doc.root.children[1]
+        tags = [n.tag for n in axes.following_siblings(first_author)]
+        assert tags == ["author", "author", "year"]
+
+    def test_preceding_siblings(self, paper_doc, axes):
+        last_author = paper_doc.root.children[3]
+        tags = [n.tag for n in axes.preceding_siblings(last_author)]
+        assert tags == ["title", "author", "author"]
+
+    def test_root_has_no_siblings(self, paper_doc, axes):
+        assert axes.following_siblings(paper_doc.root) == []
+        assert axes.preceding_siblings(paper_doc.root) == []
+
+    def test_nested_levels_are_not_siblings(self):
+        doc = OrderedDocument(element("r", element("a", element("x")), element("b")))
+        axes = OrderedAxes(doc)
+        x = doc.root.children[0].children[0]
+        assert axes.following_siblings(x) == []
+
+
+class TestPosition:
+    def test_position_n(self, paper_doc, axes):
+        authors = axes.descendants_by_tag(paper_doc.root, "author")
+        second = axes.position(authors, 2)
+        assert second.text == "Tom"
+
+    def test_position_out_of_range(self, paper_doc, axes):
+        authors = axes.descendants_by_tag(paper_doc.root, "author")
+        with pytest.raises(IndexError):
+            axes.position(authors, 9)
+
+    def test_position_must_be_positive(self, axes):
+        with pytest.raises(ValueError):
+            axes.position([], 0)
+
+
+class TestAfterUpdates:
+    def test_insert_second_author_shifts_positions(self, paper_doc):
+        """The paper's motivating update: a new second author pushes Tom and
+        John to third and fourth place — without node relabeling."""
+        axes = OrderedAxes(paper_doc)
+        first_author = paper_doc.root.children[1]
+        report = paper_doc.insert_after(first_author, tag="author")
+        report.new_node.text = "Alice"
+        authors = axes.descendants_by_tag(paper_doc.root, "author")
+        assert [a.text for a in authors] == ["Jane", "Alice", "Tom", "John"]
+        assert axes.position(authors, 2).text == "Alice"
+        assert axes.position(authors, 3).text == "Tom"
+
+    def test_axes_consistent_after_many_updates(self, paper_doc):
+        axes = OrderedAxes(paper_doc)
+        for index in range(4):
+            paper_doc.insert_child(paper_doc.root, index, tag=f"note{index}")
+        title = next(n for n in paper_doc.root.children if n.tag == "title")
+        following = axes.following(title)
+        expected = []
+        seen_title = False
+        for node in paper_doc.root.iter_preorder():
+            if node.tag == "title":
+                seen_title = True
+                continue
+            if seen_title:
+                expected.append(node.tag)
+        assert [n.tag for n in following] == expected

@@ -1,0 +1,185 @@
+"""Unit tests for the SC table (Section 4)."""
+
+import pytest
+
+from repro.errors import OrderingError
+from repro.order.sc_table import SCTable
+
+
+class TestRegistration:
+    def test_single_record_orders(self):
+        table = SCTable(group_size=None)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            table.register(prime, order)
+        assert len(table) == 1
+        assert table.records[0].sc == 29243  # the paper's Figure 9 value
+
+    def test_group_size_splits_records(self):
+        table = SCTable(group_size=2)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5)]:
+            table.register(prime, order)
+        assert len(table) == 3
+        assert [len(record) for record in table.records] == [2, 2, 1]
+
+    def test_max_prime_tracked(self):
+        table = SCTable(group_size=3)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4)]:
+            table.register(prime, order)
+        assert [record.max_prime for record in table.records] == [5, 7]
+
+    def test_order_lookup(self):
+        table = SCTable(group_size=2)
+        table.register(5, 1)
+        table.register(7, 2)
+        table.register(11, 3)
+        assert table.order_of(5) == 1
+        assert table.order_of(7) == 2
+        assert table.order_of(11) == 3
+
+    def test_duplicate_rejected(self):
+        table = SCTable()
+        table.register(5, 1)
+        with pytest.raises(OrderingError):
+            table.register(5, 2)
+
+    def test_self_label_below_two_rejected(self):
+        with pytest.raises(OrderingError):
+            SCTable().register(1, 0)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(OrderingError):
+            SCTable().register(5, -1)
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(OrderingError):
+            SCTable().order_of(5)
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ValueError):
+            SCTable(group_size=0)
+
+    def test_register_returns_one_record_touched(self):
+        assert SCTable().register(5, 1) == 1
+
+
+class TestShift:
+    def make_table(self, group_size=2):
+        table = SCTable(group_size=group_size)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            table.register(prime, order)
+        return table
+
+    def test_shift_bumps_orders_at_or_after_threshold(self):
+        table = self.make_table()
+        table.shift_orders_from(3)
+        assert table.orders() == {2: 1, 3: 2, 5: 4, 7: 5, 11: 6, 13: 7}
+
+    def test_shift_returns_touched_record_count(self):
+        table = self.make_table(group_size=2)
+        # records: (2,3), (5,7), (11,13); threshold 3 touches the last two +
+        # nothing in the first (orders 1,2 < 3)
+        touched, overflowed = table.shift_orders_from(3)
+        assert touched == 2
+        assert overflowed == []
+
+    def test_shift_everything_reports_overflows(self):
+        table = self.make_table(group_size=2)
+        # order 1 of modulus 2 would become 2 >= 2: an overflow the caller
+        # must repair; order 2 of modulus 3 likewise becomes 3 >= 3.
+        touched, overflowed = table.shift_orders_from(0)
+        assert sorted(overflowed) == [(2, 2), (3, 3)]
+        assert touched == 2  # the two later records were rewritten in place
+        assert 2 not in table.orders() and 3 not in table.orders()
+
+    def test_shift_nothing(self):
+        table = self.make_table()
+        touched, overflowed = table.shift_orders_from(100)
+        assert (touched, overflowed) == (0, [])
+        assert table.orders()[13] == 6
+
+    def test_paper_update_walkthrough(self):
+        """Section 4.2: insert a node (prime 17) at order 3 into Figure 9."""
+        table = SCTable(group_size=5)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            table.register(prime, order)
+        touched, overflowed = table.shift_orders_from(3)
+        assert overflowed == []
+        touched += table.register(17, 3)
+        assert table.orders() == {2: 1, 3: 2, 5: 4, 7: 5, 11: 6, 13: 7, 17: 3}
+        assert touched == 3  # both records rewritten + the registration
+        assert table.check()
+
+    def test_register_rejects_order_at_or_above_modulus(self):
+        table = SCTable()
+        with pytest.raises(OrderingError):
+            table.register(5, 5)
+
+    def test_set_order_rejects_invalid_residue(self):
+        table = SCTable()
+        table.register(7, 1)
+        with pytest.raises(OrderingError):
+            table.set_order(7, 7)
+
+
+class TestSetOrderAndUnregister:
+    def test_set_order(self):
+        table = SCTable()
+        table.register(5, 1)
+        table.set_order(5, 4)
+        assert table.order_of(5) == 4
+
+    def test_unregister(self):
+        table = SCTable(group_size=None)
+        table.register(5, 1)
+        table.register(7, 2)
+        table.unregister(5)
+        assert table.node_count == 1
+        assert table.order_of(7) == 2
+        with pytest.raises(OrderingError):
+            table.order_of(5)
+
+    def test_unregister_updates_max_prime(self):
+        table = SCTable(group_size=None)
+        table.register(5, 1)
+        table.register(7, 2)
+        table.unregister(7)
+        assert table.records[0].max_prime == 5
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(OrderingError):
+            SCTable().unregister(3)
+
+    def test_check_validates_all_records(self):
+        table = SCTable(group_size=2)
+        for prime, order in [(3, 1), (5, 2), (7, 3)]:
+            table.register(prime, order)
+        assert table.check()
+
+    def test_scan_routing_matches_indexed_routing(self):
+        table = SCTable(group_size=2)
+        primes = [3, 5, 7, 11, 13, 17, 19]
+        for order, prime in enumerate(primes, start=1):
+            table.register(prime, order)
+        for prime in primes:
+            assert table.record_for_by_scan(prime) is table.record_for(prime)
+
+    def test_scan_routing_unknown_raises(self):
+        table = SCTable()
+        table.register(5, 1)
+        with pytest.raises(OrderingError):
+            table.record_for_by_scan(7)
+
+
+class TestGroupSizeTradeoff:
+    """Ablation invariant: smaller groups -> more records touched per shift
+    is *false*; bigger groups concentrate updates in fewer records."""
+
+    def test_fewer_records_with_bigger_groups(self):
+        primes = [3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+        small = SCTable(group_size=2)
+        big = SCTable(group_size=5)
+        for order, prime in enumerate(primes, start=1):
+            small.register(prime, order)
+            big.register(prime, order)
+        assert small.shift_orders_from(1)[0] == 5
+        assert big.shift_orders_from(1)[0] == 2

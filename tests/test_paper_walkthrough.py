@@ -1,0 +1,108 @@
+"""Tests reproducing the paper's worked examples, figure by figure.
+
+Every number the paper prints in Sections 3–4 is asserted here: the
+Figure 2 top-down labels, the Figure 9 SC value 29243, the Figure 10
+two-record table (1523 and 6), and the Figure 11/12 update equations.
+"""
+
+import pytest
+
+from repro.labeling.prime import PrimeScheme
+from repro.order.sc_table import SCTable
+from repro.primes.crt import solve_congruences
+from repro.xmlkit.builder import element
+
+
+class TestFigure2TopDownLabels:
+    def test_product_structure(self):
+        """Figure 2's defining example: the node labeled 10 has parent-label
+        2 and self-label 5."""
+        tree = element("r", element("a", element("x"), element("y")))
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(tree)
+        a = tree.children[0]
+        y = a.children[1]
+        label = scheme.label_of(y)
+        assert label.value == 10
+        assert label.self_label == 5
+        assert label.parent_value == scheme.label_of(a).value == 2
+
+
+class TestFigure9SingleSCValue:
+    """Self-labels 2,3,5,7,11,13 with orders 1..6 -> SC = 29243."""
+
+    def setup_method(self):
+        self.table = SCTable(group_size=None)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            self.table.register(prime, order)
+
+    def test_sc_value(self):
+        assert self.table.records[0].sc == 29243
+
+    def test_paper_example_order_lookup(self):
+        """'The order number for the node whose self-label is 5 is 3, that
+        is, 29243 mod 5.'"""
+        assert 29243 % 5 == 3
+        assert self.table.order_of(5) == 3
+
+    def test_all_orders_recoverable(self):
+        assert self.table.orders() == {2: 1, 3: 2, 5: 3, 7: 4, 11: 5, 13: 6}
+
+
+class TestFigure10GroupedTable:
+    """Two SC values: the first five nodes (SC=1523), the sixth alone (SC=6)."""
+
+    def test_grouping_and_values(self):
+        table = SCTable(group_size=5)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            table.register(prime, order)
+        assert len(table) == 2
+        first, second = table.records
+        assert first.sc == 1523
+        assert first.max_prime == 11
+        assert second.sc == 6
+        assert second.max_prime == 13
+
+
+class TestFigure11And12Update:
+    """Insert a node with self-label 17 at order 3; the paper's equations."""
+
+    def make_updated_table(self):
+        table = SCTable(group_size=5)
+        for prime, order in [(2, 1), (3, 2), (5, 3), (7, 4), (11, 5), (13, 6)]:
+            table.register(prime, order)
+        touched, overflowed = table.shift_orders_from(3)
+        assert overflowed == []
+        table.register(17, 3)
+        return table, touched
+
+    def test_second_record_equations(self):
+        """x mod 13 = 7 and x mod 17 = 3 (the paper's first system)."""
+        table, _touched = self.make_updated_table()
+        second = table.records[1]
+        assert second.sc % 13 == 7
+        assert second.sc % 17 == 3
+        assert second.max_prime == 17  # "update it to 17"
+
+    def test_first_record_equations(self):
+        """x mod 2=1, x mod 3=2, x mod 5=4, x mod 7=5, x mod 11=6."""
+        table, _touched = self.make_updated_table()
+        first = table.records[0]
+        expected = solve_congruences([2, 3, 5, 7, 11], [1, 2, 4, 5, 6])
+        assert first.sc == expected
+        for modulus, residue in [(2, 1), (3, 2), (5, 4), (7, 5), (11, 6)]:
+            assert first.sc % modulus == residue
+
+    def test_update_cost_is_two_records(self):
+        """Both records were rewritten — far fewer 'relabels' than the six
+        order numbers that changed."""
+        table, touched = self.make_updated_table()
+        assert touched == 2
+        assert table.orders() == {2: 1, 3: 2, 5: 4, 7: 5, 11: 6, 13: 7, 17: 3}
+
+
+class TestSection41WorkedExample:
+    def test_p_345_i_123_gives_58(self):
+        """'Given a list of prime numbers P = [3, 4, 5], and a list of
+        integers I = [1, 2, 3] ... there exists a number x = 58.'"""
+        assert solve_congruences([3, 4, 5], [1, 2, 3]) == 58

@@ -1,0 +1,166 @@
+"""Tests for persistence, exhibit export, and streaming labelers."""
+
+import pytest
+
+from repro.bench.export import (
+    exhibit_builders,
+    export_all_exhibits,
+    table_to_csv,
+    table_to_json,
+)
+from repro.bench.harness import ResultTable
+from repro.datasets.shakespeare import play
+from repro.errors import QueryEvaluationError
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import StartEndIntervalScheme
+from repro.labeling.prime import PrimeScheme
+from repro.query.engine import QueryEngine
+from repro.query.persist import load_store, save_store
+from repro.query.store import LabelStore
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.streaming import stream_labels, stream_prime_labels
+
+DOC = "<play><title/><act><scene><speech><line/><line/></speech></scene></act></play>"
+
+
+class TestExport:
+    def make_table(self):
+        table = ResultTable(title="T", columns=("k", "v"), note="n")
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        return table
+
+    def test_csv_round_trip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        table_to_csv(self.make_table(), path)
+        import csv
+
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["k", "v"], ["a", "1"], ["b", "2"]]
+
+    def test_json_payload(self, tmp_path):
+        path = tmp_path / "t.json"
+        table_to_json(self.make_table(), path)
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "T"
+        assert payload["rows"][1] == {"k": "b", "v": 2}
+
+    def test_exhibit_builders_registry(self):
+        quick = exhibit_builders(include_slow=False)
+        full = exhibit_builders(include_slow=True)
+        assert set(quick) <= set(full)
+        assert "fig18" in full and "fig18" not in quick
+
+    def test_export_all_quick(self, tmp_path):
+        written = export_all_exhibits(tmp_path, include_slow=False)
+        names = {p.name for p in written}
+        assert "fig4.csv" in names and "table1.json" in names
+        assert all(p.stat().st_size > 0 for p in written)
+
+
+class TestPersist:
+    @pytest.mark.parametrize("scheme", ["prime", "interval", "prefix-2"])
+    def test_round_trip_preserves_rows(self, tmp_path, scheme):
+        documents = [parse_document(DOC), play(seed=2)]
+        store = LabelStore.build(documents, scheme=scheme)
+        path = tmp_path / "store.bin"
+        written = save_store(store, path)
+        assert written == path.stat().st_size > 0
+        loaded = load_store(path)
+        assert len(loaded) == len(store)
+        for original, restored in zip(store.rows, loaded.rows):
+            assert (original.doc_id, original.element_id) == (
+                restored.doc_id, restored.element_id,
+            )
+            assert original.tag == restored.tag
+            assert original.label == restored.label
+            assert original.depth == restored.depth
+            assert original.parent_id == restored.parent_id
+
+    @pytest.mark.parametrize("scheme", ["prime", "interval", "prefix-2"])
+    def test_loaded_store_answers_queries_identically(self, tmp_path, scheme):
+        documents = [parse_document(DOC), play(seed=2)]
+        store = LabelStore.build(documents, scheme=scheme)
+        path = tmp_path / "store.bin"
+        save_store(store, path)
+        loaded = load_store(path)
+        queries = (
+            "/play//line",
+            "/PLAY//SPEECH[2]",
+            "/act//Following::line",
+            "/SPEECH//Following-Sibling::SPEECH",
+        )
+        before = QueryEngine(store)
+        after = QueryEngine(loaded)
+        for query in queries:
+            assert [r.element_id for r in before.evaluate(query)] == [
+                r.element_id for r in after.evaluate(query)
+            ], (scheme, query)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(QueryEvaluationError):
+            load_store(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        documents = [parse_document(DOC)]
+        store = LabelStore.build(documents, scheme="interval")
+        path = tmp_path / "store.bin"
+        save_store(store, path)
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(QueryEvaluationError):
+            load_store(path)
+
+
+class TestStreaming:
+    def test_prime_matches_tree_labeling(self):
+        text = serialize(play(seed=5))
+        tree = parse_document(text)
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
+        scheme.label_tree(tree)
+        streamed = list(stream_prime_labels(text))
+        nodes = list(tree.iter_preorder())
+        assert len(streamed) == len(nodes)
+        for record, node in zip(streamed, nodes):
+            assert record.tag == node.tag
+            assert record.depth == node.depth
+            assert record.label == scheme.label_of(node)
+
+    def test_startend_matches_tree_labeling(self):
+        text = serialize(play(seed=5))
+        tree = parse_document(text)
+        scheme = StartEndIntervalScheme().label_tree(tree)
+        by_start = {
+            scheme.label_of(node).start: node for node in tree.iter_preorder()
+        }
+        for record in stream_labels(text, "interval-startend"):
+            node = by_start[record.label.start]
+            assert scheme.label_of(node) == record.label
+            assert node.tag == record.tag
+
+    def test_dewey_matches_tree_labeling(self):
+        text = serialize(play(seed=5))
+        tree = parse_document(text)
+        scheme = DeweyScheme().label_tree(tree)
+        streamed = list(stream_labels(text, "dewey"))
+        for record, node in zip(streamed, tree.iter_preorder()):
+            assert record.label == scheme.label_of(node)
+
+    def test_paths_are_root_anchored(self):
+        records = list(stream_prime_labels(DOC))
+        assert records[0].path == "/play"
+        assert records[-1].path == "/play/act/scene/speech/line"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            list(stream_labels(DOC, scheme="prefix-2"))
+
+    def test_streaming_is_lazy(self):
+        iterator = stream_prime_labels(DOC)
+        first = next(iterator)
+        assert first.tag == "play"

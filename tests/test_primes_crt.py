@@ -1,0 +1,143 @@
+"""Unit tests for repro.primes.crt — the SC table's algebraic core."""
+
+import pytest
+
+from repro.primes.crt import CongruenceSystem, solve_congruences, solve_congruences_euler
+
+
+class TestSolveCongruences:
+    def test_paper_example(self):
+        """Section 4.1's worked example: P=[3,4,5], I=[1,2,3] -> x=58."""
+        assert solve_congruences([3, 4, 5], [1, 2, 3]) == 58
+
+    def test_figure9_sc_value(self):
+        """Figure 9: self-labels 2,3,5,7,11,13 with orders 1..6 give 29243."""
+        assert solve_congruences([2, 3, 5, 7, 11, 13], [1, 2, 3, 4, 5, 6]) == 29243
+
+    def test_figure12_first_record(self):
+        """Figure 11/12's updated first record equations."""
+        x = solve_congruences([2, 3, 5, 7, 11], [1, 2, 4, 5, 6])
+        for modulus, residue in [(2, 1), (3, 2), (5, 4), (7, 5), (11, 6)]:
+            assert x % modulus == residue
+
+    def test_figure11_second_record(self):
+        x = solve_congruences([13, 17], [7, 3])
+        assert x % 13 == 7 and x % 17 == 3
+
+    def test_empty_system(self):
+        assert solve_congruences([], []) == 0
+
+    def test_single_congruence(self):
+        assert solve_congruences([7], [5]) == 5
+
+    def test_residues_reduced_modulo(self):
+        assert solve_congruences([5], [12]) == 2
+
+    def test_solution_in_range(self):
+        x = solve_congruences([3, 5, 7], [2, 3, 2])
+        assert 0 <= x < 105
+
+    def test_non_coprime_compatible(self):
+        # x = 2 mod 4 and x = 0 mod 6 -> x = 6 mod 12
+        assert solve_congruences([4, 6], [2, 0]) == 6
+
+    def test_non_coprime_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            solve_congruences([4, 6], [1, 0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_congruences([3, 5], [1])
+
+    def test_nonpositive_modulus_raises(self):
+        with pytest.raises(ValueError):
+            solve_congruences([0], [0])
+
+
+class TestEulerFormula:
+    def test_matches_paper_example(self):
+        assert solve_congruences_euler([3, 4, 5], [1, 2, 3]) == 58
+
+    def test_matches_incremental_solver(self):
+        moduli, residues = [2, 3, 5, 7, 11, 13], [1, 2, 3, 4, 5, 6]
+        assert solve_congruences_euler(moduli, residues) == solve_congruences(
+            moduli, residues
+        )
+
+    def test_requires_coprime(self):
+        with pytest.raises(ValueError):
+            solve_congruences_euler([4, 6], [2, 0])
+
+    def test_empty(self):
+        assert solve_congruences_euler([], []) == 0
+
+
+class TestCongruenceSystem:
+    def test_value_matches_solver(self):
+        system = CongruenceSystem([3, 4, 5], [1, 2, 3])
+        assert system.value == 58
+
+    def test_append_is_incremental_and_correct(self):
+        system = CongruenceSystem([2, 3], [1, 2])
+        baseline = system.value  # force caching
+        assert baseline % 2 == 1
+        system.append(5, 3)
+        assert system.value % 5 == 3
+        assert system.value % 2 == 1 and system.value % 3 == 2
+
+    def test_append_without_prior_solve(self):
+        system = CongruenceSystem()
+        system.append(7, 4)
+        system.append(11, 9)
+        assert system.value % 7 == 4 and system.value % 11 == 9
+
+    def test_set_residues_bulk_update(self):
+        system = CongruenceSystem([2, 3, 5, 7, 11], [1, 2, 3, 4, 5])
+        system.set_residues({5: 4, 7: 5, 11: 6})
+        assert system.value == solve_congruences([2, 3, 5, 7, 11], [1, 2, 4, 5, 6])
+
+    def test_set_residue_unknown_modulus_raises(self):
+        system = CongruenceSystem([3], [1])
+        with pytest.raises(KeyError):
+            system.set_residues({5: 0})
+
+    def test_remove(self):
+        system = CongruenceSystem([3, 5], [1, 2])
+        system.remove(3)
+        assert system.moduli == (5,)
+        assert system.value == 2
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            CongruenceSystem([3], [1]).remove(5)
+
+    def test_duplicate_modulus_rejected(self):
+        system = CongruenceSystem([3], [1])
+        with pytest.raises(ValueError):
+            system.append(3, 2)
+
+    def test_non_coprime_append_rejected(self):
+        system = CongruenceSystem([6], [1])
+        with pytest.raises(ValueError):
+            system.append(4, 2)
+
+    def test_check(self):
+        system = CongruenceSystem([2, 3, 5], [1, 2, 3])
+        assert system.check()
+
+    def test_len_and_contains(self):
+        system = CongruenceSystem([2, 3], [0, 1])
+        assert len(system) == 2
+        assert 3 in system and 5 not in system
+
+    def test_product(self):
+        assert CongruenceSystem([3, 5, 7], [0, 0, 0]).product == 105
+
+    def test_residue_lookup(self):
+        system = CongruenceSystem([5], [3])
+        assert system.residue(5) == 3
+        with pytest.raises(KeyError):
+            system.residue(7)
+
+    def test_empty_value_zero(self):
+        assert CongruenceSystem().value == 0

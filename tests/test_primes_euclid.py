@@ -1,0 +1,62 @@
+"""Unit tests for repro.primes.euclid."""
+
+import pytest
+
+from repro.primes.euclid import extended_gcd, gcd, lcm, modular_inverse
+
+
+class TestGcd:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [(12, 18, 6), (7, 13, 1), (0, 5, 5), (5, 0, 5), (0, 0, 0), (-12, 18, 6), (12, -18, 6)],
+    )
+    def test_known_values(self, a, b, expected):
+        assert gcd(a, b) == expected
+
+    def test_commutative(self):
+        assert gcd(84, 132) == gcd(132, 84)
+
+    def test_divides_both(self):
+        g = gcd(462, 1071)
+        assert 462 % g == 0 and 1071 % g == 0
+
+
+class TestLcm:
+    @pytest.mark.parametrize("a, b, expected", [(4, 6, 12), (7, 13, 91), (0, 9, 0), (5, 5, 5)])
+    def test_known_values(self, a, b, expected):
+        assert lcm(a, b) == expected
+
+    def test_product_identity(self):
+        a, b = 84, 132
+        assert lcm(a, b) * gcd(a, b) == a * b
+
+
+class TestExtendedGcd:
+    @pytest.mark.parametrize("a, b", [(240, 46), (7, 13), (0, 5), (5, 0), (17, 17), (1, 1)])
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert a * x + b * y == g
+        assert g == gcd(a, b)
+
+    def test_gcd_is_nonnegative(self):
+        g, _, _ = extended_gcd(-8, -12)
+        assert g == 4
+
+
+class TestModularInverse:
+    @pytest.mark.parametrize("a, m", [(3, 7), (10, 17), (5, 12), (7, 31), (100, 101)])
+    def test_inverse_property(self, a, m):
+        inverse = modular_inverse(a, m)
+        assert 0 <= inverse < m
+        assert a * inverse % m == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ValueError):
+            modular_inverse(6, 9)
+
+    def test_zero_modulus_raises(self):
+        with pytest.raises(ValueError):
+            modular_inverse(3, 0)
+
+    def test_negative_argument_normalized(self):
+        assert modular_inverse(-3, 7) == modular_inverse(4, 7)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.primes.primality (Miller–Rabin)."""
+
+import pytest
+
+from repro.primes.primality import is_prime, next_prime, previous_prime
+from repro.primes.sieve import sieve_of_eratosthenes
+
+
+class TestIsPrime:
+    def test_agrees_with_sieve_up_to_10000(self):
+        table = sieve_of_eratosthenes(10_000)
+        for n in range(10_001):
+            assert is_prime(n) == table[n], f"disagreement at {n}"
+
+    @pytest.mark.parametrize("n", [-7, -1, 0, 1])
+    def test_small_nonprimes(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize(
+        "carmichael", [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+    )
+    def test_rejects_carmichael_numbers(self, carmichael):
+        assert not is_prime(carmichael)
+
+    @pytest.mark.parametrize(
+        "prime",
+        [
+            2_147_483_647,  # Mersenne prime 2^31 - 1
+            4_294_967_311,  # smallest prime above 2^32
+            (1 << 61) - 1,  # Mersenne prime 2^61 - 1
+            67_280_421_310_721,  # a Fermat-number factor
+        ],
+    )
+    def test_large_known_primes(self, prime):
+        assert is_prime(prime)
+
+    @pytest.mark.parametrize(
+        "composite",
+        [
+            (1 << 61) + 1,
+            2_147_483_647 * 67_280_421_310_721,
+            10**18 + 9 + 2,  # even
+        ],
+    )
+    def test_large_composites(self, composite):
+        assert not is_prime(composite)
+
+    def test_square_of_prime(self):
+        assert not is_prime(104_729**2)
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize(
+        "n, expected", [(0, 2), (1, 2), (2, 3), (3, 5), (13, 17), (89, 97), (100, 101)]
+    )
+    def test_known_values(self, n, expected):
+        assert next_prime(n) == expected
+
+    def test_negative_input(self):
+        assert next_prime(-100) == 2
+
+    def test_strictly_greater(self):
+        for n in range(200):
+            assert next_prime(n) > n
+
+
+class TestPreviousPrime:
+    @pytest.mark.parametrize("n, expected", [(3, 2), (10, 7), (100, 97), (98, 97)])
+    def test_known_values(self, n, expected):
+        assert previous_prime(n) == expected
+
+    def test_rejects_at_or_below_two(self):
+        with pytest.raises(ValueError):
+            previous_prime(2)
+
+    def test_round_trip_with_next(self):
+        for n in [10, 100, 1000, 12345]:
+            p = next_prime(n)
+            assert previous_prime(p + 1) == p

@@ -1,0 +1,96 @@
+"""Unit tests for repro.primes.sieve."""
+
+import pytest
+
+from repro.primes.sieve import (
+    nth_prime,
+    primes_below,
+    primes_first_n,
+    segmented_sieve,
+    sieve_of_eratosthenes,
+)
+
+FIRST_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+
+class TestSieveTable:
+    def test_small_table_flags(self):
+        table = sieve_of_eratosthenes(10)
+        assert [i for i, flag in enumerate(table) if flag] == [2, 3, 5, 7]
+
+    def test_zero_and_one_are_not_prime(self):
+        table = sieve_of_eratosthenes(1)
+        assert table[0] is False and table[1] is False
+
+    def test_negative_limit_gives_empty_table(self):
+        assert sieve_of_eratosthenes(-5) == [False]
+
+    def test_limit_itself_included(self):
+        assert sieve_of_eratosthenes(13)[13] is True
+
+    def test_table_length(self):
+        assert len(sieve_of_eratosthenes(100)) == 101
+
+
+class TestPrimesBelow:
+    def test_first_primes(self):
+        assert primes_below(48) == FIRST_PRIMES
+
+    def test_exclusive_upper_bound(self):
+        assert primes_below(13)[-1] == 11
+
+    def test_empty_for_tiny_limits(self):
+        assert primes_below(2) == []
+        assert primes_below(0) == []
+
+    def test_count_below_10000(self):
+        # pi(10^4) = 1229, a standard checkpoint.
+        assert len(primes_below(10_000)) == 1229
+
+
+class TestPrimesFirstN:
+    def test_first_fifteen(self):
+        assert primes_first_n(15) == FIRST_PRIMES
+
+    def test_zero_and_negative(self):
+        assert primes_first_n(0) == []
+        assert primes_first_n(-3) == []
+
+    def test_large_n_crosses_bound_growth(self):
+        primes = primes_first_n(10_000)
+        assert len(primes) == 10_000
+        assert primes[-1] == 104_729  # the 10,000th prime
+
+    def test_strictly_increasing(self):
+        primes = primes_first_n(500)
+        assert all(a < b for a, b in zip(primes, primes[1:]))
+
+
+class TestNthPrime:
+    @pytest.mark.parametrize("n, expected", [(1, 2), (2, 3), (6, 13), (25, 97), (100, 541)])
+    def test_known_values(self, n, expected):
+        assert nth_prime(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            nth_prime(0)
+
+
+class TestSegmentedSieve:
+    def test_matches_plain_sieve_on_range(self):
+        assert list(segmented_sieve(50, 200)) == [
+            p for p in primes_below(200) if p >= 50
+        ]
+
+    def test_covers_from_two(self):
+        assert list(segmented_sieve(0, 30)) == primes_below(30)
+
+    def test_empty_range(self):
+        assert list(segmented_sieve(100, 100)) == []
+        assert list(segmented_sieve(100, 50)) == []
+
+    def test_high_window(self):
+        # Primes in [10^6, 10^6 + 100): a known short list.
+        assert list(segmented_sieve(1_000_000, 1_000_100)) == [
+            1_000_003, 1_000_033, 1_000_037, 1_000_039, 1_000_081, 1_000_099,
+        ]

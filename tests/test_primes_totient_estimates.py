@@ -1,0 +1,80 @@
+"""Unit tests for repro.primes.totient and repro.primes.estimates."""
+
+import math
+
+import pytest
+
+from repro.primes.estimates import (
+    estimated_bit_length,
+    estimated_nth_prime,
+    figure3_series,
+    prime_count_estimate,
+)
+from repro.primes.sieve import primes_first_n
+from repro.primes.totient import totient
+
+
+class TestTotient:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (6, 2), (9, 6), (10, 4), (12, 4), (36, 12), (97, 96)],
+    )
+    def test_known_values(self, n, expected):
+        assert totient(n) == expected
+
+    def test_prime_gives_n_minus_one(self):
+        for p in [2, 3, 5, 7, 11, 101]:
+            assert totient(p) == p - 1
+
+    def test_multiplicative_on_coprimes(self):
+        assert totient(35) == totient(5) * totient(7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            totient(0)
+
+    def test_brute_force_agreement(self):
+        for n in range(1, 200):
+            brute = sum(1 for k in range(1, n + 1) if math.gcd(k, n) == 1)
+            assert totient(n) == brute
+
+
+class TestEstimates:
+    def test_first_prime_estimate_clamped(self):
+        assert estimated_nth_prime(1) == 2.0
+
+    def test_estimate_grows(self):
+        values = [estimated_nth_prime(n) for n in range(2, 100)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            estimated_nth_prime(0)
+
+    def test_estimate_close_to_actual_bits(self):
+        """The paper's claim behind Figure 3: the bit-length error is small."""
+        primes = primes_first_n(10_000)
+        worst = max(
+            abs(primes[n - 1].bit_length() - estimated_bit_length(n))
+            for n in range(2, 10_001)
+        )
+        assert worst <= 2.0  # within 2 bits everywhere
+
+    def test_prime_count_estimate(self):
+        # The paper's x / log2(x) underestimates pi(x) (pi(10^4) = 1229)
+        # but stays within a factor of two — good enough for bit lengths.
+        assert prime_count_estimate(1) == 0.0
+        estimate = prime_count_estimate(10_000)
+        assert 1229 / 2 <= estimate <= 1229
+
+    def test_figure3_series_shape(self):
+        series = figure3_series(100)
+        assert len(series) == 100
+        n, actual, estimated = series[0]
+        assert (n, actual) == (1, 2)  # first prime is 2 -> 2 bits
+        assert estimated == pytest.approx(1.0)
+
+    def test_figure3_series_monotone_actual(self):
+        series = figure3_series(1000)
+        bits = [row[1] for row in series]
+        assert all(a <= b for a, b in zip(bits, bits[1:]))

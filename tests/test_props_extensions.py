@@ -1,0 +1,156 @@
+"""Property-based tests for the extension modules: codecs, joins,
+reconstruction, twigs, and a tokenizer fuzz pass."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XmlSyntaxError
+from repro.labeling.codec import FixedWidthCodec, VarintCodec
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+from repro.labeling.reconstruct import (
+    reconstruct_from_intervals,
+    reconstruct_from_prefix,
+    reconstruct_from_prime,
+)
+from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import XmlElement
+
+
+@st.composite
+def random_trees(draw, max_nodes=30):
+    size = draw(st.integers(1, max_nodes))
+    nodes = [XmlElement("n0")]
+    for index in range(1, size):
+        parent = nodes[draw(st.integers(0, index - 1))]
+        nodes.append(parent.append(XmlElement(f"n{index % 7}")))
+    return nodes[0]
+
+
+def shapes_equal(a, b) -> bool:
+    return a.tag == b.tag and len(a.children) == len(b.children) and all(
+        shapes_equal(x, y) for x, y in zip(a.children, b.children)
+    )
+
+
+class TestCodecProperties:
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_and_varint_round_trip_everything(self, root):
+        for factory in (
+            XissIntervalScheme,
+            Prefix2Scheme,
+            lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+        ):
+            scheme = factory().label_tree(root)
+            fixed = FixedWidthCodec.for_scheme(scheme)
+            varint = VarintCodec.for_scheme(scheme)
+            originals = [scheme.label_of(n) for n in scheme.labeled_nodes()]
+            assert fixed.decode_column(fixed.encode_column(scheme)) == originals
+            assert varint.decode_column(varint.encode_column(scheme)) == originals
+
+    @given(st.lists(st.integers(0, 2**64), min_size=1, max_size=8))
+    def test_varint_round_trips_arbitrary_ints(self, values):
+        codec = VarintCodec("dewey")
+        label = tuple(values)
+        decoded, _offset = codec.decode(codec.encode(label))
+        assert decoded == label
+
+
+class TestJoinProperties:
+    @given(random_trees(), st.integers(2, 4), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_joins_agree_with_nested_loop(self, root, a_step, d_step):
+        nodes = list(root.iter_preorder())
+        ancestors = nodes[::a_step]
+        descendants = nodes[::d_step]
+
+        interval = XissIntervalScheme().label_tree(root)
+        baseline = sorted(
+            (id(a), id(d)) for a, d in nested_loop_join(interval, ancestors, descendants)
+        )
+        stacked = sorted(
+            (id(a), id(d)) for a, d in stack_tree_join(interval, ancestors, descendants)
+        )
+        assert stacked == baseline
+
+        prime = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(root)
+        merged = sorted(
+            (id(a), id(d)) for a, d in prime_merge_join(prime, ancestors, descendants)
+        )
+        assert merged == baseline
+
+
+class TestReconstructionProperties:
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_every_family_round_trips(self, root):
+        prime = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(root)
+        labels = [(n.tag, prime.label_of(n)) for n in root.iter_preorder()]
+        assert shapes_equal(reconstruct_from_prime(labels), root)
+
+        interval = XissIntervalScheme().label_tree(root)
+        labels = [(n.tag, interval.label_of(n)) for n in root.iter_preorder()]
+        assert shapes_equal(reconstruct_from_intervals(labels), root)
+
+        prefix = Prefix2Scheme().label_tree(root)
+        labels = [(n.tag, prefix.label_of(n)) for n in root.iter_preorder()]
+        assert shapes_equal(reconstruct_from_prefix(labels), root)
+
+
+class TestStreamingProperties:
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_prime_equals_tree_labeling(self, root):
+        from repro.xmlkit.serialize import serialize
+        from repro.xmlkit.streaming import stream_labels
+
+        text = serialize(root)
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(root)
+        streamed = list(stream_labels(text, "prime"))
+        nodes = list(root.iter_preorder())
+        assert len(streamed) == len(nodes)
+        for record, node in zip(streamed, nodes):
+            assert record.label == scheme.label_of(node)
+            assert record.depth == node.depth
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_dewey_equals_tree_labeling(self, root):
+        from repro.labeling.dewey import DeweyScheme
+        from repro.xmlkit.serialize import serialize
+        from repro.xmlkit.streaming import stream_labels
+
+        text = serialize(root)
+        scheme = DeweyScheme().label_tree(root)
+        for record, node in zip(stream_labels(text, "dewey"), root.iter_preorder()):
+            assert record.label == scheme.label_of(node)
+
+
+class TestTokenizerFuzz:
+    """The parser must never raise anything but XmlSyntaxError."""
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_document(text)
+        except XmlSyntaxError:
+            pass  # rejection is the expected outcome for junk
+
+    @given(st.text(alphabet="<>&;/=\"'ab \n![]-", max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_markup_shaped_junk_never_crashes(self, text):
+        try:
+            parse_document(text)
+        except XmlSyntaxError:
+            pass
+
+    @given(random_trees(max_nodes=15))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_documents_always_parse(self, root):
+        from repro.xmlkit.serialize import serialize
+
+        parse_document(serialize(root))

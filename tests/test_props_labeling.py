@@ -1,0 +1,163 @@
+"""Property-based tests: every labeling scheme agrees with the tree, on
+random trees and through random update sequences."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling.dewey import DeweyScheme
+from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
+from repro.labeling.prefix import Bits, Prefix1Scheme, Prefix2Scheme, prefix2_next_code
+from repro.labeling.prime import BottomUpPrimeScheme, PrimeScheme
+from repro.xmlkit.tree import XmlElement
+
+SCHEME_FACTORIES = [
+    XissIntervalScheme,
+    StartEndIntervalScheme,
+    Prefix1Scheme,
+    Prefix2Scheme,
+    DeweyScheme,
+    BottomUpPrimeScheme,
+    lambda: PrimeScheme(reserved_primes=0, power2_leaves=False),
+    lambda: PrimeScheme(reserved_primes=8, power2_leaves=True),
+    lambda: PrimeScheme(reserved_primes=8, power2_leaves=True, leaf_threshold_bits=4),
+]
+
+
+@st.composite
+def random_trees(draw, max_nodes=40):
+    """Random trees encoded as parent-pointer lists (always a valid tree)."""
+    size = draw(st.integers(1, max_nodes))
+    nodes = [XmlElement("n0")]
+    for index in range(1, size):
+        parent = nodes[draw(st.integers(0, index - 1))]
+        nodes.append(parent.append(XmlElement(f"n{index}")))
+    return nodes[0]
+
+
+@st.composite
+def update_scripts(draw):
+    """A seed tree plus a random sequence of insert operations."""
+    root = draw(random_trees(max_nodes=15))
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["leaf", "wrap"]),
+                st.integers(0, 10**6),  # node selector
+                st.integers(0, 10**6),  # position selector
+            ),
+            max_size=8,
+        )
+    )
+    return root, operations
+
+
+class TestSchemesOnRandomTrees:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_all_schemes_match_ground_truth(self, root):
+        for factory in SCHEME_FACTORIES:
+            scheme = factory().label_tree(root)
+            _pairs, mismatches = scheme.check_against_tree()
+            assert mismatches == 0, f"{scheme.name} mislabels a random tree"
+
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_unique_per_scheme(self, root):
+        for factory in SCHEME_FACTORIES:
+            scheme = factory().label_tree(root)
+            labels = [scheme.label_of(n) for n in root.iter_preorder()]
+            assert len(set(map(repr, labels))) == len(labels), scheme.name
+
+
+class TestSchemesUnderUpdates:
+    @given(update_scripts())
+    @settings(max_examples=25, deadline=None)
+    def test_schemes_survive_random_update_sequences(self, script):
+        root, operations = script
+        for factory in SCHEME_FACTORIES:
+            tree = root.copy()
+            scheme = factory().label_tree(tree)
+            for kind, node_selector, position_selector in operations:
+                nodes = list(tree.iter_preorder())
+                target = nodes[node_selector % len(nodes)]
+                if kind == "leaf":
+                    scheme.insert_leaf(target)
+                elif target.children:
+                    end = 1 + position_selector % len(target.children)
+                    scheme.insert_internal(target, 0, end)
+            _pairs, mismatches = scheme.check_against_tree()
+            assert mismatches == 0, f"{scheme.name} broken by updates {operations}"
+
+    @given(random_trees(max_nodes=20), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_deletion_never_relabels(self, root, selector):
+        descendants = list(root.iter_descendants())
+        if not descendants:
+            return
+        target_index = selector % len(descendants)
+        for factory in SCHEME_FACTORIES:
+            tree = root.copy()
+            scheme = factory().label_tree(tree)
+            victim = list(tree.iter_descendants())[target_index]
+            report = scheme.delete(victim)
+            assert report.count == 0
+            _pairs, mismatches = scheme.check_against_tree()
+            assert mismatches == 0
+
+
+class TestBitsProperties:
+    bits = st.builds(
+        lambda length, value: Bits(value % (1 << length) if length else 0, length),
+        st.integers(0, 24),
+        st.integers(0, 2**24),
+    )
+
+    @given(bits, bits)
+    def test_concat_length_and_string(self, a, b):
+        joined = a.concat(b)
+        assert len(joined) == len(a) + len(b)
+        assert str(joined) == str(a) + str(b)
+
+    @given(bits, bits)
+    def test_prefix_test_matches_string_semantics(self, a, b):
+        assert a.is_prefix_of(b) == str(b).startswith(str(a))
+
+    @given(bits)
+    def test_round_trip_via_string(self, a):
+        assert Bits.from_string(str(a)) == a
+
+    @given(st.integers(0, 300))
+    def test_prefix2_sequence_prefix_free_pairwise_adjacent(self, start):
+        code = Bits(0, 1)
+        for _ in range(start):
+            code = prefix2_next_code(code)
+        successor = prefix2_next_code(code)
+        assert not code.is_prefix_of(successor)
+        assert not successor.is_prefix_of(code)
+        assert str(code) < str(successor)
+
+
+class TestPrimeLabelAlgebra:
+    @given(random_trees(max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_label_value_is_product_of_path_self_labels(self, root):
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(root)
+        for node in root.iter_preorder():
+            product = 1
+            cursor = node
+            while cursor is not None:
+                product *= scheme.label_of(cursor).self_label
+                cursor = cursor.parent
+            assert scheme.label_of(node).value == product
+
+    @given(random_trees(max_nodes=30))
+    @settings(max_examples=30, deadline=None)
+    def test_parent_value_identity(self, root):
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(root)
+        for node in root.iter_descendants():
+            assert (
+                scheme.label_of(node).parent_value
+                == scheme.label_of(node.parent).value
+            )

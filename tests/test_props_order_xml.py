@@ -1,0 +1,116 @@
+"""Property-based tests for the ordered document and the XML round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.order.document import OrderedDocument
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.tree import XmlElement
+
+
+@st.composite
+def random_trees(draw, max_nodes=20):
+    size = draw(st.integers(1, max_nodes))
+    nodes = [XmlElement("n0")]
+    for index in range(1, size):
+        parent = nodes[draw(st.integers(0, index - 1))]
+        nodes.append(parent.append(XmlElement(f"n{index}")))
+    return nodes[0]
+
+
+@st.composite
+def insertion_scripts(draw):
+    root = draw(random_trees())
+    inserts = draw(
+        st.lists(st.tuples(st.integers(0, 10**6), st.integers(0, 10**6)), max_size=12)
+    )
+    group_size = draw(st.sampled_from([1, 2, 5, None]))
+    return root, inserts, group_size
+
+
+class TestOrderedDocumentProperties:
+    @given(random_trees(), st.sampled_from([1, 3, 5, None]))
+    @settings(max_examples=40, deadline=None)
+    def test_initial_orders_match_preorder(self, root, group_size):
+        document = OrderedDocument(root, group_size=group_size)
+        assert document.check()
+        orders = [document.order_of(n) for n in root.iter_preorder()]
+        assert orders == list(range(len(orders)))
+
+    @given(insertion_scripts())
+    @settings(max_examples=30, deadline=None)
+    def test_order_preserved_through_arbitrary_insertions(self, script):
+        root, inserts, group_size = script
+        document = OrderedDocument(root, group_size=group_size)
+        for parent_selector, index_selector in inserts:
+            nodes = list(root.iter_preorder())
+            parent = nodes[parent_selector % len(nodes)]
+            index = index_selector % (len(parent.children) + 1)
+            document.insert_child(parent, index, tag="ins")
+        assert document.check()
+        assert document.sc_table.check()
+
+    @given(insertion_scripts())
+    @settings(max_examples=20, deadline=None)
+    def test_total_cost_bounded_by_records_plus_repairs(self, script):
+        root, inserts, group_size = script
+        document = OrderedDocument(root, group_size=group_size)
+        for parent_selector, index_selector in inserts:
+            nodes = list(root.iter_preorder())
+            parent = nodes[parent_selector % len(nodes)]
+            index = index_selector % (len(parent.children) + 1)
+            report = document.insert_child(parent, index, tag="ins")
+            # cost can never exceed: every record rewritten, plus the
+            # registration of the new congruence, plus (worst case) every
+            # existing node repaired — a node may be charged twice when it
+            # both overflows itself and descends from another overflow —
+            # plus the new node itself
+            bound = len(document.sc_table) + 2 * len(nodes) + 2
+            assert 0 < report.total_cost <= bound
+
+    @given(random_trees(), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_delete_keeps_relative_order(self, root, selector):
+        document = OrderedDocument(root)
+        descendants = list(root.iter_descendants())
+        if not descendants:
+            return
+        document.delete(descendants[selector % len(descendants)])
+        survivors = list(root.iter_preorder())
+        orders = [document.order_of(n) for n in survivors]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+
+_TAGS = st.sampled_from(["a", "b", "c", "item", "x-1", "ns:t"])
+_TEXT = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Zs"),
+        whitelist_characters="&<>'\"",
+    ),
+    max_size=20,
+)
+
+
+@st.composite
+def text_trees(draw, depth=3):
+    node = XmlElement(draw(_TAGS), text=draw(_TEXT).strip())
+    if depth > 0:
+        for child in draw(st.lists(text_trees(depth=depth - 1), max_size=3)):
+            node.append(child)
+    return node
+
+
+class TestXmlRoundTripProperties:
+    @given(text_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_round_trip(self, tree):
+        assert parse_document(serialize(tree)).structurally_equal(tree)
+
+    @given(text_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_double_round_trip_stable(self, tree):
+        once = serialize(parse_document(serialize(tree)))
+        twice = serialize(parse_document(once))
+        assert once == twice

@@ -1,0 +1,135 @@
+"""Unit tests for the DataGuide path summary and guided engine."""
+
+import pytest
+
+from repro.query.dataguide import DataGuide, GuidedQueryEngine
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+from repro.xmlkit.parser import parse_document
+
+PLAY = "<play><title/><act><scene><speech><line/></speech></scene></act></play>"
+BOOK = "<book><title/><author/><author/></book>"
+
+
+@pytest.fixture
+def documents():
+    return [parse_document(PLAY), parse_document(BOOK)]
+
+
+@pytest.fixture
+def guide(documents):
+    return DataGuide(documents)
+
+
+class TestDataGuide:
+    def test_path_count(self, guide):
+        # play: play, play/title, play/act, .../scene, .../speech, .../line (6)
+        # book: book, book/title, book/author (3)
+        assert guide.path_count == 9
+
+    def test_paths_listing(self, guide):
+        paths = guide.paths()
+        assert ("play", "act", "scene") in paths
+        assert ("book", "author") in paths
+        assert paths == sorted(paths)
+
+    def test_repeated_structure_summarized_once(self):
+        guide = DataGuide([parse_document(BOOK)])
+        assert guide.path_count == 3  # two authors share one guide node
+
+    def test_has_path(self, guide):
+        assert guide.has_path(["play", "act", "scene", "speech", "line"])
+        assert guide.has_path(["book", "author"])
+        assert not guide.has_path(["play", "author"])
+        assert not guide.has_path(["act"])  # paths are root-anchored
+
+    def test_documents_with_path(self, guide):
+        assert guide.documents_with_path(["play", "act"]) == {0}
+        assert guide.documents_with_path(["book"]) == {1}
+        assert guide.documents_with_path(["nothing"]) == set()
+
+    def test_documents_with_tag(self, guide):
+        assert guide.documents_with_tag("title") == {0, 1}
+        assert guide.documents_with_tag("line") == {0}
+        assert guide.documents_with_tag("xyz") == set()
+
+    def test_documents_with_subsequence(self, guide):
+        assert guide.documents_with_subsequence(["play", "speech"]) == {0}
+        assert guide.documents_with_subsequence(["book", "author"]) == {1}
+        assert guide.documents_with_subsequence(["title"]) == {0, 1}
+        assert guide.documents_with_subsequence(["speech", "play"]) == set()
+        assert guide.documents_with_subsequence([]) == set()
+
+    def test_multiple_documents_same_shape_share_paths(self):
+        guide = DataGuide([parse_document(BOOK), parse_document(BOOK)])
+        assert guide.path_count == 3
+        assert guide.documents_with_path(["book"]) == {0, 1}
+
+
+class TestGuidedEngine:
+    def test_same_results_as_plain_engine(self, documents):
+        store = LabelStore.build(documents, scheme="prime")
+        plain = QueryEngine(store)
+        guided = GuidedQueryEngine(store)
+        for query in ("/play//line", "/book//author", "/title", "/act//Following::line"):
+            plain_ids = [r.element_id for r in plain.evaluate(query)]
+            guided_ids = [r.element_id for r in guided.evaluate(query)]
+            assert plain_ids == guided_ids, query
+
+    def test_skips_irrelevant_documents(self, documents):
+        store = LabelStore.build(documents, scheme="interval")
+        guided = GuidedQueryEngine(store)
+        guided.evaluate("/book//author")
+        assert guided.documents_skipped == 1  # the play was never scanned
+
+    def test_impossible_query_short_circuits(self, documents):
+        store = LabelStore.build(documents, scheme="interval")
+        guided = GuidedQueryEngine(store)
+        assert guided.evaluate("/play//author") == []
+        assert guided.documents_skipped == 2
+
+    def test_wildcard_bypasses_guide(self, documents):
+        store = LabelStore.build(documents, scheme="interval")
+        guided = GuidedQueryEngine(store)
+        rows = guided.evaluate("/play//*")
+        assert guided.documents_skipped == 0
+        assert len(rows) == 5  # everything under the play root
+
+    def test_explicit_guide_accepted(self, documents, guide):
+        store = LabelStore.build(documents, scheme="interval")
+        guided = GuidedQueryEngine(store, guide=guide)
+        assert guided.evaluate("/book//author")
+
+
+class TestEngineExtensions:
+    """Wildcards and the parent/ancestor axes added alongside the guide."""
+
+    @pytest.fixture
+    def engine(self, documents):
+        return QueryEngine(LabelStore.build(documents, scheme="prime"))
+
+    def test_wildcard_first_step(self, engine):
+        assert engine.count("/*") == 10  # every element in both documents
+
+    def test_wildcard_descendant(self, engine):
+        assert engine.count("/play//*") == 5
+
+    def test_parent_axis(self, engine):
+        rows = engine.evaluate("/speech/Parent::scene")
+        assert [r.tag for r in rows] == ["scene"]
+
+    def test_ancestor_axis(self, engine):
+        rows = engine.evaluate("/line/Ancestor::*")
+        assert [r.tag for r in rows] == ["play", "act", "scene", "speech"]
+
+    def test_ancestor_axis_with_tag(self, engine):
+        assert engine.count("/line/Ancestor::act") == 1
+
+    def test_explicit_child_axis_name(self, engine):
+        assert engine.count("/book/Child::author") == 2
+
+    def test_cannot_start_with_parent(self, engine):
+        from repro.errors import QueryEvaluationError
+
+        with pytest.raises(QueryEvaluationError):
+            engine.evaluate("/Parent::x")

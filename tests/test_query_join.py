@@ -1,0 +1,118 @@
+"""Unit + cross-validation tests for the structural join algorithms."""
+
+import pytest
+
+from repro.datasets.random_tree import RandomTreeBuilder
+from repro.datasets.shakespeare import play
+from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
+from repro.labeling.prime import PrimeScheme
+from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
+from repro.xmlkit.builder import element
+
+
+def canonical(pairs):
+    return sorted((id(a), id(d)) for a, d in pairs)
+
+
+@pytest.fixture
+def play_tree():
+    return play(seed=4)
+
+
+class TestNestedLoop:
+    def test_simple_pairs(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        a = paper_tree.children[0]
+        pairs = nested_loop_join(scheme, [paper_tree, a], list(paper_tree.iter_preorder()))
+        # root is the ancestor of all 5 others; "a" of its 2 children
+        assert len(pairs) == 7
+
+    def test_empty_inputs(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        assert nested_loop_join(scheme, [], [paper_tree]) == []
+        assert nested_loop_join(scheme, [paper_tree], []) == []
+
+    def test_no_self_pairs(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        nodes = list(paper_tree.iter_preorder())
+        pairs = nested_loop_join(scheme, nodes, nodes)
+        assert all(a is not d for a, d in pairs)
+
+
+class TestStackTreeJoin:
+    @pytest.mark.parametrize("scheme_class", [XissIntervalScheme, StartEndIntervalScheme])
+    def test_matches_nested_loop(self, scheme_class, any_tree):
+        scheme = scheme_class().label_tree(any_tree)
+        nodes = list(any_tree.iter_preorder())
+        ancestors = nodes[::2]
+        descendants = nodes[::3]
+        expected = canonical(nested_loop_join(scheme, ancestors, descendants))
+        actual = canonical(stack_tree_join(scheme, ancestors, descendants))
+        assert actual == expected
+
+    def test_acts_join_lines(self, play_tree):
+        scheme = XissIntervalScheme().label_tree(play_tree)
+        acts = play_tree.find_by_tag("ACT")
+        lines = play_tree.find_by_tag("LINE")
+        pairs = stack_tree_join(scheme, acts, lines)
+        assert len(pairs) == len(lines)  # every line has exactly one act
+
+    def test_unsorted_inputs_accepted(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        nodes = list(paper_tree.iter_preorder())[::-1]
+        pairs = stack_tree_join(scheme, nodes, nodes)
+        assert canonical(pairs) == canonical(nested_loop_join(scheme, nodes, nodes))
+
+    def test_rejects_non_interval_scheme(self, paper_tree):
+        scheme = PrimeScheme().label_tree(paper_tree)
+        with pytest.raises(TypeError):
+            stack_tree_join(scheme, [paper_tree], [paper_tree])
+
+
+class TestPrimeMergeJoin:
+    def make_scheme(self, tree):
+        return PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(tree)
+
+    def test_matches_nested_loop(self, any_tree):
+        scheme = self.make_scheme(any_tree)
+        nodes = list(any_tree.iter_preorder())
+        ancestors = nodes[::2]
+        descendants = nodes[::3]
+        expected = canonical(nested_loop_join(scheme, ancestors, descendants))
+        actual = canonical(prime_merge_join(scheme, ancestors, descendants))
+        assert actual == expected
+
+    def test_acts_join_speeches(self, play_tree):
+        scheme = self.make_scheme(play_tree)
+        acts = play_tree.find_by_tag("ACT")
+        speeches = play_tree.find_by_tag("SPEECH")
+        pairs = prime_merge_join(scheme, acts, speeches)
+        assert len(pairs) == len(speeches)
+
+    def test_overlapping_input_sets(self):
+        tree = element("r", element("a", element("b", element("c"))))
+        scheme = self.make_scheme(tree)
+        nodes = list(tree.iter_preorder())
+        pairs = prime_merge_join(scheme, nodes, nodes)
+        # chain of 4: 3 + 2 + 1 = 6 proper ancestor pairs
+        assert len(pairs) == 6
+
+    def test_rejects_non_prime_scheme(self, paper_tree):
+        scheme = XissIntervalScheme().label_tree(paper_tree)
+        with pytest.raises(TypeError):
+            prime_merge_join(scheme, [paper_tree], [paper_tree])
+
+
+class TestAllJoinsAgree:
+    def test_three_way_agreement_on_random_trees(self):
+        for seed in range(5):
+            tree = RandomTreeBuilder(seed=seed, max_depth=6, max_fanout=5).build(80)
+            nodes = list(tree.iter_preorder())
+            ancestors, descendants = nodes[::2], nodes[1::2]
+
+            interval = XissIntervalScheme().label_tree(tree)
+            baseline = canonical(nested_loop_join(interval, ancestors, descendants))
+            assert canonical(stack_tree_join(interval, ancestors, descendants)) == baseline
+
+            prime = PrimeScheme(reserved_primes=0, power2_leaves=False).label_tree(tree)
+            assert canonical(prime_merge_join(prime, ancestors, descendants)) == baseline

@@ -1,0 +1,97 @@
+"""Tests for the live (updatable, queryable) collection."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.query.live import LiveCollection
+from repro.xmlkit.parser import parse_document
+
+DOC_A = "<play><act><speech><line/></speech></act><act><speech><line/><line/></speech></act></play>"
+DOC_B = "<book><title/><author>Jane</author><author>John</author></book>"
+
+
+@pytest.fixture
+def collection():
+    return LiveCollection([parse_document(DOC_A), parse_document(DOC_B)])
+
+
+class TestQueries:
+    def test_query_across_documents(self, collection):
+        assert collection.count("/play//line") == 3
+        assert collection.count("/book/author") == 2
+
+    def test_text_predicate(self, collection):
+        assert collection.count("/book/author[.='John']") == 1
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            LiveCollection([])
+
+    def test_merge_strategy_supported(self):
+        live = LiveCollection([parse_document(DOC_A)], strategy="merge")
+        assert live.count("/play//line") == 3
+
+
+class TestUpdates:
+    def test_insert_visible_to_next_query(self, collection):
+        before = collection.count("/play//line")
+        speech = collection.documents[0].find_by_tag("SPEECH".lower())[0]
+        collection.insert_child(speech, 0, tag="line")
+        assert collection.count("/play//line") == before + 1
+
+    def test_update_costs_accumulate(self, collection):
+        play = collection.documents[0]
+        collection.insert_child(play, 0, tag="prologue")
+        collection.insert_after(play.children[0], tag="interlude")
+        assert collection.total_update_cost > 0
+        assert collection.check()
+
+    def test_delete_visible(self, collection):
+        book = collection.documents[1]
+        collection.delete(book.find_by_tag("author")[0])
+        assert collection.count("/book/author") == 1
+
+    def test_foreign_node_rejected(self, collection):
+        stranger = parse_document("<x><y/></x>")
+        with pytest.raises(QueryEvaluationError):
+            collection.insert_child(stranger, 0)
+
+    def test_add_document(self, collection):
+        index = collection.add_document(parse_document("<play><act/></play>"))
+        assert index == 2
+        assert collection.count("/play//act") == 3
+
+    def test_engine_cached_between_queries(self, collection):
+        first = collection.engine
+        collection.count("/book/title")
+        assert collection.engine is first
+        collection.insert_child(collection.documents[1], 0, tag="isbn")
+        assert collection.engine is not first
+
+    def test_compact_preserves_results(self, collection):
+        play = collection.documents[0]
+        for _ in range(4):
+            collection.insert_child(play, 0, tag="tmp")
+        for node in [n for n in play.children if n.tag == "tmp"]:
+            collection.delete(node)
+        baseline = collection.count("/play//line")
+        collection.compact()
+        assert collection.count("/play//line") == baseline
+        assert collection.check()
+
+    def test_mixed_session_order_consistent(self, collection):
+        import random
+
+        rng = random.Random(12)
+        for step in range(25):
+            docs = collection.documents
+            root = rng.choice(docs)
+            nodes = list(root.iter_preorder())
+            parent = rng.choice(nodes)
+            collection.insert_child(
+                parent, rng.randint(0, len(parent.children)), tag=f"s{step}"
+            )
+        assert collection.check()
+        # order axis still correct through the store
+        rows = collection.query("/play//act[1]/Following::act")
+        assert all(row.tag == "act" for row in rows)

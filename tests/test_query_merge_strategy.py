@@ -1,0 +1,81 @@
+"""Tests for the engine's merge-join evaluation strategy."""
+
+import pytest
+
+from repro.datasets.shakespeare import shakespeare_corpus
+from repro.errors import QueryEvaluationError
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+from repro.xmlkit.parser import parse_document
+
+DOC = """
+<play>
+  <title/>
+  <act><title/><scene><speech><line/><line/></speech></scene></act>
+  <act><scene><speech><line/></speech><speech><line/></speech></scene></act>
+</play>
+"""
+
+
+@pytest.fixture(params=["interval", "prime", "prefix-2"])
+def engines(request):
+    documents = [parse_document(DOC)] + shakespeare_corpus(plays=2, seed=55)
+    store = LabelStore.build(documents, scheme=request.param)
+    return QueryEngine(store, strategy="scan"), QueryEngine(store, strategy="merge")
+
+
+QUERIES = (
+    "/play//line",
+    "/play/act",
+    "/play/act/scene/speech",
+    "/act//line",
+    "/PLAY//SPEECH/SPEAKER",
+    "/PLAY//ACT//LINE",
+    "/play//nothing",
+    "/play//act[2]//line",            # positional: falls back to scan
+    "/act//Following::speech",        # order axis: falls back to scan
+    "/SPEECH/LINE",
+)
+
+
+class TestMergeEquivalence:
+    def test_identical_results_across_strategies(self, engines):
+        scan, merge = engines
+        for query in QUERIES:
+            scan_ids = [row.element_id for row in scan.evaluate(query)]
+            merge_ids = [row.element_id for row in merge.evaluate(query)]
+            assert sorted(scan_ids) == sorted(merge_ids), query
+
+    def test_paper_queries_identical(self, engines):
+        from repro.bench.response import PAPER_QUERIES
+
+        scan, merge = engines
+        for _name, text in PAPER_QUERIES:
+            assert scan.count(text) == merge.count(text), text
+
+
+class TestMergeDetails:
+    def make(self, strategy):
+        return QueryEngine(
+            LabelStore.build([parse_document(DOC)], scheme="prime"), strategy=strategy
+        )
+
+    def test_child_depth_discrimination(self):
+        merge = self.make("merge")
+        assert merge.count("/play/line") == 0  # lines are deep descendants
+        assert merge.count("/speech/line") == 4
+
+    def test_text_filter_applies_in_merge(self):
+        documents = [parse_document("<r><a>x</a><a>y</a><b><a>x</a></b></r>")]
+        merge = QueryEngine(LabelStore.build(documents, scheme="prime"), strategy="merge")
+        assert merge.count("/r//a[.='x']") == 2
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            self.make("hash-join")
+
+    def test_results_in_document_order(self):
+        merge = self.make("merge")
+        rows = merge.evaluate("/play//line")
+        keys = [merge.store.ops.order_key(row) for row in rows]
+        assert keys == sorted(keys)

@@ -1,0 +1,80 @@
+"""Dedicated unit tests for the naive (tree-walking) reference evaluator."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.query.naive import NaiveEvaluator
+from repro.xmlkit.parser import parse_document
+
+DOC = """
+<play>
+  <title>T</title>
+  <act><scene><speech><line/><line/></speech></scene></act>
+  <act><scene><speech><line/></speech><speech><line/></speech></scene></act>
+</play>
+"""
+
+
+@pytest.fixture
+def oracle():
+    return NaiveEvaluator([parse_document(DOC)])
+
+
+class TestAxes:
+    def test_child_and_descendant(self, oracle):
+        assert oracle.count("/play/act") == 2
+        assert oracle.count("/play//line") == 4
+        assert oracle.count("/play/line") == 0
+
+    def test_wildcards(self, oracle):
+        assert oracle.count("/play/*") == 3
+        assert oracle.count("/*") == 13
+
+    def test_positions(self, oracle):
+        rows = oracle.evaluate("/play/act[2]//speech")
+        assert len(rows) == 2
+
+    def test_text_predicate(self, oracle):
+        assert oracle.count("/play/title[.='T']") == 1
+        assert oracle.count("/play/title[.='X']") == 0
+
+    def test_parent_and_ancestor(self, oracle):
+        assert [n.tag for n in oracle.evaluate("/line/Ancestor::act")] == ["act", "act"]
+        assert oracle.count("/speech/Parent::scene") == 2
+
+    def test_following_preceding(self, oracle):
+        assert oracle.count("/act[1]/Following::line") == 2
+        assert oracle.count("/act[2]/Preceding::line") == 2
+
+    def test_expanded_axis(self, oracle):
+        # the last act has nothing after it, but `//Following::` reaches
+        # back inside: the line after the act's leftmost leaf
+        plain = oracle.count("/act[2]/Following::line")
+        expanded = oracle.count("/act[2]//Following::line")
+        assert plain == 0 and expanded == 1
+
+    def test_sibling_axes(self, oracle):
+        # speech[2] opens act 2's scene, followed by one sibling speech
+        assert oracle.count("/speech[2]/Following-Sibling::speech") == 1
+        assert oracle.count("/speech[3]/Preceding-Sibling::speech") == 1
+
+    def test_results_in_document_order(self, oracle):
+        rows = oracle.evaluate("/play//line")
+        positions = [oracle._order(node) for node in rows]
+        assert positions == sorted(positions)
+
+
+class TestErrors:
+    def test_empty_collection(self):
+        with pytest.raises(QueryEvaluationError):
+            NaiveEvaluator([])
+
+    def test_axis_start_rejected(self, oracle):
+        with pytest.raises(QueryEvaluationError):
+            oracle.evaluate("/Following::act")
+
+    def test_empty_query_rejected(self, oracle):
+        from repro.query.ast import Query
+
+        with pytest.raises(QueryEvaluationError):
+            oracle.evaluate(Query(steps=()))

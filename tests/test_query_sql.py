@@ -1,0 +1,46 @@
+"""Unit tests for the illustrative SQL translation."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.query.sql import to_sql
+
+
+class TestToSql:
+    def test_prime_descendant_uses_mod(self):
+        sql = to_sql("/play//act", scheme="prime")
+        assert "MOD(" in sql
+        assert "e0.tag = 'play'" in sql and "e1.tag = 'act'" in sql
+
+    def test_interval_uses_range_comparisons(self):
+        sql = to_sql("/play//act", scheme="interval")
+        assert ".ord" in sql and ".size" in sql
+        assert "MOD(" not in sql
+
+    def test_prefix_uses_udf(self):
+        sql = to_sql("/play//act", scheme="prefix-2")
+        assert "check_prefix(" in sql
+
+    def test_sibling_axis_prime_uses_parent_label_identity(self):
+        sql = to_sql("/act//Following-Sibling::speech", scheme="prime")
+        assert "self_label" in sql and "sc_order(" in sql
+
+    def test_position_rendered_as_comment(self):
+        sql = to_sql("/play//act[4]", scheme="interval")
+        assert "position() = 4" in sql
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            to_sql("/a", scheme="dewey")
+
+    def test_custom_table_name(self):
+        sql = to_sql("/a/b", scheme="prime", table="labels")
+        assert "FROM labels e0, labels e1" in sql
+
+    def test_all_paper_queries_render_for_all_schemes(self):
+        from repro.bench.response import PAPER_QUERIES
+
+        for scheme in ("prime", "interval", "prefix-2"):
+            for _name, text in PAPER_QUERIES:
+                sql = to_sql(text, scheme=scheme)
+                assert sql.startswith("SELECT") and sql.endswith(";")

@@ -1,0 +1,80 @@
+"""Tests for text-value predicates — the paper's `book/author[2]/"John"`."""
+
+import pytest
+
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+from repro.query.xpath import parse_query
+from repro.xmlkit.parser import parse_document
+
+LIBRARY = """
+<library>
+  <book>
+    <title>Networks</title>
+    <author>Jane</author>
+    <author>John</author>
+  </book>
+  <book>
+    <title>Databases</title>
+    <author>John</author>
+    <author>Alice</author>
+  </book>
+</library>
+"""
+
+
+@pytest.fixture(params=["interval", "prime", "prefix-2"])
+def engine(request):
+    return QueryEngine(
+        LabelStore.build([parse_document(LIBRARY)], scheme=request.param)
+    )
+
+
+class TestParsing:
+    def test_text_predicate_parsed(self):
+        step = parse_query("/book/author[.='John']").steps[1]
+        assert step.text == "John"
+        assert step.position is None
+
+    def test_position_and_text_combined(self):
+        step = parse_query("/book/author[2][.='John']").steps[1]
+        assert step.position == 2
+        assert step.text == "John"
+
+    def test_double_quotes(self):
+        assert parse_query('/a[.="x y"]').steps[0].text == "x y"
+
+    def test_str_round_trip_mentions_text(self):
+        assert "John" in str(parse_query("/book/author[.='John']"))
+
+
+class TestEvaluation:
+    def test_filter_by_text(self, engine):
+        rows = engine.evaluate("/library//author[.='John']")
+        assert len(rows) == 2
+        assert all(row.text == "John" for row in rows)
+
+    def test_papers_motivating_query(self, engine):
+        """`book/author[2]/"John"`: books whose SECOND author is John."""
+        rows = engine.evaluate("/book/author[2][.='John']")
+        assert len(rows) == 1
+        assert rows[0].node.parent.children[0].text == "Networks"
+
+    def test_no_match(self, engine):
+        assert engine.count("/book/author[.='Nobody']") == 0
+
+    def test_text_on_first_step(self, engine):
+        assert engine.count("/author[.='Alice']") == 1
+
+    def test_text_with_axis_step(self, engine):
+        rows = engine.evaluate("/book/title[.='Networks']/Following::author")
+        # the two authors of that book and everything after it
+        assert len(rows) == 4
+
+    def test_text_survives_persistence(self, engine, tmp_path):
+        from repro.query.persist import load_store, save_store
+
+        path = tmp_path / "store.bin"
+        save_store(engine.store, path)
+        reloaded = QueryEngine(load_store(path))
+        assert reloaded.count("/library//author[.='John']") == 2

@@ -1,0 +1,164 @@
+"""Unit + cross-scheme tests for twig pattern matching."""
+
+import pytest
+
+from repro.datasets.shakespeare import play
+from repro.errors import QuerySyntaxError
+from repro.labeling.interval import XissIntervalScheme
+from repro.labeling.prefix import Prefix2Scheme
+from repro.labeling.prime import PrimeScheme
+from repro.query.twig import TwigNode, TwigPattern, match_twig
+from repro.xmlkit.builder import element
+
+
+class TestTwigParsing:
+    def test_single_node(self):
+        pattern = TwigPattern.parse("book")
+        assert pattern.root.tag == "book"
+        assert pattern.output is pattern.root
+
+    def test_path_child_edges(self):
+        pattern = TwigPattern.parse("a/b/c")
+        b = pattern.root.children[0]
+        c = b.children[0]
+        assert (b.tag, b.edge) == ("b", "child")
+        assert (c.tag, c.edge) == ("c", "child")
+        assert pattern.output is c
+
+    def test_descendant_edges(self):
+        pattern = TwigPattern.parse("a//b")
+        assert pattern.root.children[0].edge == "descendant"
+
+    def test_branching(self):
+        pattern = TwigPattern.parse("book[/title]//author")
+        tags = {child.tag: child.edge for child in pattern.root.children}
+        assert tags == {"title": "child", "author": "descendant"}
+        assert pattern.output.tag == "author"
+
+    def test_nested_branches(self):
+        pattern = TwigPattern.parse("play//act[/title][//speech[/speaker]//line]")
+        act = pattern.root.children[0]
+        assert [c.tag for c in act.children] == ["title", "speech"]
+        speech = act.children[1]
+        assert [c.tag for c in speech.children] == ["speaker", "line"]
+        # bracketed branches never capture the output
+        assert pattern.output.tag == "act"
+
+    def test_str_reparses_to_same_structure(self):
+        def same(a: TwigNode, b: TwigNode) -> bool:
+            return (
+                a.tag == b.tag
+                and a.edge == b.edge
+                and len(a.children) == len(b.children)
+                and all(same(x, y) for x, y in zip(a.children, b.children))
+            )
+
+        for text in ("play//act[/title]", "a/b//c", "x[/y][//z]/w"):
+            root = TwigPattern.parse(text).root
+            assert same(TwigPattern.parse(str(root)).root, root)
+
+    @pytest.mark.parametrize("bad", ["", "/a", "a[", "a[b]", "a]", "a[/b", "a//"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            TwigPattern.parse(bad)
+
+
+@pytest.fixture
+def library():
+    return element(
+        "library",
+        element(
+            "book",
+            element("title"),
+            element("author", element("name")),
+            element("author", element("name")),
+        ),
+        element("book", element("title")),
+        element("journal", element("title"), element("author", element("name"))),
+    )
+
+
+SCHEMES = [
+    ("interval", XissIntervalScheme),
+    ("prime", lambda: PrimeScheme(reserved_primes=0, power2_leaves=False)),
+    ("prefix-2", Prefix2Scheme),
+]
+
+
+@pytest.mark.parametrize("scheme_name, factory", SCHEMES, ids=[s for s, _f in SCHEMES])
+class TestTwigMatching:
+    def matcher(self, factory, tree):
+        scheme = factory().label_tree(tree)
+        nodes = list(tree.iter_preorder())
+        return scheme, nodes
+
+    def test_single_tag(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        matches = match_twig(scheme, nodes, TwigPattern.parse("book"))
+        assert len(matches) == 2
+
+    def test_path_with_branch(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        # books that have BOTH a title and an author
+        pattern = TwigPattern.parse("book[/title]/author")
+        matches = match_twig(scheme, nodes, pattern)
+        assert len(matches) == 2  # two author elements of the first book
+
+    def test_output_node_selection(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        pattern = TwigPattern.parse("book[/author]/title")
+        matches = match_twig(scheme, nodes, pattern)
+        assert len(matches) == 1  # only the first book has authors
+        assert matches[0].tag == "title"
+
+    def test_descendant_edge(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        matches = match_twig(scheme, nodes, TwigPattern.parse("library//name"))
+        assert len(matches) == 3
+
+    def test_child_vs_descendant_difference(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        child = match_twig(scheme, nodes, TwigPattern.parse("library/name"))
+        descendant = match_twig(scheme, nodes, TwigPattern.parse("library//name"))
+        assert len(child) == 0 and len(descendant) == 3
+
+    def test_wildcard(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        matches = match_twig(scheme, nodes, TwigPattern.parse("book/*"))
+        assert len(matches) == 4  # title, author, author, title
+
+    def test_no_match(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        assert match_twig(scheme, nodes, TwigPattern.parse("book/editor")) == []
+
+    def test_bindings(self, scheme_name, factory, library):
+        scheme, nodes = self.matcher(factory, library)
+        pattern = TwigPattern.parse("book[/title]/author")
+        embeddings = match_twig(scheme, nodes, pattern, bindings=True)
+        assert len(embeddings) == 2
+        for embedding in embeddings:
+            bound = {twig.tag: node for twig, node in embedding.items()}
+            assert bound["book"].is_ancestor_of(bound["author"])
+            assert bound["book"].is_ancestor_of(bound["title"])
+
+
+class TestCrossSchemeAgreement:
+    def test_all_schemes_agree_on_play(self):
+        tree = play(seed=6)
+        nodes = list(tree.iter_preorder())
+        patterns = [
+            "PLAY//SCENE[/TITLE]//SPEECH/SPEAKER",
+            "ACT//SPEECH[/SPEAKER]/LINE",
+            "PLAY//ACT[/PERSONAE]//LINE",
+        ]
+        reference = None
+        for _name, factory in SCHEMES:
+            scheme = factory().label_tree(tree)
+            counts = [
+                len(match_twig(scheme, nodes, TwigPattern.parse(p))) for p in patterns
+            ]
+            if reference is None:
+                reference = counts
+                assert all(count > 0 for count in counts)
+            else:
+                assert counts == reference

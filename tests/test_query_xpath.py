@@ -1,0 +1,109 @@
+"""Unit tests for the XPath-subset parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import Axis
+from repro.query.xpath import parse_query
+
+
+class TestBasicSteps:
+    def test_single_child_step(self):
+        query = parse_query("/play")
+        assert len(query.steps) == 1
+        step = query.steps[0]
+        assert (step.axis, step.tag, step.position) == (Axis.CHILD, "play", None)
+
+    def test_descendant_step(self):
+        step = parse_query("//act").steps[0]
+        assert step.axis == Axis.DESCENDANT
+
+    def test_child_then_descendant(self):
+        query = parse_query("/play//act")
+        assert [s.axis for s in query.steps] == [Axis.CHILD, Axis.DESCENDANT]
+        assert [s.tag for s in query.steps] == ["play", "act"]
+
+    def test_positional_predicate(self):
+        step = parse_query("/play//act[4]").steps[1]
+        assert step.position == 4
+
+    def test_zero_position_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("/act[0]")
+
+    def test_tag_with_punctuation(self):
+        assert parse_query("/x-1.y_z").steps[0].tag == "x-1.y_z"
+
+
+class TestAxes:
+    def test_following_axis(self):
+        step = parse_query("/a//Following::b").steps[1]
+        assert step.axis == Axis.FOLLOWING
+        assert step.from_descendants is True
+
+    def test_axis_after_single_slash_not_expanded(self):
+        step = parse_query("/a/Following::b").steps[1]
+        assert step.axis == Axis.FOLLOWING
+        assert step.from_descendants is False
+
+    def test_axis_names_case_insensitive(self):
+        assert parse_query("/a//following::b").steps[1].axis == Axis.FOLLOWING
+        assert parse_query("/a//PRECEDING::b").steps[1].axis == Axis.PRECEDING
+
+    def test_sibling_axes(self):
+        assert (
+            parse_query("/a//Following-Sibling::b[2]").steps[1].axis
+            == Axis.FOLLOWING_SIBLING
+        )
+        assert (
+            parse_query("/a//Preceding-Sibling::b").steps[1].axis
+            == Axis.PRECEDING_SIBLING
+        )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("/a//Sideways::b")
+
+    def test_parent_and_ancestor_axes(self):
+        assert parse_query("/a/Parent::b").steps[1].axis == Axis.PARENT
+        assert parse_query("/a/Ancestor::b").steps[1].axis == Axis.ANCESTOR
+
+    def test_wildcard_name(self):
+        assert parse_query("/a//*").steps[1].tag == "*"
+
+
+class TestPaperQueries:
+    def test_all_nine_parse(self):
+        from repro.bench.response import PAPER_QUERIES
+
+        for _name, text in PAPER_QUERIES:
+            query = parse_query(text)
+            assert query.steps
+
+    def test_q2_structure(self):
+        query = parse_query("/play//act[3]//Following::act")
+        assert len(query.steps) == 3
+        assert query.steps[1].position == 3
+        assert query.steps[2].axis == Axis.FOLLOWING
+
+    def test_round_trip_str(self):
+        text = "/play//act[3]//Following::act"
+        assert str(parse_query(text)).lower() == text.lower()
+
+
+class TestErrors:
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_missing_leading_slash(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("play//act")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("/play$$")
+
+    def test_bare_slash(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("/")

@@ -1,0 +1,83 @@
+"""Unit tests for repro.xmlkit.parser (well-formedness + DOM building)."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.parser import iter_events, parse_document
+
+
+class TestWellFormedness:
+    def test_mismatched_tags(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a><b></a></b>"))
+
+    def test_unclosed_element(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a><b></b>"))
+
+    def test_stray_closing_tag(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("</a>"))
+
+    def test_two_roots(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a/><b/>"))
+
+    def test_text_outside_root(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a/>trailing"))
+
+    def test_whitespace_outside_root_ok(self):
+        assert list(iter_events("  <a/>  \n"))
+
+    def test_empty_document(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("   "))
+
+    def test_comment_only_document(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<!-- nothing here -->"))
+
+
+class TestParseDocument:
+    def test_structure(self):
+        root = parse_document("<book><title/><author/><author/></book>")
+        assert root.tag == "book"
+        assert [child.tag for child in root.children] == ["title", "author", "author"]
+
+    def test_parent_pointers(self):
+        root = parse_document("<a><b><c/></b></a>")
+        c = root.children[0].children[0]
+        assert c.tag == "c"
+        assert c.parent.tag == "b"
+        assert c.parent.parent is root
+
+    def test_attributes(self):
+        root = parse_document('<a id="r"><b n="1"/></a>')
+        assert root.attributes == {"id": "r"}
+        assert root.children[0].attributes == {"n": "1"}
+
+    def test_text_capture(self):
+        root = parse_document("<a>hello</a>")
+        assert root.text == "hello"
+
+    def test_whitespace_between_elements_ignored(self):
+        root = parse_document("<a>\n  <b/>\n  <c/>\n</a>")
+        assert root.text == ""
+        assert len(root.children) == 2
+
+    def test_comments_and_pis_discarded(self):
+        root = parse_document("<?xml version='1.0'?><a><!-- x --><b/></a>")
+        assert [child.tag for child in root.children] == ["b"]
+
+    def test_deep_nesting(self):
+        depth = 200
+        text = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        root = parse_document(text)
+        assert root.stats().depth == depth - 1
+
+    def test_mixed_content_text_joined(self):
+        root = parse_document("<a>one<b/>two</a>")
+        assert "one" in root.text and "two" in root.text

@@ -1,0 +1,56 @@
+"""Unit tests for repro.xmlkit.serialize (+ round-trips with the parser)."""
+
+from repro.datasets.random_tree import RandomTreeBuilder
+from repro.datasets.shakespeare import play
+from repro.xmlkit.builder import element
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.serialize import escape_attribute, escape_text, serialize
+from repro.xmlkit.tree import XmlElement
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes_too(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(XmlElement("a")) == "<a/>"
+
+    def test_text_element(self):
+        assert serialize(XmlElement("a", text="hi")) == "<a>hi</a>"
+
+    def test_attributes(self):
+        assert serialize(XmlElement("a", {"x": "1"})) == '<a x="1"/>'
+
+    def test_nested_compact(self):
+        tree = element("a", element("b", text="t"), element("c"))
+        assert serialize(tree) == "<a><b>t</b><c/></a>"
+
+    def test_indented_output_has_newlines(self):
+        tree = element("a", element("b"), element("c"))
+        rendered = serialize(tree, indent=2)
+        assert rendered.splitlines() == ["<a>", "  <b/>", "  <c/>", "</a>"]
+
+
+class TestRoundTrip:
+    def assert_round_trips(self, tree):
+        assert parse_document(serialize(tree)).structurally_equal(tree)
+
+    def test_simple(self):
+        self.assert_round_trips(
+            element("a", element("b", text="x & y"), element("c", attributes={"k": "<v>"}))
+        )
+
+    def test_random_tree(self):
+        self.assert_round_trips(RandomTreeBuilder(seed=3).build(150))
+
+    def test_play_document(self):
+        self.assert_round_trips(play(seed=1))
+
+    def test_indented_round_trip_structure(self):
+        tree = element("a", element("b"), element("c", element("d")))
+        assert parse_document(serialize(tree, indent=4)).structurally_equal(tree)

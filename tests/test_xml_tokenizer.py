@@ -1,0 +1,145 @@
+"""Unit tests for repro.xmlkit.tokenizer."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+)
+from repro.xmlkit.tokenizer import tokenize
+
+
+def events(text):
+    return list(tokenize(text))
+
+
+class TestTags:
+    def test_simple_element(self):
+        assert events("<a></a>") == [StartElement("a"), EndElement("a")]
+
+    def test_self_closing(self):
+        assert events("<a/>") == [StartElement("a"), EndElement("a")]
+
+    def test_nested(self):
+        assert events("<a><b/></a>") == [
+            StartElement("a"),
+            StartElement("b"),
+            EndElement("b"),
+            EndElement("a"),
+        ]
+
+    def test_names_with_punctuation(self):
+        assert events("<ns:tag-1.x/>")[0] == StartElement("ns:tag-1.x")
+
+    def test_whitespace_in_closing_tag(self):
+        assert events("<a></a >") == [StartElement("a"), EndElement("a")]
+
+    def test_missing_close_bracket(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a")
+
+    def test_bad_name_start(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<1a/>")
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        (start, _end) = events('<a x="1" y=\'2\'/>')
+        assert start.attributes == {"x": "1", "y": "2"}
+
+    def test_whitespace_around_equals(self):
+        (start, _end) = events('<a x = "1"/>')
+        assert start.attributes == {"x": "1"}
+
+    def test_entities_in_attribute(self):
+        (start, _end) = events('<a x="&lt;&amp;&gt;"/>')
+        assert start.attributes == {"x": "<&>"}
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events('<a x="1" x="2"/>')
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a x=1/>")
+
+    def test_unterminated_value_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events('<a x="1/>')
+
+    def test_angle_bracket_in_value_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events('<a x="<"/>')
+
+
+class TestCharacterData:
+    def test_plain_text(self):
+        assert events("<a>hello</a>")[1] == Characters("hello")
+
+    def test_predefined_entities(self):
+        assert events("<a>&amp;&lt;&gt;&apos;&quot;</a>")[1] == Characters("&<>'\"")
+
+    def test_decimal_char_reference(self):
+        assert events("<a>&#65;</a>")[1] == Characters("A")
+
+    def test_hex_char_reference(self):
+        assert events("<a>&#x41;&#x42;</a>")[1] == Characters("AB")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a>&nope;</a>")
+
+    def test_bad_char_reference_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a>&#xZZ;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a>&amp</a>")
+
+    def test_cdata_section(self):
+        assert events("<a><![CDATA[<not>&markup;]]></a>")[1] == Characters(
+            "<not>&markup;"
+        )
+
+    def test_unterminated_cdata(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a><![CDATA[oops</a>")
+
+
+class TestMisc:
+    def test_comment(self):
+        assert events("<a><!-- hi --></a>")[1] == Comment(" hi ")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<a><!-- oops</a>")
+
+    def test_processing_instruction(self):
+        assert events("<?xml version='1.0'?><a/>")[0] == ProcessingInstruction(
+            "xml", "version='1.0'"
+        )
+
+    def test_doctype_skipped(self):
+        assert events("<!DOCTYPE play SYSTEM 'play.dtd'><a/>") == [
+            StartElement("a"),
+            EndElement("a"),
+        ]
+
+    def test_doctype_with_internal_subset(self):
+        text = "<!DOCTYPE a [<!ELEMENT a (b)> <!ELEMENT b EMPTY>]><a><b/></a>"
+        assert events(text)[0] == StartElement("a")
+
+    def test_unsupported_markup_decl(self):
+        with pytest.raises(XmlSyntaxError):
+            events("<!ELEMENT a (b)><a/>")
+
+    def test_error_carries_location(self):
+        with pytest.raises(XmlSyntaxError) as exc_info:
+            events("<a>\n  &bad;</a>")
+        assert exc_info.value.line == 2
