@@ -25,6 +25,7 @@ paper-vs-measured record of every exhibit.
 """
 
 from repro.errors import (
+    AuditError,
     DatasetError,
     LabelingError,
     LabelOverflowError,
@@ -34,6 +35,8 @@ from repro.errors import (
     ReproError,
     XmlSyntaxError,
 )
+from repro.obs import metrics
+from repro.obs.audit import AuditReport, audit_any
 from repro.labeling import (
     BottomUpPrimeScheme,
     DeweyScheme,
@@ -88,6 +91,11 @@ __all__ = [
     "QuerySyntaxError",
     "QueryEvaluationError",
     "DatasetError",
+    "AuditError",
+    # observability
+    "metrics",
+    "AuditReport",
+    "audit_any",
     # xml substrate
     "XmlElement",
     "element",

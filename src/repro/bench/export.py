@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import Callable, Dict, List
 
-from repro.bench.harness import ResultTable
+from repro.bench.harness import ResultTable, capture_metrics
 
 __all__ = ["table_to_csv", "table_to_json", "exhibit_builders", "export_all_exhibits"]
 
@@ -27,13 +27,17 @@ def table_to_csv(table: ResultTable, path: str | Path) -> None:
 
 
 def table_to_json(table: ResultTable, path: str | Path) -> None:
-    """Write one table as JSON: title, note, and row dicts."""
+    """Write one table as JSON: title, note, row dicts, and — when the
+    exhibit was built under metrics collection — the counter/timer
+    snapshot (``metrics``) so artifacts carry per-run cost trajectories."""
     payload = {
         "title": table.title,
         "note": table.note,
         "columns": list(table.columns),
         "rows": table.as_dicts(),
     }
+    if table.metrics is not None:
+        payload["metrics"] = table.metrics
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -76,7 +80,7 @@ def export_all_exhibits(
     target.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
     for name, builder in exhibit_builders(include_slow).items():
-        table = builder()
+        table = capture_metrics(builder)
         csv_path = target / f"{name}.csv"
         json_path = target / f"{name}.json"
         table_to_csv(table, csv_path)

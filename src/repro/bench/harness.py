@@ -1,11 +1,21 @@
-"""Result tables and text rendering for the experiment harness."""
+"""Result tables and text rendering for the experiment harness.
+
+Every table can carry a **metrics snapshot** (``ResultTable.metrics``) —
+the counter/gauge/timer state collected by :mod:`repro.obs.metrics` while
+the exhibit was built.  :func:`capture_metrics` is the standard wrapper:
+it runs a builder inside a fresh collecting scope and attaches the
+snapshot, so exported ``*.json`` artifacts gain per-run counter
+trajectories alongside the paper's headline numbers.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["ResultTable"]
+from repro.obs import metrics
+
+__all__ = ["ResultTable", "capture_metrics"]
 
 
 def _format_cell(value: Any) -> str:
@@ -28,6 +38,9 @@ class ResultTable:
     columns: Sequence[str]
     rows: List[Sequence[Any]] = field(default_factory=list)
     note: Optional[str] = None
+    #: Observability snapshot captured while building the exhibit (see
+    #: :func:`capture_metrics`); exported to JSON, ignored by text render.
+    metrics: Optional[Dict[str, Any]] = None
 
     def add_row(self, *values: Any) -> None:
         """Append one row; must match the column count."""
@@ -95,3 +108,22 @@ class ResultTable:
 
     def __str__(self) -> str:
         return self.to_text()
+
+
+def capture_metrics(builder: Callable[[], "ResultTable"]) -> "ResultTable":
+    """Build an exhibit with metrics collection on; attach the snapshot.
+
+    The builder runs inside a fresh :func:`repro.obs.metrics.collecting`
+    scope, so counters reflect exactly this exhibit's work.  A builder
+    that already attached its own (richer) ``metrics`` payload — e.g. a
+    per-insertion trajectory — keeps it; the scope snapshot is then added
+    under its ``"final"`` key only if absent.
+    """
+    with metrics.collecting() as registry:
+        table = builder()
+        snapshot = registry.snapshot()
+    if table.metrics is None:
+        table.metrics = {"final": snapshot}
+    elif "final" not in table.metrics:
+        table.metrics["final"] = snapshot
+    return table

@@ -12,9 +12,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import ResultTable
+from repro.obs import metrics
 from repro.datasets.random_tree import RandomTreeBuilder
 from repro.datasets.shakespeare import hamlet
 from repro.labeling.base import LabelingScheme
@@ -125,9 +126,19 @@ def _ordered_cost_static(scheme: LabelingScheme, root: XmlElement) -> List[int]:
     return costs
 
 
-def _ordered_cost_prime(root: XmlElement, group_size: int = 5) -> List[int]:
+def _ordered_cost_prime(
+    root: XmlElement,
+    group_size: int = 5,
+    trajectory: Optional[List[Dict[str, int]]] = None,
+) -> List[int]:
     """Per-insertion total costs (node relabels + SC record updates) for the
-    prime scheme with the paper's SC group size of 5."""
+    prime scheme with the paper's SC group size of 5.
+
+    When ``trajectory`` is a list and metrics collection is enabled, a
+    counter snapshot is appended after every insertion, giving the
+    exported exhibit a per-update cost trajectory instead of only the
+    final totals.
+    """
     document = OrderedDocument(root, group_size=group_size)
     costs: List[int] = []
     acts = [node for node in root.children if node.tag == "ACT"]
@@ -136,6 +147,8 @@ def _ordered_cost_prime(root: XmlElement, group_size: int = 5) -> List[int]:
     for position in insert_positions:
         report = document.insert_child(root, position + offset, tag="ACT")
         costs.append(report.total_cost)
+        if trajectory is not None:
+            trajectory.append(dict(metrics.snapshot()["counters"]))
         offset += 1
     return costs
 
@@ -150,12 +163,18 @@ def figure18_table(group_size: int = 5) -> ResultTable:
     """
     interval_costs = _ordered_cost_static(XissIntervalScheme(), hamlet())
     prefix_costs = _ordered_cost_static(Prefix2Scheme(), hamlet())
-    prime_costs = _ordered_cost_prime(hamlet(), group_size=group_size)
+    per_insert: List[Dict[str, int]] = []
+    with metrics.collecting() as registry:
+        prime_costs = _ordered_cost_prime(
+            hamlet(), group_size=group_size, trajectory=per_insert
+        )
+        snapshot = registry.snapshot()
     table = ResultTable(
         title="Figure 18: order-sensitive updates (# nodes to relabel)",
         columns=("updated ACT", "interval", "prefix-2", "prime"),
         note=f"SC group size = {group_size}; prime cost = node relabels + SC record updates",
     )
+    table.metrics = {"per_insert_counters": per_insert, "prime_run": snapshot}
     for index in range(len(prime_costs)):
         table.add_row(index + 1, interval_costs[index], prefix_costs[index], prime_costs[index])
     return table

@@ -12,6 +12,12 @@ Usage (also via ``python -m repro``)::
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
 their corpora on demand).
+
+``stats`` also runs each document through an instrumented prime
+pipeline (label + SC table + a ``//*`` query) and prints the
+observability counters and operator timings from :mod:`repro.obs`.
+``stats``, ``label``, ``check`` and ``query`` accept ``--audit`` to run
+the deep invariant auditor and fail (exit 1) on any violation.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
 from repro.labeling.prefix import Prefix1Scheme, Prefix2Scheme
 from repro.labeling.prime import BottomUpPrimeScheme, PrimeScheme
+from repro.obs import metrics
 from repro.query.engine import QueryEngine
 from repro.query.sql import to_sql
 from repro.query.store import LabelStore
@@ -63,14 +70,58 @@ def _format_label(label: object) -> str:
     return str(label)
 
 
+def _print_snapshot(snapshot: Dict[str, object], indent: str = "  ") -> None:
+    counters = {
+        name: value for name, value in snapshot["counters"].items() if value
+    }
+    for name in sorted(counters):
+        print(f"{indent}{name} = {counters[name]}")
+    for name in sorted(snapshot["timers"]):
+        timer = snapshot["timers"][name]
+        print(
+            f"{indent}{name}: count={timer['count']} "
+            f"total={timer['total_s'] * 1000:.2f}ms "
+            f"mean={timer['mean_s'] * 1000:.3f}ms"
+        )
+
+
+def _audit_store(store: LabelStore, indent: str = "  ") -> int:
+    from repro.obs.audit import audit_ordered_document
+
+    ordered = store.ordered_documents()
+    if not ordered:
+        print(f"{indent}audit: scheme keeps no SC table; nothing to cross-check")
+        return 0
+    failures = 0
+    for doc_id, document in sorted(ordered.items()):
+        report = audit_ordered_document(document)
+        if report.ok:
+            checks = sum(report.checks.values())
+            print(f"{indent}doc {doc_id} audit: OK ({checks} checks)")
+        else:
+            failures += 1
+            print(f"{indent}doc {doc_id} audit FAILED")
+            print(report.summary())
+    return failures
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    failures = 0
     for path, document in zip(args.files, _read_documents(args.files)):
         stats = document.stats()
         print(
             f"{path}: nodes={stats.node_count} depth={stats.depth} "
             f"max-fanout={stats.max_fanout} leaves={stats.leaf_count}"
         )
-    return 0
+        with metrics.collecting() as registry:
+            store = LabelStore.build([document], scheme="prime")
+            engine = QueryEngine(store)
+            engine.evaluate("//*")
+            if getattr(args, "audit", False):
+                failures += _audit_store(store)
+            snapshot = registry.snapshot()
+        _print_snapshot(snapshot)
+    return 0 if failures == 0 else 1
 
 
 def cmd_label(args: argparse.Namespace) -> int:
@@ -91,6 +142,13 @@ def cmd_label(args: argparse.Namespace) -> int:
         f"-- {scheme.name}: max label {scheme.max_label_bits()} bits, "
         f"total {scheme.total_label_bits()} bits"
     )
+    if getattr(args, "audit", False):
+        from repro.obs.audit import audit_scheme
+
+        report = audit_scheme(scheme)
+        print(report.summary())
+        if not report.ok:
+            return 1
     return 0
 
 
@@ -112,6 +170,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     scheme.label_tree(document)
     pairs, mismatches = scheme.check_against_tree()
     print(f"{args.scheme}: {pairs} node pairs checked, {mismatches} mismatches")
+    if getattr(args, "audit", False):
+        from repro.obs.audit import audit_scheme
+
+        report = audit_scheme(scheme)
+        print(report.summary())
+        if not report.ok:
+            return 1
     return 0 if mismatches == 0 else 1
 
 
@@ -123,6 +188,8 @@ def cmd_query(args: argparse.Namespace) -> int:
     for row in rows:
         print(f"doc {row.doc_id}: {row.node.path()}")
     print(f"-- {len(rows)} node(s) retrieved with the {args.scheme} store")
+    if getattr(args, "audit", False) and _audit_store(store, indent=""):
+        return 1
     return 0
 
 
@@ -155,7 +222,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    table = builder()
+    from repro.bench.harness import capture_metrics
+
+    table = capture_metrics(builder)
     print(table.to_text() if not args.chart else table.to_chart())
     if args.csv:
         from repro.bench.export import table_to_csv
@@ -172,8 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    stats = commands.add_parser("stats", help="structural statistics of documents")
+    audit_help = "run the deep invariant auditor; exit 1 on any violation"
+
+    stats = commands.add_parser(
+        "stats", help="structural statistics + instrumented pipeline counters"
+    )
     stats.add_argument("files", nargs="+")
+    stats.add_argument("--audit", action="store_true", help=audit_help)
     stats.set_defaults(handler=cmd_stats)
 
     label = commands.add_parser("label", help="label a document and print/annotate")
@@ -181,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="prime")
     label.add_argument("--annotate", metavar="OUT.xml",
                        help="write the document with label attributes instead")
+    label.add_argument("--audit", action="store_true", help=audit_help)
     label.set_defaults(handler=cmd_label)
 
     space = commands.add_parser("space", help="label-space report across schemes")
@@ -190,12 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     check = commands.add_parser("check", help="verify labels against the tree")
     check.add_argument("file")
     check.add_argument("--scheme", choices=sorted(SCHEME_FACTORIES), default="prime")
+    check.add_argument("--audit", action="store_true", help=audit_help)
     check.set_defaults(handler=cmd_check)
 
     query = commands.add_parser("query", help="run an XPath-subset query")
     query.add_argument("query")
     query.add_argument("files", nargs="+")
     query.add_argument("--scheme", choices=STORE_SCHEMES, default="prime")
+    query.add_argument("--audit", action="store_true", help=audit_help)
     query.set_defaults(handler=cmd_query)
 
     sql = commands.add_parser("sql", help="show the SQL translation of a query")

@@ -13,6 +13,7 @@ __all__ = [
     "LabelingError",
     "LabelOverflowError",
     "OrderingError",
+    "AuditError",
     "QuerySyntaxError",
     "QueryEvaluationError",
     "DatasetError",
@@ -55,6 +56,14 @@ class LabelOverflowError(LabelingError):
 
 class OrderingError(ReproError):
     """Raised on inconsistent use of the SC (simultaneous congruence) table."""
+
+
+class AuditError(ReproError):
+    """Raised by :meth:`repro.obs.audit.AuditReport.raise_if_failed`.
+
+    The message carries the full audit summary: every violated invariant,
+    its subject, and the counts of checks that did pass.
+    """
 
 
 class QuerySyntaxError(ReproError):

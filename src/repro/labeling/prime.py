@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.labeling.base import LabelingScheme, RelabelReport
+from repro.obs import metrics
 from repro.primes.gen import PrimeGenerator
 from repro.xmlkit.tree import XmlElement
 
@@ -122,6 +123,7 @@ class PrimeScheme(LabelingScheme):
         ):
             return self._generator.get_prime()
         self._leaf_counter[id(parent)] = ordinal
+        metrics.incr("label.power2_leaves")
         return candidate
 
     def _label_node(self, node: XmlElement) -> PrimeLabel:
@@ -202,6 +204,7 @@ class PrimeScheme(LabelingScheme):
                     parent,
                     PrimeLabel(value=grandparent_value * new_self, self_label=new_self),
                 )
+                metrics.incr("label.opt2_upgrades")
             self._set_label(new_node, self._label_node(new_node))
         else:
             # A wrap: the new internal node takes a fresh prime; every moved
@@ -212,12 +215,32 @@ class PrimeScheme(LabelingScheme):
                 new_node,
                 PrimeLabel(value=parent_value * self_label, self_label=self_label),
             )
+            cascade = 0
             for descendant in new_node.iter_descendants():
                 old: PrimeLabel = self.label_of(descendant)
                 self._set_label(
                     descendant,
                     PrimeLabel(value=old.value * self_label, self_label=old.self_label),
                 )
+                cascade += 1
+            metrics.incr("label.relabel_cascade", cascade)
+
+    def delete(self, node: XmlElement) -> RelabelReport:
+        """Delete ``node``'s subtree, purging its ``_leaf_counter`` entries.
+
+        The Opt2 leaf counter is keyed by ``id(parent)``; without cleanup a
+        deleted parent's entry both leaks under churn and — worse — can be
+        *resurrected* when CPython reuses the freed address for a brand-new
+        element, silently starting that parent's leaf ordinals above 1 and
+        inflating its Opt2 labels.  Purging on delete makes the key's
+        lifetime match the node's.
+        """
+        report = super().delete(node)
+        # super() detached the subtree but left it intact, so it can still
+        # be walked to collect the stale counter keys.
+        for gone in node.iter_preorder():
+            self._leaf_counter.pop(id(gone), None)
+        return report
 
     def insert_leaf_ordered(
         self, parent: XmlElement, index: int, tag: str = "new"

@@ -1,0 +1,69 @@
+"""Observability: process-wide metrics and deep invariant auditing.
+
+Two halves, documented in ``docs/OBSERVABILITY.md``:
+
+* :mod:`repro.obs.metrics` — a zero-dependency registry of counters,
+  gauges, and monotonic timers that the library's hot paths (prime
+  issuance, SC-record rewrites, query operators) report into.  Disabled
+  by default; every instrumented call site pays one boolean check.
+* :mod:`repro.obs.audit` — an invariant auditor that cross-checks a
+  labeled tree and its SC table end to end, returning a structured
+  violation report instead of a bare bool.
+
+Typical use::
+
+    from repro.obs import metrics, audit_ordered_document
+
+    with metrics.collecting() as registry:
+        document = OrderedDocument(parse_document(xml))
+        document.insert_child(document.root, 0)
+    print(registry.snapshot()["counters"])
+
+    audit_ordered_document(document).raise_if_failed()
+
+Import-order note: instrumented modules (``labeling.prime``,
+``order.sc_table``, ...) import :mod:`repro.obs.metrics` at module load,
+while :mod:`repro.obs.audit` imports those same modules to know what to
+audit.  The audit symbols are therefore re-exported lazily (PEP 562) so
+importing the package never closes that cycle.
+"""
+
+from typing import Any, List
+
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry, collecting
+
+__all__ = [
+    "metrics",
+    "MetricsRegistry",
+    "collecting",
+    "AuditReport",
+    "Violation",
+    "audit_any",
+    "audit_ordered_document",
+    "audit_scheme",
+    "audit_sc_table",
+]
+
+_AUDIT_EXPORTS = (
+    "AuditReport",
+    "Violation",
+    "audit_any",
+    "audit_ordered_document",
+    "audit_scheme",
+    "audit_sc_table",
+)
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve audit re-exports on first access (avoids the import cycle)."""
+    if name in _AUDIT_EXPORTS:
+        from repro.obs import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> List[str]:
+    """Advertise the lazy exports alongside the eager ones."""
+    return sorted(set(globals()) | set(_AUDIT_EXPORTS))

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import OrderingError
 from repro.labeling.prime import PrimeLabel, PrimeScheme
+from repro.obs import metrics
 from repro.order.sc_table import SCTable
 from repro.xmlkit.tree import XmlElement
 
@@ -137,18 +138,20 @@ class OrderedDocument:
         for everything after it (SC record rewrites), one registration for
         the new congruence.
         """
-        report = OrderedUpdateReport()
-        relabel = self.scheme.insert_leaf(parent, tag=tag, index=index)
-        report.new_node = relabel.new_node
-        report.relabeled_nodes.extend(relabel.relabeled)
-        assert relabel.new_node is not None
-        rank = self._preorder_rank(relabel.new_node)
-        touched, overflowed = self.sc_table.shift_orders_from(rank)
-        report.sc_records_updated += touched
-        report.relabeled_nodes.extend(self._repair_residue_overflows(overflowed))
-        report.sc_records_updated += self.sc_table.register(
-            self._self_label(relabel.new_node), rank
-        )
+        with metrics.timed("order.insert"):
+            report = OrderedUpdateReport()
+            relabel = self.scheme.insert_leaf(parent, tag=tag, index=index)
+            report.new_node = relabel.new_node
+            report.relabeled_nodes.extend(relabel.relabeled)
+            assert relabel.new_node is not None
+            rank = self._preorder_rank(relabel.new_node)
+            touched, overflowed = self.sc_table.shift_orders_from(rank)
+            report.sc_records_updated += touched
+            report.relabeled_nodes.extend(self._repair_residue_overflows(overflowed))
+            report.sc_records_updated += self.sc_table.register(
+                self._self_label(relabel.new_node), rank
+            )
+            metrics.incr("order.inserts")
         return report
 
     def insert_before(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
@@ -173,11 +176,23 @@ class OrderedDocument:
         Per Section 4.2, "the deletion of nodes from an XML tree does not
         affect any node ordering": remaining orders keep their (now gappy)
         values, which still compare correctly.
+
+        The root cannot be deleted: its self-label 1 was never registered
+        in the SC table (order 0 is implicit), so "delete the root" has no
+        coherent meaning short of destroying the document — rejected with
+        a clear error instead of crashing mid-unregister and leaving the
+        table half-emptied.
         """
+        if node.is_root:
+            raise OrderingError(
+                "cannot delete the document root; deleting every child "
+                "individually is the closest well-defined operation"
+            )
         report = OrderedUpdateReport()
         for gone in node.iter_preorder():
             self.sc_table.unregister(self._self_label(gone))
         self.scheme.delete(node)
+        metrics.incr("order.deletes")
         return report
 
     def _repair_residue_overflows(
@@ -219,6 +234,7 @@ class OrderedDocument:
                 )
                 relabeled.append(descendant)
             self.sc_table.register(new_self, order)
+        metrics.incr("order.overflow_relabels", len(relabeled))
         return relabeled
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import OrderingError
+from repro.obs import metrics
 from repro.primes.crt import CongruenceSystem
 
 __all__ = ["SCRecord", "SCTable"]
@@ -151,6 +152,9 @@ class SCTable:
             system = CongruenceSystem([self_label], [order])
             self._records.append(SCRecord(system=system, max_prime=self_label))
             self._record_of[self_label] = len(self._records) - 1
+            metrics.incr("sc.records_opened")
+        metrics.incr("sc.registered")
+        metrics.incr("sc.records_touched")
         return 1
 
     def unregister(self, self_label: int) -> None:
@@ -162,6 +166,7 @@ class SCTable:
         record.system.remove(self_label)
         if self_label == record.max_prime:
             record.max_prime = max(record.system.moduli, default=0)
+        metrics.incr("sc.unregistered")
 
     def shift_orders_from(self, threshold: int) -> Tuple[int, List[Tuple[int, int]]]:
         """Add 1 to the order of every node with order >= ``threshold``.
@@ -177,24 +182,39 @@ class SCTable:
           modulus, a case the paper does not address).  These nodes are
           *unregistered* here; the caller must relabel them with a larger
           prime and re-register.
+
+        A record whose only change is an overflow-driven ``unregister``
+        (its CRT value is recomputed by ``system.remove``) counts toward
+        ``records_touched`` too: the rewrite happens whether or not any
+        sibling residue also shifted, so Figure 18's cost unit must charge
+        it — the earlier accounting silently dropped exactly the case the
+        paper overlooks.
         """
         touched = 0
+        shifted = 0
         overflowed: List[Tuple[int, int]] = []
         for record in self._records:
             updates: Dict[int, int] = {}
+            overflow_here = False
             for modulus in record.system.moduli:
                 residue = record.system.residue(modulus)
                 if residue < threshold:
                     continue
                 if residue + 1 >= modulus:
                     overflowed.append((modulus, residue + 1))
+                    overflow_here = True
                 else:
                     updates[modulus] = residue + 1
             if updates:
                 record.system.set_residues(updates)
+                shifted += len(updates)
+            if updates or overflow_here:
                 touched += 1
         for self_label, _new_order in overflowed:
             self.unregister(self_label)
+        metrics.incr("sc.records_touched", touched)
+        metrics.incr("sc.shift_span", shifted)
+        metrics.incr("sc.residue_overflows", len(overflowed))
         return touched, overflowed
 
     def set_order(self, self_label: int, order: int) -> int:
@@ -205,6 +225,7 @@ class SCTable:
             )
         record = self.record_for(self_label)
         record.system.set_residues({self_label: order})
+        metrics.incr("sc.records_touched")
         return 1
 
     # ------------------------------------------------------------------

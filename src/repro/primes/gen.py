@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
+from repro.obs import metrics
 from repro.primes.sieve import primes_first_n, segmented_sieve
 
 __all__ = ["PrimeGenerator"]
@@ -77,6 +78,8 @@ class PrimeGenerator:
             low = self._cache[-1] + 1
             high = max(low * 2, low + 10_000)
             self._cache.extend(segmented_sieve(low, high))
+            metrics.incr("primes.sieve_extensions")
+            metrics.gauge("primes.cache_size", len(self._cache))
 
     def get_reserved_prime(self) -> int:
         """Return the next prime from the reserved pool (Opt1).
@@ -90,6 +93,8 @@ class PrimeGenerator:
         prime = self._cache[self._next_reserved_index]
         self._next_reserved_index += 1
         self._issued += 1
+        metrics.incr("primes.issued")
+        metrics.incr("primes.reserved_hits")
         return prime
 
     def get_prime(self) -> int:
@@ -98,6 +103,7 @@ class PrimeGenerator:
         prime = self._cache[self._next_general_index]
         self._next_general_index += 1
         self._issued += 1
+        metrics.incr("primes.issued")
         return prime
 
     @staticmethod

@@ -91,11 +91,16 @@ def segmented_sieve(low: int, high: int) -> Iterator[int]:
         return
     low = max(low, 2)
     base = primes_below(math.isqrt(high - 1) + 1)
-    span = [True] * (high - low)
+    # Composites are struck out with bytearray slice assignment — the same
+    # bulk-write trick sieve_of_eratosthenes uses — instead of a Python-level
+    # loop over every multiple, which dominated generator refills on large
+    # documents (each strided store runs in C).
+    span = bytearray(b"\x01") * (high - low)
     for prime in base:
         start = max(prime * prime, ((low + prime - 1) // prime) * prime)
-        for multiple in range(start, high, prime):
-            span[multiple - low] = False
+        if start >= high:
+            continue
+        span[start - low :: prime] = bytes(len(range(start, high, prime)))
     for offset, flag in enumerate(span):
         if flag:
             yield low + offset

@@ -19,9 +19,10 @@ tree.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.errors import QueryEvaluationError
+from repro.obs import metrics
 from repro.query.ast import Axis, Query, Step
 from repro.query.store import ElementRow, LabelStore
 from repro.query.xpath import parse_query
@@ -67,9 +68,12 @@ class QueryEngine:
             query = parse_query(query)
         if not query.steps:
             raise QueryEvaluationError("query has no steps")
-        context = self._seed_context(query.steps[0], doc_ids)
-        for step in query.steps[1:]:
-            context = self._apply_step(context, step)
+        with metrics.timed("query.evaluate"):
+            context = self._seed_context(query.steps[0], doc_ids)
+            for step in query.steps[1:]:
+                context = self._apply_step(context, step)
+            metrics.incr("query.evaluations")
+            metrics.incr("query.rows_returned", len(context))
         return context
 
     def count(self, query: Query | str) -> int:
@@ -92,20 +96,22 @@ class QueryEngine:
         selected = self.store.doc_ids if doc_ids is None else [
             doc_id for doc_id in self.store.doc_ids if doc_id in doc_ids
         ]
-        for doc_id in selected:
-            matches = sorted(
-                self.store.rows_with_tag(doc_id, step.tag), key=ops.order_key
-            )
-            if step.position is not None:
-                matches = (
-                    [matches[step.position - 1]] if len(matches) >= step.position else []
-                )
-            # Text filters apply AFTER position: the paper's
-            # `book/author[2]/"John"` asks whether the *second* author is
-            # John, not for the second John-named author.
-            if step.text is not None:
-                matches = [row for row in matches if row.text == step.text]
-            results.extend(matches)
+        with metrics.timed("query.op.seed"):
+            for doc_id in selected:
+                candidates = self.store.rows_with_tag(doc_id, step.tag)
+                metrics.incr("query.nodes_scanned", len(candidates))
+                matches = sorted(candidates, key=ops.order_key)
+                if step.position is not None:
+                    matches = (
+                        [matches[step.position - 1]] if len(matches) >= step.position else []
+                    )
+                # Text filters apply AFTER position: the paper's
+                # `book/author[2]/"John"` asks whether the *second* author is
+                # John, not for the second John-named author.
+                if step.text is not None:
+                    matches = [row for row in matches if row.text == step.text]
+                results.extend(matches)
+            metrics.incr("query.nodes_emitted", len(results))
         return results
 
     _ORDER_AXES = (
@@ -127,25 +133,28 @@ class QueryEngine:
         predicate = None if expanded else self._axis_predicate(step.axis)
         collected: List[ElementRow] = []
         seen: set[int] = set()
-        for context_row in context:
-            candidates = self.store.rows_with_tag(context_row.doc_id, step.tag)
-            if expanded:
-                matches = self._expanded_axis_matches(context_row, step.axis, candidates)
-            else:
-                matches = [row for row in candidates if predicate(context_row, row)]
-            matches.sort(key=ops.order_key)
-            if step.position is not None:
-                matches = (
-                    [matches[step.position - 1]] if len(matches) >= step.position else []
-                )
-            # After position, matching the paper's `author[2]/"John"`.
-            if step.text is not None:
-                matches = [row for row in matches if row.text == step.text]
-            for row in matches:
-                if row.element_id not in seen:
-                    seen.add(row.element_id)
-                    collected.append(row)
-        collected.sort(key=lambda row: (row.doc_id, ops.order_key(row)))
+        with metrics.timed(f"query.op.{step.axis.value}"):
+            for context_row in context:
+                candidates = self.store.rows_with_tag(context_row.doc_id, step.tag)
+                metrics.incr("query.nodes_scanned", len(candidates))
+                if expanded:
+                    matches = self._expanded_axis_matches(context_row, step.axis, candidates)
+                else:
+                    matches = [row for row in candidates if predicate(context_row, row)]
+                matches.sort(key=ops.order_key)
+                if step.position is not None:
+                    matches = (
+                        [matches[step.position - 1]] if len(matches) >= step.position else []
+                    )
+                # After position, matching the paper's `author[2]/"John"`.
+                if step.text is not None:
+                    matches = [row for row in matches if row.text == step.text]
+                for row in matches:
+                    if row.element_id not in seen:
+                        seen.add(row.element_id)
+                        collected.append(row)
+            collected.sort(key=lambda row: (row.doc_id, ops.order_key(row)))
+            metrics.incr("query.nodes_emitted", len(collected))
         return collected
 
     # ------------------------------------------------------------------
@@ -166,6 +175,13 @@ class QueryEngine:
         from itertools import groupby
 
         ops = self.store.ops
+        with metrics.timed("query.op.merge"):
+            return self._structural_merge_pass(context, step, ops, groupby)
+
+    def _structural_merge_pass(
+        self, context: List[ElementRow], step: Step, ops: Any, groupby: Callable
+    ) -> List[ElementRow]:
+        """The timed body of :meth:`_apply_structural_merge`."""
         ordered_context = sorted(
             context, key=lambda row: (row.doc_id, ops.order_key(row))
         )
@@ -175,6 +191,7 @@ class QueryEngine:
             candidates = sorted(
                 self.store.rows_with_tag(doc_id, step.tag), key=ops.order_key
             )
+            metrics.incr("query.nodes_scanned", len(candidates))
             stack: List[ElementRow] = []
             push_index = 0
             for candidate in candidates:
@@ -203,6 +220,7 @@ class QueryEngine:
                 if step.text is not None and candidate.text != step.text:
                     continue
                 results.append(candidate)
+        metrics.incr("query.nodes_emitted", len(results))
         return results
 
     # ------------------------------------------------------------------

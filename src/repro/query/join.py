@@ -29,6 +29,7 @@ from typing import Callable, List, Sequence, Tuple
 from repro.labeling.base import LabelingScheme
 from repro.labeling.interval import StartEndIntervalScheme, StartEndLabel, XissIntervalScheme
 from repro.labeling.prime import PrimeLabel, PrimeScheme
+from repro.obs import metrics
 from repro.xmlkit.tree import XmlElement
 
 __all__ = [
@@ -41,6 +42,7 @@ __all__ = [
 JoinPair = Tuple[XmlElement, XmlElement]
 
 
+@metrics.timed("join.nested_loop")
 def nested_loop_join(
     scheme: LabelingScheme,
     ancestors: Sequence[XmlElement],
@@ -59,6 +61,8 @@ def nested_loop_join(
         for descendant, d_label in descendant_labels:
             if scheme.is_ancestor_label(a_label, d_label):
                 pairs.append((ancestor, descendant))
+    metrics.incr("join.label_tests", len(ancestors) * len(descendants))
+    metrics.incr("join.pairs_emitted", len(pairs))
     return pairs
 
 
@@ -71,6 +75,7 @@ def _interval_of(scheme: LabelingScheme, node: XmlElement) -> Tuple[int, int]:
     return label.order, label.order + label.size
 
 
+@metrics.timed("join.stack_tree")
 def stack_tree_join(
     scheme: LabelingScheme,
     ancestors: Sequence[XmlElement],
@@ -109,6 +114,7 @@ def stack_tree_join(
         for node, c_start, c_end in stack:
             if c_start < d_start <= c_end:
                 pairs.append((node, descendant))
+    metrics.incr("join.pairs_emitted", len(pairs))
     return pairs
 
 
@@ -135,6 +141,7 @@ def _document_order_key(scheme: PrimeScheme) -> Callable[[XmlElement], Tuple]:
     return key
 
 
+@metrics.timed("join.prime_merge")
 def prime_merge_join(
     scheme: PrimeScheme,
     ancestors: Sequence[XmlElement],
@@ -172,4 +179,5 @@ def prime_merge_join(
         while stack and not scheme.is_ancestor_label(stack[-1][1], d_label):
             stack.pop()
         pairs.extend((node, descendant) for node, _label in stack)
+    metrics.incr("join.pairs_emitted", len(pairs))
     return pairs

@@ -111,6 +111,11 @@ class PrimeOps(StoreOps):
         self._scheme = scheme
         self._ordered = ordered
 
+    @property
+    def ordered_documents(self) -> Dict[int, OrderedDocument]:
+        """The per-doc ordered documents backing the SC order lookups."""
+        return dict(self._ordered)
+
     def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
         return self._scheme.is_ancestor_label(ancestor.label, descendant.label)
 
@@ -303,6 +308,14 @@ class LabelStore:
     def rows_in_doc(self, doc_id: int) -> List[ElementRow]:
         """Every row of one document (the descendant-or-self expansions)."""
         return self._by_doc.get(doc_id, [])
+
+    def ordered_documents(self) -> Dict[int, "OrderedDocument"]:
+        """Per-doc :class:`OrderedDocument` instances, when the store has
+        them (prime scheme only); empty for schemes without an SC table.
+        Used by the deep auditor behind the CLI's ``--audit`` flag."""
+        if isinstance(self.ops, PrimeOps):
+            return self.ops.ordered_documents
+        return {}
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -135,6 +135,48 @@ class TestDeletion:
         report = doc.delete(doc.root.children[0])
         assert report.total_cost == 0
 
+    def test_delete_root_rejected_with_clear_error(self):
+        """Pinned behavior: deleting the root raises OrderingError up front.
+
+        The root's self-label 1 was never registered (order 0 is implicit),
+        so the old code crashed mid-loop with an opaque "self-label 1 is not
+        in the SC table" after the decision to reject was already forced;
+        skipping the root instead would silently turn "delete the document"
+        into "delete some children", which is worse.  The table must be left
+        untouched by the rejected call.
+        """
+        doc = OrderedDocument(small_doc())
+        before = doc.sc_table.orders()
+        with pytest.raises(OrderingError, match="root"):
+            doc.delete(doc.root)
+        assert doc.sc_table.orders() == before
+        assert doc.check()
+
+    def test_scheme_delete_purges_leaf_counter(self):
+        """The Opt2 leaf counter must not leak entries for deleted parents:
+        a stale id(parent) key can be resurrected when CPython reuses the
+        address, inflating a fresh parent's leaf ordinals."""
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=True)
+        root = element("r", element("a", element("x"), element("y")), element("b"))
+        scheme.label_tree(root)
+        victim = root.children[0]
+        tracked = {id(victim), id(victim.children[0]), id(victim.children[1])}
+        assert id(victim) in scheme._leaf_counter  # two leaves were labeled
+        scheme.delete(victim)
+        assert not tracked & set(scheme._leaf_counter)
+
+    def test_fresh_parent_at_reused_address_starts_ordinals_at_one(self):
+        """Simulate CPython address reuse: a new parent occupying a deleted
+        parent's id must hand its first Opt2 leaf 2**1, not a stale 2**n."""
+        scheme = PrimeScheme(reserved_primes=0, power2_leaves=True)
+        root = element("r", element("a", element("x"), element("y")), element("b"))
+        scheme.label_tree(root)
+        victim = root.children[0]
+        stale_id = id(victim)
+        scheme.delete(victim)
+        # Without the purge this would resurrect the counter at 2.
+        assert scheme._leaf_counter.get(stale_id, 0) == 0
+
 
 class TestCompaction:
     def test_compact_renumbers_densely(self):

@@ -88,7 +88,10 @@ class TestShift:
         # must repair; order 2 of modulus 3 likewise becomes 3 >= 3.
         touched, overflowed = table.shift_orders_from(0)
         assert sorted(overflowed) == [(2, 2), (3, 3)]
-        assert touched == 2  # the two later records were rewritten in place
+        # All three records were rewritten: the last two in place, and the
+        # first through the overflow-driven unregisters (its CRT value is
+        # recomputed by system.remove, so it costs a record update too).
+        assert touched == 3
         assert 2 not in table.orders() and 3 not in table.orders()
 
     def test_shift_nothing(self):
@@ -108,6 +111,29 @@ class TestShift:
         assert table.orders() == {2: 1, 3: 2, 5: 4, 7: 5, 11: 6, 13: 7, 17: 3}
         assert touched == 3  # both records rewritten + the registration
         assert table.check()
+
+    def test_overflow_only_record_counts_as_touched(self):
+        """Regression: a record whose *only* change is an overflow-driven
+        unregister is still one SC-record rewrite (its CRT value is
+        recomputed by ``system.remove``) and must be charged to the update
+        cost — the old accounting silently dropped it, under-reporting
+        Figure 18 in exactly the case the paper overlooks."""
+        table = SCTable(group_size=1)
+        table.register(2, 1)   # record 0: shifting makes order 2 >= modulus 2
+        table.register(11, 5)  # record 1: plain in-place rewrite
+        touched, overflowed = table.shift_orders_from(1)
+        assert overflowed == [(2, 2)]
+        assert touched == 2  # record 0 (overflow rewrite) + record 1 (shift)
+
+    def test_overflow_and_shift_in_same_record_counted_once(self):
+        """A record that both shifts a sibling residue and overflows another
+        still counts as one rewritten record, not two."""
+        table = SCTable(group_size=2)
+        table.register(3, 2)   # overflows: 2 + 1 >= 3
+        table.register(11, 1)  # shifts in place: 1 -> 2
+        touched, overflowed = table.shift_orders_from(1)
+        assert overflowed == [(3, 3)]
+        assert touched == 1
 
     def test_register_rejects_order_at_or_above_modulus(self):
         table = SCTable()

@@ -94,3 +94,17 @@ class TestSegmentedSieve:
         assert list(segmented_sieve(1_000_000, 1_000_100)) == [
             1_000_003, 1_000_033, 1_000_037, 1_000_039, 1_000_081, 1_000_099,
         ]
+
+    def test_wide_high_window_matches_reference_sieve(self):
+        """The bytearray slice-assignment span must agree with a plain
+        reference sieve over a full 10^4-wide window at 10^6 (regression
+        for the slice-stride rewrite of the per-multiple marking loop)."""
+        low, high = 10**6, 10**6 + 10**4
+        reference = [p for p in primes_below(high) if p >= low]
+        assert list(segmented_sieve(low, high)) == reference
+
+    def test_base_prime_square_beyond_window(self):
+        # A window narrower than the gap to the next base-prime square:
+        # start >= high for the largest base primes must not mark anything.
+        assert list(segmented_sieve(120, 127)) == []
+        assert list(segmented_sieve(126, 132)) == [127, 131]
