@@ -7,6 +7,7 @@ series the paper reports.  The ``benchmarks/`` directory wraps these in
 pytest-benchmark targets; examples and EXPERIMENTS.md print them directly.
 """
 
+from repro.bench.durability import durability_table
 from repro.bench.harness import ResultTable
 from repro.bench.models import figure3_table, figure4_table, figure5_table
 from repro.bench.response import figure15_table, table2_table
@@ -15,6 +16,7 @@ from repro.bench.updates import figure16_table, figure17_table, figure18_table
 
 __all__ = [
     "ResultTable",
+    "durability_table",
     "figure3_table",
     "figure4_table",
     "figure5_table",

@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
     python -m repro query '/play//act[2]' doc1.xml doc2.xml --scheme prime
     python -m repro sql '/play//act' --scheme interval
     python -m repro bench fig18
+    python -m repro dump state/ doc1.xml doc2.xml
+    python -m repro load state/ --query '//act'
+    python -m repro recover state/
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
@@ -18,11 +21,21 @@ pipeline (label + SC table + a ``//*`` query) and prints the
 observability counters and operator timings from :mod:`repro.obs`.
 ``stats``, ``label``, ``check`` and ``query`` accept ``--audit`` to run
 the deep invariant auditor and fail (exit 1) on any violation.
+
+``dump``/``load``/``recover`` drive the durability subsystem
+(:mod:`repro.durable`): ``dump`` creates a durable collection directory
+from XML files, ``load`` recovers it and optionally queries it,
+``recover`` runs the recovery protocol read-only and reports what it
+did.  Their ``--fsync`` default comes from the ``REPRO_WAL_FSYNC``
+environment variable (``always`` if unset).  ``stats`` also accepts a
+durable collection directory and prints its WAL/snapshot/recovery
+counters.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -105,9 +118,37 @@ def _audit_store(store: LabelStore, indent: str = "  ") -> int:
     return failures
 
 
+def _durable_stats(path: str, audit: bool) -> int:
+    """Print a durable collection directory's state + durability counters."""
+    from repro.durable import DurableCollection
+
+    with metrics.collecting() as registry:
+        collection = DurableCollection.open(path, verify=audit)
+        info = collection.last_recovery
+        documents = collection.documents
+        collection.close()
+        snapshot = registry.snapshot()
+    print(
+        f"{path}: durable collection, {len(documents)} document(s), "
+        f"last seq {info.last_seq}, snapshot generation {info.generation}"
+    )
+    for index, root in enumerate(documents):
+        stats = root.stats()
+        print(
+            f"  doc {index}: nodes={stats.node_count} depth={stats.depth} "
+            f"max-fanout={stats.max_fanout} leaves={stats.leaf_count}"
+        )
+    _print_snapshot(snapshot)
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     failures = 0
-    for path, document in zip(args.files, _read_documents(args.files)):
+    directories = [path for path in args.files if os.path.isdir(path)]
+    for path in directories:
+        failures += _durable_stats(path, getattr(args, "audit", False))
+    files = [path for path in args.files if path not in directories]
+    for path, document in zip(files, _read_documents(files)):
         stats = document.stats()
         print(
             f"{path}: nodes={stats.node_count} depth={stats.depth} "
@@ -214,6 +255,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fig16": bench.figure16_table,
         "fig17": bench.figure17_table,
         "fig18": bench.figure18_table,
+        "durability": bench.durability_table,
     }
     builder = exhibits.get(args.exhibit)
     if builder is None:
@@ -231,6 +273,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         table_to_csv(table, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    from repro.durable import DurableCollection
+
+    documents = _read_documents(args.files)
+    with metrics.collecting() as registry:
+        collection = DurableCollection.create(
+            args.dir,
+            documents,
+            group_size=args.group_size,
+            fsync=args.fsync,
+        )
+        collection.close()
+        snapshot = registry.snapshot()
+    print(
+        f"created durable collection in {args.dir}: "
+        f"{len(documents)} document(s), fsync={args.fsync}"
+    )
+    _print_snapshot(snapshot)
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from repro.durable import DurableCollection
+
+    with metrics.collecting() as registry:
+        collection = DurableCollection.open(
+            args.dir, fsync=args.fsync, verify=not args.no_verify
+        )
+        info = collection.last_recovery
+        rows = collection.query(args.query) if args.query else None
+        collection.close()
+        snapshot = registry.snapshot()
+    print(info.summary())
+    if rows is not None:
+        for row in rows:
+            print(f"doc {row.doc_id}: {row.node.path()}")
+        print(f"-- {len(rows)} node(s) retrieved")
+    _print_snapshot(snapshot)
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.durable import recover
+
+    with metrics.collecting() as registry:
+        recovered = recover(args.dir, verify=not args.no_verify)
+        snapshot = registry.snapshot()
+    print(recovered.info.summary())
+    _print_snapshot(snapshot)
     return 0
 
 
@@ -285,6 +379,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--chart", action="store_true", help="render as text bars")
     bench.add_argument("--csv", metavar="OUT.csv", help="also write the table as CSV")
     bench.set_defaults(handler=cmd_bench)
+
+    fsync_default = os.environ.get("REPRO_WAL_FSYNC", "always")
+    fsync_help = (
+        "WAL fsync policy: always, never, or batch:N "
+        f"(default from REPRO_WAL_FSYNC, currently {fsync_default!r})"
+    )
+
+    dump = commands.add_parser(
+        "dump", help="create a durable collection directory from XML files"
+    )
+    dump.add_argument("dir")
+    dump.add_argument("files", nargs="+")
+    dump.add_argument("--group-size", type=int, default=5,
+                      help="SC-table group size (default 5)")
+    dump.add_argument("--fsync", default=fsync_default, help=fsync_help)
+    dump.set_defaults(handler=cmd_dump)
+
+    load = commands.add_parser(
+        "load", help="recover a durable collection and optionally query it"
+    )
+    load.add_argument("dir")
+    load.add_argument("--query", help="XPath-subset query to run after recovery")
+    load.add_argument("--fsync", default=fsync_default, help=fsync_help)
+    load.add_argument("--no-verify", action="store_true",
+                      help="skip the post-replay invariant audit")
+    load.set_defaults(handler=cmd_load)
+
+    recover = commands.add_parser(
+        "recover", help="run crash recovery read-only and report what it did"
+    )
+    recover.add_argument("dir")
+    recover.add_argument("--no-verify", action="store_true",
+                         help="skip the post-replay invariant audit")
+    recover.set_defaults(handler=cmd_recover)
 
     return parser
 

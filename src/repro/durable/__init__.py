@@ -1,0 +1,65 @@
+"""Durability subsystem: WAL, checksummed snapshots, crash recovery.
+
+The paper's labeling scheme is pitched at *dynamic* documents, and a
+dynamic store that forgets everything on process death is a toy.  This
+package makes a :class:`~repro.query.live.LiveCollection` durable:
+
+* :mod:`repro.durable.wal` — append-only, CRC32-checksummed write-ahead
+  log of every order-sensitive update, with configurable fsync policy,
+* :mod:`repro.durable.snapshot` — atomic, checksummed full-state
+  snapshots (trees + prime labels + generator positions + SC grouping),
+* :mod:`repro.durable.recovery` — snapshot load + WAL replay + invariant
+  audit, with fallback to the previous snapshot generation on corruption,
+* :mod:`repro.durable.collection` — :class:`DurableCollection`, the
+  log-before-apply wrapper tying it together,
+* :mod:`repro.durable.faults` — injectable crashes, torn writes, and bit
+  flips, so all of the above is actually exercised under failure.
+
+See ``docs/DURABILITY.md`` for the design rationale and fault matrix.
+"""
+
+from repro.durable.collection import DurableCollection
+from repro.durable.faults import (
+    CorruptSnapshotWrite,
+    CrashAfterAppends,
+    CrashBeforeFsync,
+    FaultInjector,
+    InjectedCrash,
+    TornAppend,
+    flip_bit,
+    truncate_file,
+)
+from repro.durable.recovery import RecoveredState, RecoveryInfo, recover
+from repro.durable.snapshot import (
+    SnapshotState,
+    collection_fingerprint,
+    read_snapshot,
+    restore_collection,
+    write_snapshot,
+)
+from repro.durable.wal import FsyncPolicy, WalRecord, WalScan, WriteAheadLog, scan_wal
+
+__all__ = [
+    "DurableCollection",
+    "FaultInjector",
+    "InjectedCrash",
+    "CrashAfterAppends",
+    "TornAppend",
+    "CrashBeforeFsync",
+    "CorruptSnapshotWrite",
+    "flip_bit",
+    "truncate_file",
+    "RecoveredState",
+    "RecoveryInfo",
+    "recover",
+    "SnapshotState",
+    "collection_fingerprint",
+    "read_snapshot",
+    "restore_collection",
+    "write_snapshot",
+    "FsyncPolicy",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+]

@@ -1,0 +1,323 @@
+"""A crash-safe wrapper around :class:`~repro.query.live.LiveCollection`.
+
+:class:`DurableCollection` is the user-facing face of the durability
+subsystem: the same update/query surface as the live collection, plus a
+directory on disk that always holds enough state to reconstruct the
+in-memory collection after a crash —
+
+* ``wal.log`` — every mutation, logged *before* it is applied,
+* ``snap-<generation>.rpsn`` — periodic checksummed snapshots (the last
+  two generations are retained so a corrupt latest snapshot still leaves
+  a recoverable, merely stale, base).
+
+The write protocol per mutation:
+
+1. validate the operation against the in-memory state (so a logged
+   record is guaranteed to replay cleanly),
+2. encode the target node as ``(document index, preorder position)``
+   *before* mutating (positions shift under the mutation itself),
+3. append the record to the WAL (fsynced per policy),
+4. apply the operation to the live collection.
+
+A crash between 3 and 4 is harmless: replay applies the logged record to
+the snapshot state and reaches exactly where step 4 would have.  A crash
+between 1 and 3 loses the operation entirely, which is also consistent —
+the caller never got an acknowledgement.
+
+:meth:`checkpoint` first fsyncs the WAL (so no retained snapshot ever
+claims coverage of records the log does not durably hold), then writes a
+new snapshot generation, drops generations beyond the last two, and
+prunes WAL records already covered by the *oldest* retained generation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.durable.faults import FaultInjector
+from repro.durable.recovery import (
+    RecoveryInfo,
+    WAL_NAME,
+    list_generations,
+    recover,
+    snapshot_path,
+)
+from repro.durable.snapshot import read_snapshot, write_snapshot
+from repro.durable.wal import FsyncPolicy, WriteAheadLog
+from repro.errors import DurabilityError, OrderingError, SnapshotCorruptError
+from repro.obs import metrics
+from repro.order.document import OrderedUpdateReport
+from repro.query.live import LiveCollection
+from repro.query.store import ElementRow
+from repro.xmlkit.serialize import serialize
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["DurableCollection"]
+
+#: Snapshot generations kept after a checkpoint: the fresh one plus one
+#: fallback.  More would widen the corruption tolerance at linear disk
+#: cost; the recovery protocol works unchanged for any retention depth.
+RETAINED_GENERATIONS = 2
+
+
+class DurableCollection:
+    """A live collection whose every update survives process death."""
+
+    def __init__(
+        self,
+        directory: Path,
+        live: LiveCollection,
+        wal: WriteAheadLog,
+        last_seq: int,
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.directory = directory
+        self.live = live
+        self.wal = wal
+        self.last_seq = last_seq
+        self.faults = faults
+        #: Recovery report from :meth:`open`; ``None`` for fresh collections.
+        self.last_recovery: Optional[RecoveryInfo] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        documents: Sequence[XmlElement],
+        group_size: int | None = 5,
+        strategy: str = "scan",
+        fsync: "str | FsyncPolicy" = "always",
+        faults: Optional[FaultInjector] = None,
+    ) -> "DurableCollection":
+        """Initialise a fresh durable collection in ``directory``.
+
+        Writes snapshot generation 1 (the empty-WAL base state) and opens
+        the log.  Refuses a directory that already holds a collection —
+        use :meth:`open` for that.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if list_generations(directory) or (directory / WAL_NAME).exists():
+            raise DurabilityError(
+                f"{directory} already holds a durable collection; "
+                "open() it instead of create()"
+            )
+        live = LiveCollection(documents, group_size=group_size, strategy=strategy)
+        write_snapshot(live, snapshot_path(directory, 1), last_seq=0, faults=faults)
+        wal = WriteAheadLog(directory / WAL_NAME, fsync=fsync, faults=faults)
+        return cls(directory, live, wal, last_seq=0, faults=faults)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        fsync: "str | FsyncPolicy" = "always",
+        faults: Optional[FaultInjector] = None,
+        verify: bool = True,
+    ) -> "DurableCollection":
+        """Recover the collection in ``directory`` and resume appending.
+
+        Runs the full recovery protocol (snapshot + WAL replay + audit +
+        generation fallback), truncates any torn WAL tail, and advances
+        the log past every sequence number the recovered state already
+        covers.  The recovery report is kept on ``last_recovery``.
+        """
+        directory = Path(directory)
+        recovered = recover(directory, verify=verify)
+        wal = WriteAheadLog(directory / WAL_NAME, fsync=fsync, faults=faults)
+        if wal.next_seq <= recovered.info.last_seq:
+            # The snapshot covers records an unsynced WAL tail lost; never
+            # reissue their sequence numbers (replay would drop the new
+            # records as already-covered).
+            wal.reset(recovered.info.last_seq + 1)
+        collection = cls(
+            directory,
+            recovered.collection,
+            wal,
+            last_seq=recovered.info.last_seq,
+            faults=faults,
+        )
+        collection.last_recovery = recovered.info
+        return collection
+
+    # ------------------------------------------------------------------
+    # Logged mutations
+    # ------------------------------------------------------------------
+
+    def _address(self, node: XmlElement) -> Tuple[int, int]:
+        """``(document index, preorder position)`` — computed pre-mutation."""
+        return self.live.document_index_of(node), node.document_position()
+
+    def _log(self, op: dict) -> int:
+        if self._closed:
+            raise DurabilityError("durable collection is closed")
+        seq = self.wal.append(op)
+        return seq
+
+    def insert_child(
+        self, parent: XmlElement, index: int, tag: str = "new"
+    ) -> OrderedUpdateReport:
+        """Logged order-sensitive insertion under ``parent`` at ``index``."""
+        doc, position = self._address(parent)
+        if not 0 <= index <= len(parent.children):
+            raise OrderingError(
+                f"insert index {index} out of range for a parent with "
+                f"{len(parent.children)} children"
+            )
+        seq = self._log(
+            {
+                "op": "insert_child",
+                "doc": doc,
+                "parent": position,
+                "index": index,
+                "tag": tag,
+            }
+        )
+        report = self.live.insert_child(parent, index, tag=tag)
+        self.last_seq = seq
+        return report
+
+    def insert_before(
+        self, reference: XmlElement, tag: str = "new"
+    ) -> OrderedUpdateReport:
+        """Logged insertion of a sibling immediately before ``reference``."""
+        doc, position = self._address(reference)
+        if reference.is_root:
+            raise OrderingError("cannot insert a sibling of the root")
+        seq = self._log(
+            {"op": "insert_before", "doc": doc, "ref": position, "tag": tag}
+        )
+        report = self.live.insert_before(reference, tag=tag)
+        self.last_seq = seq
+        return report
+
+    def insert_after(
+        self, reference: XmlElement, tag: str = "new"
+    ) -> OrderedUpdateReport:
+        """Logged insertion of a sibling immediately after ``reference``."""
+        doc, position = self._address(reference)
+        if reference.is_root:
+            raise OrderingError("cannot insert a sibling of the root")
+        seq = self._log(
+            {"op": "insert_after", "doc": doc, "ref": position, "tag": tag}
+        )
+        report = self.live.insert_after(reference, tag=tag)
+        self.last_seq = seq
+        return report
+
+    def delete(self, node: XmlElement) -> OrderedUpdateReport:
+        """Logged deletion of ``node`` and its subtree."""
+        doc, position = self._address(node)
+        if node.is_root:
+            raise OrderingError(
+                "cannot delete the document root; deleting every child "
+                "individually is the closest well-defined operation"
+            )
+        seq = self._log({"op": "delete", "doc": doc, "node": position})
+        report = self.live.delete(node)
+        self.last_seq = seq
+        return report
+
+    def add_document(self, root: XmlElement) -> int:
+        """Logged addition of a whole document; returns its index.
+
+        The WAL payload carries the document's serialized XML, so replay
+        reconstructs an equivalent tree by re-parsing (compact
+        serialization is a lossless round trip for mixed-content-free
+        documents, which is all the toolkit produces).
+        """
+        if root.parent is not None:
+            raise OrderingError(
+                "add_document needs a detached root; detach() the subtree first"
+            )
+        seq = self._log({"op": "add_document", "xml": serialize(root)})
+        index = self.live.add_document(root)
+        self.last_seq = seq
+        return index
+
+    def compact(self) -> None:
+        """Logged SC-table compaction across every document."""
+        seq = self._log({"op": "compact"})
+        self.live.compact()
+        self.last_seq = seq
+
+    # ------------------------------------------------------------------
+    # Queries (pass-through: reading needs no logging)
+    # ------------------------------------------------------------------
+
+    def query(self, text: str) -> List[ElementRow]:
+        """Evaluate an XPath-subset query over the collection."""
+        return self.live.query(text)
+
+    def count(self, text: str) -> int:
+        """Number of nodes the query retrieves."""
+        return self.live.count(text)
+
+    def check(self) -> bool:
+        """Verify every document's SC-derived order."""
+        return self.live.check()
+
+    @property
+    def documents(self) -> List[XmlElement]:
+        """The document roots, in collection order."""
+        return self.live.documents
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write a new snapshot generation; returns its generation number.
+
+        Syncs the WAL first, so no snapshot ever claims sequence numbers
+        the log does not durably hold.  Keeps the newest
+        :data:`RETAINED_GENERATIONS` snapshots and prunes WAL records the
+        oldest retained generation already covers (they can never be
+        needed by any surviving replay path).
+        """
+        if self._closed:
+            raise DurabilityError("durable collection is closed")
+        with metrics.timed("durable.checkpoint"):
+            self.wal.sync()
+            generations = list_generations(self.directory)
+            generation = (generations[-1] if generations else 0) + 1
+            write_snapshot(
+                self.live,
+                snapshot_path(self.directory, generation),
+                last_seq=self.last_seq,
+                faults=self.faults,
+            )
+            retained = (generations + [generation])[-RETAINED_GENERATIONS:]
+            for stale in generations:
+                if stale not in retained:
+                    snapshot_path(self.directory, stale).unlink(missing_ok=True)
+            try:
+                oldest_covered = read_snapshot(
+                    snapshot_path(self.directory, retained[0])
+                ).last_seq
+            except SnapshotCorruptError:
+                # A corrupt fallback snapshot means every WAL record might
+                # still matter; prune nothing rather than guess.
+                oldest_covered = 0
+            self.wal.prune(oldest_covered)
+            metrics.incr("durable.checkpoints")
+        return generation
+
+    def close(self) -> None:
+        """Sync and close the log; the collection object becomes read-only."""
+        if self._closed:
+            return
+        self.wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "DurableCollection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,164 @@
+"""Injectable failure layer for the durability subsystem.
+
+Durability code that has never survived a crash is durability theater, so
+the write paths of :mod:`repro.durable.wal` and
+:mod:`repro.durable.snapshot` route every hazardous step through a
+:class:`FaultInjector`.  The default injector does nothing; tests swap in
+scripted ones that kill the "process" (by raising :class:`InjectedCrash`)
+at precisely chosen points, leave half-written records behind, or flip
+bits in files that were already acknowledged — the fault matrix of
+``docs/DURABILITY.md``.
+
+The injector API mirrors the places real systems lose data:
+
+* :meth:`FaultInjector.on_append` — may truncate the record's bytes (a
+  torn write at the end of the log) or crash before anything is written;
+* :meth:`FaultInjector.after_write` — crash *after* the OS buffered the
+  bytes but *before* ``fsync`` (data in the page cache, lost on power cut
+  under ``fsync="never"``/``"batch"`` policies);
+* :meth:`FaultInjector.on_snapshot` — corrupt or truncate a snapshot blob
+  before it reaches the temp file (a controller writing garbage).
+
+:func:`flip_bit` and :func:`truncate_file` operate on closed files and
+model at-rest corruption (bit rot, partial ``rename`` on a dying disk).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import DurabilityError
+
+__all__ = [
+    "InjectedCrash",
+    "FaultInjector",
+    "CrashAfterAppends",
+    "TornAppend",
+    "CrashBeforeFsync",
+    "CorruptSnapshotWrite",
+    "flip_bit",
+    "truncate_file",
+]
+
+
+class InjectedCrash(DurabilityError):
+    """The simulated process death.
+
+    Raised by scripted injectors at their trigger point.  Tests catch it,
+    abandon the in-memory state (exactly what a real crash does), and then
+    re-open the on-disk state through recovery.
+    """
+
+
+class FaultInjector:
+    """Base injector: every hook is a no-op — the production behaviour."""
+
+    def on_append(self, seq: int, blob: bytes) -> bytes:
+        """Called with a WAL record's full encoded bytes before writing.
+
+        Return value is what actually reaches the file; returning a strict
+        prefix models a torn write.  May raise :class:`InjectedCrash` to
+        die before any byte lands.
+        """
+        return blob
+
+    def after_write(self, seq: int) -> None:
+        """Called after a record's bytes were written, before any fsync."""
+
+    def on_snapshot(self, blob: bytes) -> bytes:
+        """Called with a snapshot's full encoded bytes before writing."""
+        return blob
+
+
+class CrashAfterAppends(FaultInjector):
+    """Die cleanly once ``count`` records have been appended.
+
+    The crash happens *before* record ``count + 1`` touches the file, so
+    the log ends exactly on a record boundary — the base case of the
+    crash matrix.
+    """
+
+    def __init__(self, count: int):
+        self.count = count
+        self._seen = 0
+
+    def on_append(self, seq: int, blob: bytes) -> bytes:
+        if self._seen >= self.count:
+            raise InjectedCrash(f"crash before append #{self._seen + 1}")
+        self._seen += 1
+        return blob
+
+
+class TornAppend(FaultInjector):
+    """Write only ``keep_bytes`` of the ``at``-th append, then die.
+
+    Models a power cut mid-``write()``: the log gains a torn final record
+    that recovery must detect (CRC mismatch or short read) and truncate.
+    """
+
+    def __init__(self, at: int, keep_bytes: int):
+        if keep_bytes < 0:
+            raise ValueError(f"keep_bytes must be >= 0, got {keep_bytes}")
+        self.at = at
+        self.keep_bytes = keep_bytes
+        self._seen = 0
+
+    def on_append(self, seq: int, blob: bytes) -> bytes:
+        self._seen += 1
+        if self._seen == self.at:
+            return blob[: self.keep_bytes]
+        return blob
+
+
+class CrashBeforeFsync(FaultInjector):
+    """Die after the ``at``-th append's bytes were written, pre-fsync.
+
+    Under ``fsync="always"`` the bytes are still in the OS page cache at
+    that instant; whether they survive is the OS's business, which is why
+    the crash matrix treats "record present" and "record absent" as both
+    legal outcomes for the final unsynced record.
+    """
+
+    def __init__(self, at: int):
+        self.at = at
+        self._seen = 0
+
+    def after_write(self, seq: int) -> None:
+        self._seen += 1
+        if self._seen >= self.at:
+            raise InjectedCrash(f"crash before fsync of append #{self._seen}")
+
+
+class CorruptSnapshotWrite(FaultInjector):
+    """Flip one bit of every snapshot blob before it reaches disk."""
+
+    def __init__(self, byte_offset: int = 12, bit: int = 0):
+        self.byte_offset = byte_offset
+        self.bit = bit
+
+    def on_snapshot(self, blob: bytes) -> bytes:
+        if not blob:
+            return blob
+        mutated = bytearray(blob)
+        offset = self.byte_offset % len(mutated)
+        mutated[offset] ^= 1 << (self.bit % 8)
+        return bytes(mutated)
+
+
+def flip_bit(path: str | Path, offset: int, bit: int = 0) -> None:
+    """Flip one bit of the file at ``path`` in place (at-rest corruption)."""
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    if not blob:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    blob[offset % len(blob)] ^= 1 << (bit % 8)
+    path.write_bytes(bytes(blob))
+
+
+def truncate_file(path: str | Path, size: int) -> None:
+    """Cut the file at ``path`` down to ``size`` bytes (lost tail)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,226 @@
+"""Crash recovery: snapshot + WAL replay + invariant audit + fallback.
+
+The open path of a durable collection directory::
+
+    dir/
+      wal.log            append-only update history
+      snap-00000001.rpsn oldest retained snapshot generation
+      snap-00000002.rpsn latest snapshot generation
+
+Recovery protocol (see ``docs/DURABILITY.md``):
+
+1. Scan the WAL once; a torn tail is noted (the opener truncates it).
+2. Walk snapshot generations newest-first.  For each: checksum-verify and
+   decode it, restore the collection, replay every WAL record with
+   ``seq`` greater than the snapshot's ``last_seq`` through real
+   :class:`~repro.query.live.LiveCollection` updates, then cross-check
+   the result with :func:`repro.obs.audit.audit_ordered_document`.
+3. The first generation that survives all of that wins.  A generation
+   that fails *any* step (bad checksum, undecodable, replay error, audit
+   violation) is skipped and the previous one is tried — stale-but-valid
+   state always beats fresh-but-corrupt state.
+4. If no generation survives, :class:`repro.errors.RecoveryError`.
+
+Replay re-executes operations through the same code paths the original
+process used; because prime issuance and SC maintenance are deterministic
+functions of the starting state, the recovered collection's labels, SC
+values, and query results are byte-identical to a process that never
+crashed (the crash-matrix tests assert exactly this, via
+:func:`repro.durable.snapshot.collection_fingerprint`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.durable.snapshot import read_snapshot, restore_collection
+from repro.durable.wal import WalRecord, WalScan, scan_wal
+from repro.errors import DurabilityError, RecoveryError, ReproError
+from repro.obs import metrics
+from repro.obs.audit import audit_ordered_document
+from repro.query.live import LiveCollection
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["RecoveryInfo", "RecoveredState", "recover", "apply_operation"]
+
+WAL_NAME = "wal.log"
+SNAPSHOT_PATTERN = re.compile(r"^snap-(\d{8})\.rpsn$")
+
+
+def snapshot_path(directory: Path, generation: int) -> Path:
+    """The canonical snapshot filename for ``generation``."""
+    return Path(directory) / f"snap-{generation:08d}.rpsn"
+
+
+def list_generations(directory: Path) -> List[int]:
+    """Snapshot generations present in ``directory``, ascending."""
+    generations = []
+    for entry in directory.iterdir():
+        match = SNAPSHOT_PATTERN.match(entry.name)
+        if match:
+            generations.append(int(match.group(1)))
+    return sorted(generations)
+
+
+@dataclass
+class RecoveryInfo:
+    """What recovery did, for operators and tests."""
+
+    generation: int
+    snapshot_last_seq: int
+    replayed_records: int
+    last_seq: int
+    torn_bytes: int
+    skipped_generations: List[int] = field(default_factory=list)
+    audit_checks: int = 0
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of how recovery proceeded."""
+        lines = [
+            f"recovered from snapshot generation {self.generation} "
+            f"(covers seq {self.snapshot_last_seq})",
+            f"replayed {self.replayed_records} WAL record(s) "
+            f"up to seq {self.last_seq}",
+        ]
+        if self.torn_bytes:
+            lines.append(f"truncated {self.torn_bytes} torn tail byte(s)")
+        if self.skipped_generations:
+            skipped = ", ".join(str(g) for g in self.skipped_generations)
+            lines.append(f"fell back past corrupt generation(s): {skipped}")
+        lines.append(f"audit: {self.audit_checks} checks, 0 violations")
+        return "\n".join(lines)
+
+
+@dataclass
+class RecoveredState:
+    """A recovered collection plus the recovery report."""
+
+    collection: LiveCollection
+    info: RecoveryInfo
+
+
+def _node_at(collection: LiveCollection, doc: int, position: int) -> XmlElement:
+    roots = collection.documents
+    if not 0 <= doc < len(roots):
+        raise DurabilityError(f"WAL references document {doc}; have {len(roots)}")
+    for index, node in enumerate(roots[doc].iter_preorder()):
+        if index == position:
+            return node
+    raise DurabilityError(
+        f"WAL references preorder position {position} of document {doc}, "
+        "which does not exist"
+    )
+
+
+def apply_operation(collection: LiveCollection, op: Dict[str, Any]) -> None:
+    """Apply one decoded WAL operation to ``collection``.
+
+    Operations address nodes by ``(document index, preorder position)`` —
+    both are stable identifiers *at the moment the operation was logged*,
+    and replay visits operations in logged order, so the addressing is
+    exact.
+    """
+    kind = op.get("op")
+    if kind == "insert_child":
+        parent = _node_at(collection, op["doc"], op["parent"])
+        collection.insert_child(parent, op["index"], tag=op["tag"])
+    elif kind == "insert_before":
+        reference = _node_at(collection, op["doc"], op["ref"])
+        collection.insert_before(reference, tag=op["tag"])
+    elif kind == "insert_after":
+        reference = _node_at(collection, op["doc"], op["ref"])
+        collection.insert_after(reference, tag=op["tag"])
+    elif kind == "delete":
+        collection.delete(_node_at(collection, op["doc"], op["node"]))
+    elif kind == "add_document":
+        collection.add_document(parse_document(op["xml"]))
+    elif kind == "compact":
+        collection.compact()
+    else:
+        raise DurabilityError(f"unknown WAL operation {kind!r}")
+
+
+def _replay(
+    collection: LiveCollection, records: List[WalRecord], after_seq: int
+) -> int:
+    replayed = 0
+    for record in records:
+        if record.seq <= after_seq:
+            continue
+        apply_operation(collection, record.op)
+        replayed += 1
+    metrics.incr("recovery.replayed_records", replayed)
+    return replayed
+
+
+def _verify(collection: LiveCollection) -> int:
+    """Run the deep auditor over every document; returns checks performed.
+
+    Raises :class:`repro.errors.DurabilityError` on any violation so the
+    caller treats the generation as corrupt and falls back.
+    """
+    checks = 0
+    for index, document in enumerate(collection.ordered_documents):
+        report = audit_ordered_document(document)
+        checks += sum(report.checks.values())
+        if not report.ok:
+            raise DurabilityError(
+                f"recovered document {index} failed its invariant audit:\n"
+                + report.summary()
+            )
+    return checks
+
+
+def recover(
+    directory: str | Path,
+    verify: bool = True,
+) -> RecoveredState:
+    """Recover the durable collection stored in ``directory``.
+
+    Tries snapshot generations newest-first, replaying the WAL suffix and
+    (by default) auditing the result; falls back on any corruption.  The
+    WAL's torn tail, if any, is reported in the returned info — actually
+    truncating it on disk is the opener's job
+    (:class:`repro.durable.wal.WriteAheadLog` repairs on open).
+    """
+    with metrics.timed("recovery.run"):
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise RecoveryError(f"{directory} is not a durable collection directory")
+        generations = list_generations(directory)
+        if not generations:
+            raise RecoveryError(f"{directory} holds no snapshot generations")
+        scan: WalScan = scan_wal(directory / WAL_NAME)
+        skipped: List[int] = []
+        failures: List[str] = []
+        for generation in reversed(generations):
+            path = snapshot_path(directory, generation)
+            try:
+                state = read_snapshot(path)
+                collection = restore_collection(state)
+                replayed = _replay(collection, scan.records, state.last_seq)
+                audit_checks = _verify(collection) if verify else 0
+            except ReproError as error:
+                skipped.append(generation)
+                failures.append(f"generation {generation}: {error}")
+                metrics.incr("recovery.snapshot_fallbacks")
+                continue
+            info = RecoveryInfo(
+                generation=generation,
+                snapshot_last_seq=state.last_seq,
+                replayed_records=replayed,
+                last_seq=max(scan.last_seq, state.last_seq),
+                torn_bytes=scan.torn_bytes,
+                skipped_generations=skipped,
+                audit_checks=audit_checks,
+            )
+            metrics.incr("recovery.runs")
+            return RecoveredState(collection=collection, info=info)
+        detail = "; ".join(failures)
+        raise RecoveryError(
+            f"no snapshot generation in {directory} is recoverable: {detail}"
+        )

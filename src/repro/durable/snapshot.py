@@ -1,0 +1,338 @@
+"""Checksummed full-state snapshots of a live collection.
+
+A snapshot is everything recovery needs to resume a
+:class:`~repro.query.live.LiveCollection` *exactly* where it stood:
+
+* each document's element tree (tags, attributes, text, child order),
+* each node's prime label (full value + self-label) in preorder,
+* each prime generator's issuance position (so replayed inserts draw the
+  same fresh primes the original run would have),
+* each SC table's records — group membership, residues, and routing keys
+  preserved record by record, because future ``register`` calls append to
+  the last record and must see the same fill level,
+* the collection's configuration (``group_size``, ``strategy``) and its
+  accumulated update cost.
+
+The file extends the RPLS binary conventions of
+:mod:`repro.query.persist` (big-endian, length-prefixed strings) with
+arbitrary-precision integers and a CRC32 footer over the whole body::
+
+    magic    4 bytes b"RPSN", 1 byte version
+    header   8B last_seq   8B total_update_cost
+             4B group_size (0xFFFFFFFF = None)   1B+len strategy
+    docs     4B count, then per document:
+               tree     preorder: 2B+len tag, 4B+len text,
+                        2B attr count ×(2B+len name, 2B+len value),
+                        4B child count
+               gen      4B reserved_limit, 4B next_reserved,
+                        4B next_general, 8B issued
+               labels   4B count ×(int value, int self_label)  [preorder]
+               sc       4B record count, per record: 4B members,
+                        int max_prime ×(int modulus, int residue)
+    footer   4 bytes CRC32 of everything above
+
+where ``int`` is a 2-byte length + big-endian magnitude (labels are
+products of primes and routinely exceed machine words).
+
+Writes are atomic: the blob goes to ``<name>.tmp``, is fsynced, and is
+``os.replace``d over the final name — a crash mid-snapshot leaves the
+previous generation untouched.  :func:`read_snapshot` verifies the footer
+before decoding a single field, so truncation and bit-flips surface as
+:class:`repro.errors.SnapshotCorruptError`, never as plausible garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.durable.faults import FaultInjector
+from repro.errors import LabelingError, OrderingError, SnapshotCorruptError
+from repro.labeling.prime import PrimeLabel, PrimeScheme
+from repro.obs import metrics
+from repro.order.document import OrderedDocument
+from repro.order.sc_table import SCTable
+from repro.primes.gen import PrimeGenerator
+from repro.query.live import LiveCollection
+from repro.query.persist import _Reader, _write_string
+from repro.xmlkit.tree import XmlElement
+
+__all__ = [
+    "SnapshotState",
+    "write_snapshot",
+    "read_snapshot",
+    "restore_collection",
+    "collection_fingerprint",
+]
+
+_MAGIC = b"RPSN"
+_VERSION = 1
+_NO_GROUP_SIZE = 0xFFFFFFFF
+
+Groups = List[Tuple[int, List[Tuple[int, int]]]]
+
+
+@dataclass
+class DocumentState:
+    """One document's decoded snapshot: tree + labels + generator + SC."""
+
+    root: XmlElement
+    labels: List[Tuple[int, int]]  # (value, self_label) in preorder
+    generator_state: Tuple[int, int, int, int]
+    sc_groups: Groups
+
+
+@dataclass
+class SnapshotState:
+    """A decoded snapshot, ready for :func:`restore_collection`."""
+
+    last_seq: int
+    total_update_cost: int
+    group_size: Optional[int]
+    strategy: str
+    documents: List[DocumentState]
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers (int = 2B length + big-endian magnitude)
+# ----------------------------------------------------------------------
+
+
+def _write_int(out: List[bytes], value: int) -> None:
+    if value < 0:
+        raise SnapshotCorruptError(f"cannot encode negative integer {value}")
+    data = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    out.append(struct.pack(">H", len(data)))
+    out.append(data)
+
+
+def _read_int(reader: _Reader) -> int:
+    (length,) = reader.unpack(">H")
+    return int.from_bytes(reader.take(length), "big")
+
+
+def _write_tree(out: List[bytes], node: XmlElement) -> None:
+    _write_string(out, node.tag, ">H")
+    _write_string(out, node.text, ">I")
+    out.append(struct.pack(">H", len(node.attributes)))
+    for name, value in node.attributes.items():
+        _write_string(out, name, ">H")
+        _write_string(out, value, ">H")
+    out.append(struct.pack(">I", len(node.children)))
+    for child in node.children:
+        _write_tree(out, child)
+
+
+def _read_tree(reader: _Reader) -> XmlElement:
+    tag = reader.string(">H")
+    text = reader.string(">I")
+    (attr_count,) = reader.unpack(">H")
+    attributes = {}
+    for _ in range(attr_count):
+        name = reader.string(">H")
+        attributes[name] = reader.string(">H")
+    node = XmlElement(tag, attributes, text)
+    (child_count,) = reader.unpack(">I")
+    for _ in range(child_count):
+        node.append(_read_tree(reader))
+    return node
+
+
+# ----------------------------------------------------------------------
+# Write
+# ----------------------------------------------------------------------
+
+
+def snapshot_bytes(collection: LiveCollection, last_seq: int = 0) -> bytes:
+    """Encode ``collection`` as a complete snapshot blob (footer included)."""
+    out: List[bytes] = [_MAGIC, struct.pack(">B", _VERSION)]
+    out.append(struct.pack(">QQ", last_seq, collection.total_update_cost))
+    group_size = collection.group_size
+    out.append(
+        struct.pack(">I", _NO_GROUP_SIZE if group_size is None else group_size)
+    )
+    _write_string(out, collection.strategy, ">B")
+    ordered = collection.ordered_documents
+    out.append(struct.pack(">I", len(ordered)))
+    for document in ordered:
+        _write_tree(out, document.root)
+        reserved, next_reserved, next_general, issued = document.scheme._generator.state()
+        out.append(struct.pack(">IIIQ", reserved, next_reserved, next_general, issued))
+        nodes = list(document.root.iter_preorder())
+        out.append(struct.pack(">I", len(nodes)))
+        for node in nodes:
+            label: PrimeLabel = document.label_of(node)
+            _write_int(out, label.value)
+            _write_int(out, label.self_label)
+        groups = document.sc_table.groups()
+        out.append(struct.pack(">I", len(groups)))
+        for max_prime, members in groups:
+            out.append(struct.pack(">I", len(members)))
+            _write_int(out, max_prime)
+            for modulus, residue in members:
+                _write_int(out, modulus)
+                _write_int(out, residue)
+    body = b"".join(out)
+    return body + struct.pack(">I", zlib.crc32(body))
+
+
+def write_snapshot(
+    collection: LiveCollection,
+    path: str | Path,
+    last_seq: int = 0,
+    faults: Optional[FaultInjector] = None,
+) -> int:
+    """Atomically write a snapshot of ``collection``; returns bytes written.
+
+    ``last_seq`` is the WAL sequence number of the last operation already
+    reflected in the collection — recovery replays strictly after it.
+    """
+    with metrics.timed("snapshot.write"):
+        path = Path(path)
+        blob = snapshot_bytes(collection, last_seq)
+        if faults is not None:
+            blob = faults.on_snapshot(blob)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        metrics.incr("snapshot.writes")
+        metrics.incr("snapshot.bytes", len(blob))
+    return len(blob)
+
+
+# ----------------------------------------------------------------------
+# Read + restore
+# ----------------------------------------------------------------------
+
+
+def read_snapshot(path: str | Path) -> SnapshotState:
+    """Decode and checksum-verify the snapshot at ``path``.
+
+    Raises :class:`repro.errors.SnapshotCorruptError` on any damage —
+    truncation, bit-flip, bad magic, or undecodable structure.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as error:
+        raise SnapshotCorruptError(f"cannot read snapshot {path}: {error}") from error
+    if len(blob) < len(_MAGIC) + 1 + 4:
+        raise SnapshotCorruptError(f"snapshot {path} is truncated")
+    (stored_crc,) = struct.unpack(">I", blob[-4:])
+    body = blob[:-4]
+    if zlib.crc32(body) != stored_crc:
+        raise SnapshotCorruptError(
+            f"snapshot {path} failed its CRC32 check (truncated or corrupt)"
+        )
+    try:
+        state = _decode_body(body, path)
+    except (ValueError, IndexError, UnicodeDecodeError, struct.error) as error:
+        raise SnapshotCorruptError(f"corrupt snapshot {path}: {error}") from error
+    metrics.incr("snapshot.loads")
+    return state
+
+
+def _decode_body(body: bytes, path: Path) -> SnapshotState:
+    reader = _Reader(body)
+    if reader.take(4) != _MAGIC:
+        raise SnapshotCorruptError(f"{path} is not a snapshot file")
+    (version,) = reader.unpack(">B")
+    if version != _VERSION:
+        raise SnapshotCorruptError(f"unsupported snapshot version {version}")
+    last_seq, total_cost = reader.unpack(">QQ")
+    (raw_group_size,) = reader.unpack(">I")
+    group_size = None if raw_group_size == _NO_GROUP_SIZE else raw_group_size
+    strategy = reader.string(">B")
+    (doc_count,) = reader.unpack(">I")
+    documents: List[DocumentState] = []
+    for _ in range(doc_count):
+        root = _read_tree(reader)
+        generator_state = reader.unpack(">IIIQ")
+        (label_count,) = reader.unpack(">I")
+        labels = [(_read_int(reader), _read_int(reader)) for _ in range(label_count)]
+        (group_count,) = reader.unpack(">I")
+        groups: Groups = []
+        for _ in range(group_count):
+            (member_count,) = reader.unpack(">I")
+            max_prime = _read_int(reader)
+            members = [
+                (_read_int(reader), _read_int(reader)) for _ in range(member_count)
+            ]
+            groups.append((max_prime, members))
+        documents.append(
+            DocumentState(
+                root=root,
+                labels=labels,
+                generator_state=generator_state,
+                sc_groups=groups,
+            )
+        )
+    return SnapshotState(
+        last_seq=last_seq,
+        total_update_cost=total_cost,
+        group_size=group_size,
+        strategy=strategy,
+        documents=documents,
+    )
+
+
+def restore_collection(state: SnapshotState) -> LiveCollection:
+    """Rebuild a live collection from a decoded snapshot, relabeling nothing."""
+    with metrics.timed("snapshot.restore"):
+        ordered: List[OrderedDocument] = []
+        try:
+            for doc_state in state.documents:
+                nodes = list(doc_state.root.iter_preorder())
+                if len(nodes) != len(doc_state.labels):
+                    raise SnapshotCorruptError(
+                        f"snapshot holds {len(doc_state.labels)} labels for "
+                        f"{len(nodes)} nodes"
+                    )
+                scheme = PrimeScheme(
+                    reserved_primes=doc_state.generator_state[0],
+                    power2_leaves=False,
+                )
+                scheme._generator = PrimeGenerator.from_state(
+                    doc_state.generator_state
+                )
+                scheme._root = doc_state.root
+                for node, (value, self_label) in zip(nodes, doc_state.labels):
+                    scheme._set_label(
+                        node, PrimeLabel(value=value, self_label=self_label)
+                    )
+                table = SCTable.from_groups(
+                    doc_state.sc_groups, group_size=state.group_size
+                )
+                ordered.append(
+                    OrderedDocument.from_state(doc_state.root, scheme, table)
+                )
+            return LiveCollection.from_ordered(
+                ordered,
+                group_size=state.group_size,
+                strategy=state.strategy,
+                total_update_cost=state.total_update_cost,
+            )
+        except (ValueError, OrderingError, LabelingError) as error:
+            raise SnapshotCorruptError(
+                f"snapshot state is internally inconsistent: {error}"
+            ) from error
+
+
+def collection_fingerprint(collection: LiveCollection) -> str:
+    """A canonical content hash of the collection's entire durable state.
+
+    Two collections with identical trees, labels, SC grouping, config, and
+    accumulated update cost produce the same hex digest — the "byte
+    identical" oracle of the crash-recovery tests.  Implemented as a
+    SHA-256 of the canonical snapshot encoding at ``last_seq=0`` (the
+    sequence number is bookkeeping, not state).
+    """
+    return hashlib.sha256(snapshot_bytes(collection, last_seq=0)).hexdigest()

@@ -1,0 +1,372 @@
+"""Append-only write-ahead log for order-sensitive collection updates.
+
+Every mutation of a :class:`~repro.durable.collection.DurableCollection`
+is appended here *before* it is applied in memory, so the complete update
+history since the last snapshot can be replayed after a crash.  Replay
+through real :class:`~repro.order.document.OrderedDocument` updates is
+deterministic (prime issuance and SC rewrites are pure functions of the
+starting state), which is what lets recovery reproduce the exact labels
+and SC values of a never-crashed run.
+
+File layout (all integers big-endian)::
+
+    header   4 bytes magic b"RPWL", 1 byte version
+    record   8 bytes seq   — monotonically increasing, +1 per record
+             4 bytes len   — payload byte count
+             4 bytes crc   — CRC32 over (seq ‖ len ‖ payload)
+             len bytes payload — canonical JSON of one operation
+
+Sequence numbers are assigned by the log and never reused; a snapshot
+records the last sequence it covers, so the replay suffix is "every
+record with ``seq`` greater than that".
+
+**Torn-tail rule**: a crash can leave a half-written final record (or,
+under ``fsync='never'``/``'batch'``, lose several).  :func:`scan_wal`
+stops at the first record that is short, fails its CRC, or breaks the
+sequence chain; everything before that point is trusted, everything from
+it on is dead weight and :meth:`WriteAheadLog.open`'s repair pass
+truncates it.  Corruption *before* the valid tail cannot be distinguished
+from a torn tail by the scanner — it simply shortens the usable prefix,
+and the snapshot fallback in :mod:`repro.durable.recovery` covers the
+rest.
+
+Fsync policy decides when appended bytes are forced to disk:
+
+* ``"always"`` — fsync after every append (no acknowledged record is ever
+  lost; slowest),
+* ``"batch:N"`` — fsync every N appends (bounded loss window of N-1
+  acknowledged records),
+* ``"never"`` — leave it to the OS (fastest; loss window unbounded until
+  :meth:`~WriteAheadLog.close`, which always syncs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.durable.faults import FaultInjector
+from repro.errors import DurabilityError, WalCorruptError
+from repro.obs import metrics
+
+__all__ = ["FsyncPolicy", "WalRecord", "WalScan", "WriteAheadLog", "scan_wal"]
+
+_MAGIC = b"RPWL"
+_VERSION = 1
+_HEADER_LEN = 5
+_RECORD_HEADER = struct.Struct(">QII")  # seq, payload length, crc32
+#: Upper bound on one payload — anything larger is treated as corruption
+#: (a flipped length byte must not make the scanner swallow the file).
+_MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class FsyncPolicy:
+    """When to force appended bytes to stable storage.
+
+    ``interval`` is the number of appends between fsyncs: ``1`` is the
+    paper-grade ``always``, ``0`` means never (OS-buffered).  Use
+    :meth:`parse` for the string forms exposed in configuration.
+    """
+
+    interval: int
+
+    @classmethod
+    def parse(cls, text: "str | FsyncPolicy") -> "FsyncPolicy":
+        """Parse ``"always"`` / ``"never"`` / ``"batch:N"`` (N >= 1)."""
+        if isinstance(text, FsyncPolicy):
+            return text
+        if text == "always":
+            return cls(interval=1)
+        if text == "never":
+            return cls(interval=0)
+        if text.startswith("batch:"):
+            try:
+                interval = int(text.split(":", 1)[1])
+            except ValueError:
+                interval = 0
+            if interval >= 1:
+                return cls(interval=interval)
+        raise DurabilityError(
+            f"unknown fsync policy {text!r}; use 'always', 'never', or 'batch:N'"
+        )
+
+    def due(self, pending_appends: int) -> bool:
+        """Whether ``pending_appends`` unsynced records warrant an fsync."""
+        return self.interval > 0 and pending_appends >= self.interval
+
+    def __str__(self) -> str:
+        if self.interval == 1:
+            return "always"
+        if self.interval == 0:
+            return "never"
+        return f"batch:{self.interval}"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: its sequence number, operation, and span."""
+
+    seq: int
+    op: Dict[str, Any]
+    end_offset: int  # file offset one past this record's last byte
+
+
+@dataclass
+class WalScan:
+    """Result of scanning a log file: the valid prefix plus tail damage."""
+
+    records: List[WalRecord]
+    valid_bytes: int  # offset of the first byte the scanner distrusts
+    total_bytes: int
+
+    @property
+    def torn_bytes(self) -> int:
+        """How many trailing bytes fail validation (0 for a clean log)."""
+        return self.total_bytes - self.valid_bytes
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last valid record (0 for an empty log)."""
+        return self.records[-1].seq if self.records else 0
+
+
+def _encode_payload(op: Dict[str, Any]) -> bytes:
+    # Canonical JSON: sorted keys, no whitespace — byte-stable across runs
+    # so fingerprints of equivalent logs agree.
+    return json.dumps(op, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Read every trustworthy record of the log at ``path``.
+
+    Raises :class:`repro.errors.WalCorruptError` when the *header* is
+    damaged (nothing in the file can be trusted); per the torn-tail rule,
+    record-level damage is never an error — scanning just stops there.
+    A missing file scans as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalScan(records=[], valid_bytes=0, total_bytes=0)
+    blob = path.read_bytes()
+    if len(blob) < _HEADER_LEN:
+        # A crash while creating the log can leave a short header; there
+        # are no records to lose, so treat it as empty-and-repairable.
+        return WalScan(records=[], valid_bytes=0, total_bytes=len(blob))
+    if blob[:4] != _MAGIC:
+        raise WalCorruptError(f"{path} is not a write-ahead log")
+    if blob[4] != _VERSION:
+        raise WalCorruptError(f"unsupported WAL version {blob[4]} in {path}")
+    records: List[WalRecord] = []
+    offset = _HEADER_LEN
+    expected_seq: Optional[int] = None
+    while offset + _RECORD_HEADER.size <= len(blob):
+        seq, length, crc = _RECORD_HEADER.unpack_from(blob, offset)
+        payload_start = offset + _RECORD_HEADER.size
+        if length > _MAX_PAYLOAD or payload_start + length > len(blob):
+            break  # torn or length-corrupt tail
+        payload = blob[payload_start : payload_start + length]
+        if zlib.crc32(blob[offset : offset + 12] + payload) != crc:
+            break  # checksum failure: first corrupt record, stop here
+        if expected_seq is not None and seq != expected_seq:
+            break  # broken sequence chain — do not trust what follows
+        try:
+            op = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if not isinstance(op, dict) or "op" not in op:
+            break
+        offset = payload_start + length
+        records.append(WalRecord(seq=seq, op=op, end_offset=offset))
+        expected_seq = seq + 1
+    return WalScan(records=records, valid_bytes=offset, total_bytes=len(blob))
+
+
+class WriteAheadLog:
+    """The append half of the log (reading goes through :func:`scan_wal`).
+
+    Opening an existing log scans it, truncates any torn tail in place,
+    and resumes sequence numbering after the last valid record.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: "str | FsyncPolicy" = "always",
+        faults: Optional[FaultInjector] = None,
+    ):
+        self.path = Path(path)
+        self.policy = FsyncPolicy.parse(fsync)
+        self.faults = faults or FaultInjector()
+        scan = scan_wal(self.path)
+        if scan.torn_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            metrics.incr("wal.torn_tail_truncations")
+            metrics.incr("wal.torn_tail_bytes", scan.torn_bytes)
+        fresh = scan.valid_bytes == 0
+        self._handle = open(self.path, "ab")
+        if fresh:
+            self._handle.write(_MAGIC + bytes([_VERSION]))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._next_seq = scan.last_seq + 1
+        self._pending = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next append will receive."""
+        return self._next_seq
+
+    def append(self, op: Dict[str, Any]) -> int:
+        """Append one operation record; returns its sequence number.
+
+        The record is on disk (or at least handed to the OS, per the fsync
+        policy) when this returns — callers apply the operation in memory
+        only afterwards, the "log before apply" contract recovery needs.
+        """
+        if self._closed:
+            raise WalCorruptError("write-ahead log is closed")
+        with metrics.timed("wal.append"):
+            payload = _encode_payload(op)
+            seq = self._next_seq
+            header = _RECORD_HEADER.pack(
+                seq, len(payload), zlib.crc32(header_prefix(seq, payload))
+            )
+            blob = header + payload
+            to_write = self.faults.on_append(seq, blob)
+            written = len(to_write)
+            if written:
+                self._handle.write(to_write)
+                self._handle.flush()
+            if written < len(blob):
+                # A torn write is a crash: the record never happened as far
+                # as recovery is concerned, and this process is done for.
+                from repro.durable.faults import InjectedCrash
+
+                raise InjectedCrash(
+                    f"torn append of record {seq}: {written}/{len(blob)} bytes"
+                )
+            self.faults.after_write(seq)
+            self._next_seq += 1
+            self._pending += 1
+            metrics.incr("wal.appends")
+            metrics.incr("wal.append_bytes", len(blob))
+            if self.policy.due(self._pending):
+                self.sync()
+        return seq
+
+    def sync(self) -> None:
+        """Force everything appended so far to stable storage."""
+        if self._closed:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._pending = 0
+        metrics.incr("wal.fsyncs")
+
+    def close(self) -> None:
+        """Sync and close; further appends raise."""
+        if self._closed:
+            return
+        self.sync()
+        self._handle.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def reset(self, next_seq: int) -> None:
+        """Discard every record and resume numbering at ``next_seq``.
+
+        Needed when a snapshot covers sequence numbers the log no longer
+        holds (an unsynced tail died with the page cache under
+        ``fsync='never'``/``'batch'``): appending with a *reused* number
+        would make recovery's "replay strictly after the snapshot" filter
+        silently drop the new record.  The stale records cannot help any
+        retained snapshot generation once state has moved past them, so
+        the log restarts empty at a safe number.  (The scanner accepts an
+        arbitrary first sequence number; only consecutive records must
+        chain.)
+        """
+        if self._closed:
+            raise WalCorruptError("write-ahead log is closed")
+        if next_seq < self._next_seq:
+            raise ValueError(
+                f"reset cannot move the sequence backwards "
+                f"({next_seq} < {self._next_seq})"
+            )
+        self._handle.close()
+        with open(self.path, "wb") as handle:
+            handle.write(_MAGIC + bytes([_VERSION]))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle = open(self.path, "ab")
+        self._next_seq = next_seq
+        self._pending = 0
+        metrics.incr("wal.resets")
+
+    def prune(self, keep_after_seq: int) -> int:
+        """Drop records with ``seq <= keep_after_seq``; returns bytes freed.
+
+        Called after a checkpoint: records already covered by the oldest
+        *retained* snapshot generation can never be replayed again.  The
+        log is rewritten to a temp file and atomically renamed, so a crash
+        mid-prune leaves either the old or the new log — never a hybrid.
+        """
+        scan = scan_wal(self.path)
+        kept = [record for record in scan.records if record.seq > keep_after_seq]
+        if len(kept) == len(scan.records):
+            return 0
+        out = [_MAGIC + bytes([_VERSION])]
+        for record in kept:
+            payload = _encode_payload(record.op)
+            out.append(
+                _RECORD_HEADER.pack(
+                    record.seq,
+                    len(payload),
+                    zlib.crc32(header_prefix(record.seq, payload)),
+                )
+                + payload
+            )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        blob = b"".join(out)
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "ab")
+        freed = scan.valid_bytes - len(blob)
+        metrics.incr("wal.pruned_records", len(scan.records) - len(kept))
+        metrics.incr("wal.pruned_bytes", freed)
+        return freed
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def header_prefix(seq: int, payload: bytes) -> bytes:
+    """The CRC32 input for one record: seq ‖ len ‖ payload.
+
+    The checksum covers the header fields *and* the payload so a flipped
+    sequence or length byte is caught exactly like flipped content.
+    """
+    return struct.pack(">QI", seq, len(payload)) + payload

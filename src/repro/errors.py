@@ -17,6 +17,10 @@ __all__ = [
     "QuerySyntaxError",
     "QueryEvaluationError",
     "DatasetError",
+    "DurabilityError",
+    "WalCorruptError",
+    "SnapshotCorruptError",
+    "RecoveryError",
 ]
 
 
@@ -76,3 +80,24 @@ class QueryEvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """Raised by dataset generators on invalid parameters."""
+
+
+class DurabilityError(ReproError):
+    """Base class for the write-ahead-log / snapshot / recovery subsystem."""
+
+
+class WalCorruptError(DurabilityError):
+    """Raised when a write-ahead log's header or interior records are
+    corrupt beyond the repairable torn tail (a torn tail is *not* an
+    error — it is truncated silently on open, per the recovery protocol)."""
+
+
+class SnapshotCorruptError(DurabilityError):
+    """Raised when a snapshot file fails its CRC32 footer, is truncated,
+    or cannot be decoded.  Recovery reacts by falling back to the previous
+    snapshot generation instead of loading bad state."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when no snapshot generation yields a valid, audit-clean
+    collection — durable state is unrecoverable without operator help."""

@@ -85,6 +85,33 @@ class OrderedDocument:
                 continue  # the root's order is 0 by definition and not stored
             self.sc_table.register(self._self_label(node), order)
 
+    @classmethod
+    def from_state(
+        cls,
+        root: XmlElement,
+        scheme: PrimeScheme,
+        sc_table: SCTable,
+    ) -> "OrderedDocument":
+        """Assemble a document from already-restored parts, relabeling nothing.
+
+        The durability subsystem rebuilds the tree, the labeled scheme (with
+        its prime generator resumed mid-sequence), and the SC table from a
+        snapshot; this constructor wires them together without the bulk
+        labeling pass ``__init__`` performs.  The caller vouches that the
+        three parts are mutually consistent — recovery verifies that with
+        :func:`repro.obs.audit.audit_ordered_document` afterwards.
+        """
+        if scheme.power2_leaves:
+            raise OrderingError(
+                "ordered documents need pairwise-coprime self-labels; "
+                "construct the PrimeScheme with power2_leaves=False"
+            )
+        document = cls.__new__(cls)
+        document.scheme = scheme
+        document.sc_table = sc_table
+        document.root = root
+        return document
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------

@@ -116,6 +116,65 @@ class SCTable:
         """Order number of the node with ``self_label``: ``SC mod self_label``."""
         return self.record_for(self_label).sc % self_label
 
+    def groups(self) -> List[Tuple[int, List[Tuple[int, int]]]]:
+        """Record-by-record ``(max_prime, [(modulus, residue), ...])`` dump.
+
+        This is the durable form of the table: unlike :meth:`orders` it
+        preserves the *grouping* of nodes into SC records, which
+        :meth:`register` depends on (it appends to the last record while it
+        has room) — so a table restored from groups behaves identically to
+        the original under further updates.
+        """
+        return [
+            (
+                record.max_prime,
+                [
+                    (modulus, record.system.residue(modulus))
+                    for modulus in record.system.moduli
+                ],
+            )
+            for record in self._records
+        ]
+
+    @classmethod
+    def from_groups(
+        cls,
+        groups: List[Tuple[int, List[Tuple[int, int]]]],
+        group_size: int | None = 5,
+    ) -> "SCTable":
+        """Rebuild a table from a :meth:`groups` dump, grouping preserved.
+
+        Each group becomes one SC record with its CRT value re-solved from
+        the stored residues; ``max_prime`` is validated against the group's
+        members (a corrupt snapshot must not smuggle in a broken routing
+        key).  Empty groups are legal — :meth:`unregister` can drain a
+        record without removing it, and the drained record still absorbs
+        future registrations — and round-trip with ``max_prime == 0``.
+        """
+        table = cls(group_size=group_size)
+        for index, (max_prime, members) in enumerate(groups):
+            moduli = [modulus for modulus, _residue in members]
+            if max_prime != max(moduli, default=0):
+                raise OrderingError(
+                    f"SC group #{index} routing key {max_prime} != max modulus"
+                )
+            if table.group_size is not None and len(members) > table.group_size:
+                raise OrderingError(
+                    f"SC group #{index} holds {len(members)} nodes; "
+                    f"group_size is {table.group_size}"
+                )
+            for modulus, residue in members:
+                if not 0 <= residue < modulus:
+                    raise OrderingError(
+                        f"residue {residue} is not valid for modulus {modulus}"
+                    )
+                if modulus in table._record_of:
+                    raise OrderingError(f"self-label {modulus} appears twice")
+                table._record_of[modulus] = index
+            system = CongruenceSystem(moduli, [residue for _m, residue in members])
+            table._records.append(SCRecord(system=system, max_prime=max_prime))
+        return table
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ child with ``2**n``).
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.obs import metrics
 from repro.primes.sieve import primes_first_n, segmented_sieve
@@ -105,6 +105,43 @@ class PrimeGenerator:
         self._issued += 1
         metrics.incr("primes.issued")
         return prime
+
+    # ------------------------------------------------------------------
+    # State capture (durability snapshots)
+    # ------------------------------------------------------------------
+
+    def state(self) -> Tuple[int, int, int, int]:
+        """The generator's issuance position as a plain tuple.
+
+        ``(reserved_limit, next_reserved_index, next_general_index, issued)``
+        — everything :meth:`from_state` needs to resume the exact prime
+        sequence.  The cache itself is *not* part of the state: it is a pure
+        function of the indices and is regrown on demand.
+        """
+        return (
+            self._reserved_limit,
+            self._next_reserved_index,
+            self._next_general_index,
+            self._issued,
+        )
+
+    @classmethod
+    def from_state(cls, state: Tuple[int, int, int, int]) -> "PrimeGenerator":
+        """Rebuild a generator that continues exactly where ``state`` left off.
+
+        Because issuance is deterministic, the restored generator hands out
+        the same primes the original would have — the property crash
+        recovery relies on to replay updates byte-identically.
+        """
+        reserved_limit, next_reserved, next_general, issued = state
+        if not 0 <= next_reserved <= reserved_limit <= next_general:
+            raise ValueError(f"inconsistent generator state {state}")
+        generator = cls(reserved=reserved_limit)
+        generator._next_reserved_index = next_reserved
+        generator._next_general_index = next_general
+        generator._issued = issued
+        generator._ensure_cached(next_general)
+        return generator
 
     @staticmethod
     def get_power2(n: int) -> int:

@@ -44,6 +44,40 @@ class LiveCollection:
         ]
         self._engine: Optional[QueryEngine] = None
         self.total_update_cost = 0
+        self._index_by_root: Dict[int, int] = {
+            id(ordered.root): index for index, ordered in enumerate(self._ordered)
+        }
+        if len(self._index_by_root) != len(self._ordered):
+            raise QueryEvaluationError("the same document appears twice")
+
+    @classmethod
+    def from_ordered(
+        cls,
+        ordered: Sequence[OrderedDocument],
+        group_size: int | None = 5,
+        strategy: str = "scan",
+        total_update_cost: int = 0,
+    ) -> "LiveCollection":
+        """Assemble a collection around existing ordered documents.
+
+        Used by snapshot restore (:mod:`repro.durable`), where the documents
+        arrive already labeled and ordered: re-running ``__init__`` would
+        relabel them from scratch and destroy the restored state.
+        """
+        if not ordered:
+            raise QueryEvaluationError("a collection needs at least one document")
+        collection = cls.__new__(cls)
+        collection.group_size = group_size
+        collection.strategy = strategy
+        collection._ordered = list(ordered)
+        collection._engine = None
+        collection.total_update_cost = total_update_cost
+        collection._index_by_root = {
+            id(document.root): index for index, document in enumerate(ordered)
+        }
+        if len(collection._index_by_root) != len(collection._ordered):
+            raise QueryEvaluationError("the same document appears twice")
+        return collection
 
     # ------------------------------------------------------------------
     # Store management
@@ -53,6 +87,11 @@ class LiveCollection:
     def documents(self) -> List[XmlElement]:
         """The document roots, in collection order."""
         return [ordered.root for ordered in self._ordered]
+
+    @property
+    def ordered_documents(self) -> List[OrderedDocument]:
+        """The per-document ordered documents, in collection order."""
+        return list(self._ordered)
 
     def _invalidate(self) -> None:
         self._engine = None
@@ -89,13 +128,23 @@ class LiveCollection:
         """Number of nodes the query retrieves."""
         return len(self.query(text))
 
+    def document_index_of(self, node: XmlElement) -> int:
+        """Collection index of the document owning ``node``.
+
+        O(depth): walks to the node's root and hits the root→index map —
+        every update used to pay an O(documents) linear scan here instead,
+        which dominated update cost on large collections.
+        """
+        try:
+            return self._index_by_root[id(node.root)]
+        except KeyError:
+            raise QueryEvaluationError(
+                "node does not belong to this collection"
+            ) from None
+
     def document_of(self, node: XmlElement) -> OrderedDocument:
         """The ordered document owning ``node``."""
-        root = node.root
-        for ordered in self._ordered:
-            if ordered.root is root:
-                return ordered
-        raise QueryEvaluationError("node does not belong to this collection")
+        return self._ordered[self.document_index_of(node)]
 
     # ------------------------------------------------------------------
     # Updates (order-sensitive, charged per the paper)
@@ -130,9 +179,31 @@ class LiveCollection:
         self._invalidate()
         return report
 
-    def add_document(self, root: XmlElement) -> int:
-        """Add a whole document; returns its collection index."""
+    def add_document(
+        self, root: XmlElement, group_size: int | None = None
+    ) -> int:
+        """Add a whole document; returns its collection index.
+
+        ``root`` must be a detached root not already in the collection.  The
+        new document always inherits the collection's ``group_size`` (one SC
+        grouping policy per collection); passing an explicit ``group_size``
+        asserts it matches — a divergent value is rejected instead of being
+        silently overridden.
+        """
+        if root.parent is not None:
+            raise QueryEvaluationError(
+                "add_document needs a detached root; detach() the subtree first"
+            )
+        if id(root) in self._index_by_root:
+            raise QueryEvaluationError("document is already in this collection")
+        if group_size is not None and group_size != self.group_size:
+            raise QueryEvaluationError(
+                f"document group_size {group_size} diverges from the "
+                f"collection's {self.group_size}; one SC grouping policy "
+                "applies collection-wide"
+            )
         self._ordered.append(OrderedDocument(root, group_size=self.group_size))
+        self._index_by_root[id(root)] = len(self._ordered) - 1
         self._invalidate()
         return len(self._ordered) - 1
 

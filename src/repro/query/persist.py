@@ -18,6 +18,11 @@ File layout (all integers big-endian)::
               4B doc_id  4B element_id  4B tag_index  2B depth
               4B parent_id (0xFFFFFFFF = none)  record_bytes label
               2B text length + UTF-8 text (the value column)
+    footer  4 bytes CRC32 of everything above      (version >= 2 only)
+
+Version 2 adds the CRC32 footer so a silently truncated or bit-flipped
+file is rejected outright instead of being decoded into plausible-looking
+garbage; version-1 files (no footer) are still readable.
 
 Loading rebuilds a fully queryable store.  The ``node`` back-references of
 a loaded store are *placeholder* elements (tag only) — queries never touch
@@ -27,6 +32,7 @@ them; they exist so result rows still render a tag.
 from __future__ import annotations
 
 import struct
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List
 
@@ -46,7 +52,8 @@ from repro.xmlkit.tree import XmlElement
 __all__ = ["save_store", "load_store"]
 
 _MAGIC = b"RPLS"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 _NO_PARENT = 0xFFFFFFFF
 
 _KIND_BY_SCHEME = {"prime": "prime", "interval": "order-size", "prefix-2": "bits"}
@@ -88,8 +95,15 @@ def _scheme_name(ops: StoreOps) -> str:
     raise QueryEvaluationError(f"cannot persist ops of type {type(ops).__name__}")
 
 
-def save_store(store: LabelStore, path: str | Path) -> int:
-    """Write ``store`` to ``path``; returns the number of bytes written."""
+def save_store(store: LabelStore, path: str | Path, version: int = _VERSION) -> int:
+    """Write ``store`` to ``path``; returns the number of bytes written.
+
+    ``version`` defaults to the current format (2, CRC-protected); passing
+    ``1`` writes the legacy footer-less layout, kept for compatibility
+    tests and for producing files older readers accept.
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise QueryEvaluationError(f"cannot write label store version {version}")
     scheme = _scheme_name(store.ops)
     kind = _KIND_BY_SCHEME[scheme]
     field_count = max(
@@ -108,7 +122,7 @@ def save_store(store: LabelStore, path: str | Path) -> int:
             tag_index[row.tag] = len(tags)
             tags.append(row.tag)
 
-    out: List[bytes] = [_MAGIC, struct.pack(">B", _VERSION)]
+    out: List[bytes] = [_MAGIC, struct.pack(">B", version)]
     _write_string(out, scheme, ">B")
     _write_string(out, kind, ">B")
     out.append(struct.pack(">HH", codec.field_count, codec.field_bytes))
@@ -126,6 +140,8 @@ def save_store(store: LabelStore, path: str | Path) -> int:
         out.append(codec.encode(row.label))
         _write_string(out, row.text, ">H")
     blob = b"".join(out)
+    if version >= 2:
+        blob += struct.pack(">I", zlib.crc32(blob))
     Path(path).write_bytes(blob)
     return len(blob)
 
@@ -178,11 +194,24 @@ def load_store(path: str | Path) -> LabelStore:
 
 
 def _load_store_checked(path: str | Path) -> LabelStore:
-    reader = _Reader(Path(path).read_bytes())
+    blob = Path(path).read_bytes()
+    if len(blob) >= 5 and blob[:4] == _MAGIC and blob[4] >= 2:
+        # version >= 2: the last 4 bytes are a CRC32 over everything else;
+        # verify before decoding so truncation or bit rot is caught whole-
+        # file rather than wherever the parser happens to trip.
+        if len(blob) < 9:
+            raise QueryEvaluationError(f"truncated label store {path}")
+        (stored_crc,) = struct.unpack(">I", blob[-4:])
+        blob = blob[:-4]
+        if zlib.crc32(blob) != stored_crc:
+            raise QueryEvaluationError(
+                f"label store {path} failed its CRC32 check (truncated or corrupt)"
+            )
+    reader = _Reader(blob)
     if reader.take(4) != _MAGIC:
         raise QueryEvaluationError(f"{path} is not a label store file")
     (version,) = reader.unpack(">B")
-    if version != _VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise QueryEvaluationError(f"unsupported label store version {version}")
     scheme = reader.string(">B")
     kind = reader.string(">B")

@@ -121,6 +121,92 @@ class TestBench:
         assert "unknown exhibit" in capsys.readouterr().err
 
 
+class TestDurableVerbs:
+    @pytest.fixture
+    def state_dir(self, tmp_path, play_file):
+        directory = tmp_path / "state"
+        assert main(["dump", str(directory), play_file]) == 0
+        return str(directory)
+
+    def test_dump_creates_a_recoverable_directory(self, tmp_path, play_file, capsys):
+        assert main(["dump", str(tmp_path / "fresh"), play_file]) == 0
+        out = capsys.readouterr().out
+        assert "created durable collection" in out
+        assert "snapshot.writes = 1" in out
+
+    def test_dump_refuses_to_overwrite(self, state_dir, play_file, capsys):
+        assert main(["dump", state_dir, play_file]) == 1
+        assert "already holds" in capsys.readouterr().err
+
+    def test_load_round_trips_a_query(self, state_dir, play_file, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["query", "/PLAY//ACT", play_file]) == 0
+        direct = capsys.readouterr().out
+        assert cli_main(["load", state_dir, "--query", "/PLAY//ACT"]) == 0
+        recovered = capsys.readouterr().out
+        assert "recovered from snapshot generation 1" in recovered
+        direct_count = [l for l in direct.splitlines() if "retrieved" in l][0]
+        count = direct_count.split()[1]
+        assert f"-- {count} node(s) retrieved" in recovered
+
+    def test_recover_reports_and_counts(self, state_dir, capsys):
+        assert main(["recover", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered from snapshot generation 1" in out
+        assert "audit:" in out and "0 violations" in out
+        assert "snapshot.loads = 1" in out
+
+    def test_recover_falls_back_past_a_corrupt_snapshot(self, state_dir, capsys):
+        from pathlib import Path
+
+        from repro.durable import DurableCollection, flip_bit
+        from repro.durable.recovery import snapshot_path
+
+        collection = DurableCollection.open(state_dir)
+        collection.insert_child(collection.documents[0], 0)
+        collection.checkpoint()  # generation 2
+        collection.close()
+        capsys.readouterr()
+        flip_bit(snapshot_path(Path(state_dir), 2), 9)
+        assert main(["recover", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fell back past corrupt generation(s): 2" in out
+
+    def test_recover_on_garbage_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nothing")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_accepts_a_durable_directory(self, state_dir, capsys):
+        assert main(["stats", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "durable collection" in out
+        assert "snapshot.loads = 1" in out
+        assert "recovery.runs = 1" in out
+
+    def test_fsync_env_default(self, tmp_path, play_file, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL_FSYNC", "batch:4")
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["dump", str(tmp_path / "s"), play_file])
+        assert args.fsync == "batch:4"
+
+    def test_fsync_garbage_is_an_error(self, tmp_path, play_file, capsys):
+        assert main(
+            ["dump", str(tmp_path / "s"), play_file, "--fsync", "sometimes"]
+        ) == 1
+
+
+class TestBenchDurability:
+    def test_durability_exhibit_runs(self, capsys):
+        assert main(["bench", "durability"]) == 0
+        out = capsys.readouterr().out
+        assert "Durability overhead" in out
+        for policy in ("always", "batch:8", "never"):
+            assert policy in out
+        assert "NO" not in out  # every recovery byte-identical
+
+
 class TestModuleEntrypoint:
     def test_python_dash_m(self, xml_file):
         import subprocess

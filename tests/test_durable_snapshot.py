@@ -1,0 +1,173 @@
+"""Snapshots: byte-exact state capture, corruption detection, atomicity."""
+
+import random
+
+import pytest
+
+from repro.durable.faults import CorruptSnapshotWrite, flip_bit, truncate_file
+from repro.durable.snapshot import (
+    collection_fingerprint,
+    read_snapshot,
+    restore_collection,
+    snapshot_bytes,
+    write_snapshot,
+)
+from repro.errors import SnapshotCorruptError
+from repro.query.live import LiveCollection
+from repro.xmlkit.parser import parse_document
+
+DOCS = [
+    "<r><a>x</a><b attr='v'><c/><c/></b></r>",
+    "<play><act><scene/><scene/></act></play>",
+]
+
+
+def build_collection(churn=12, group_size=5):
+    collection = LiveCollection(
+        [parse_document(text) for text in DOCS], group_size=group_size
+    )
+    rng = random.Random(3)
+    for _ in range(churn):
+        root = collection.documents[rng.randrange(len(collection.documents))]
+        nodes = list(root.iter_preorder())
+        target = rng.choice(nodes)
+        collection.insert_child(target, rng.randint(0, len(target.children)))
+    return collection
+
+
+class TestRoundTrip:
+    def test_restore_reproduces_the_fingerprint(self, tmp_path):
+        collection = build_collection()
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path, last_seq=12)
+        state = read_snapshot(path)
+        assert state.last_seq == 12
+        restored = restore_collection(state)
+        assert collection_fingerprint(restored) == collection_fingerprint(collection)
+
+    def test_restore_preserves_future_behaviour(self, tmp_path):
+        """The decisive determinism test: a restored collection must make
+        the *same future choices* (fresh primes, SC record fills) as the
+        original — not merely hold the same current state."""
+        collection = build_collection()
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        restored = restore_collection(read_snapshot(path))
+        rng_a, rng_b = random.Random(9), random.Random(9)
+        for source, rng in ((collection, rng_a), (restored, rng_b)):
+            for _ in range(15):
+                root = source.documents[0]
+                nodes = list(root.iter_preorder())
+                target = rng.choice(nodes)
+                source.insert_child(target, rng.randint(0, len(target.children)))
+        assert collection_fingerprint(restored) == collection_fingerprint(collection)
+        assert restored.check() and collection.check()
+
+    def test_queries_survive_restore(self, tmp_path):
+        collection = build_collection()
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        restored = restore_collection(read_snapshot(path))
+        for query in ("//c", "/r//b", "//*"):
+            assert len(restored.query(query)) == len(collection.query(query))
+
+    def test_none_group_size_round_trips(self, tmp_path):
+        collection = build_collection(churn=3, group_size=None)
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        restored = restore_collection(read_snapshot(path))
+        assert restored.group_size is None
+        assert collection_fingerprint(restored) == collection_fingerprint(collection)
+
+    def test_fingerprint_is_content_addressed(self):
+        assert collection_fingerprint(build_collection()) == collection_fingerprint(
+            build_collection()
+        )
+        changed = build_collection()
+        changed.insert_child(changed.documents[0], 0)
+        assert collection_fingerprint(changed) != collection_fingerprint(
+            build_collection()
+        )
+
+
+class TestCorruptionDetection:
+    def test_every_single_bit_flip_in_a_small_snapshot_is_caught(self, tmp_path):
+        collection = LiveCollection([parse_document("<r><a/><b/></r>")])
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        blob = path.read_bytes()
+        for offset in range(len(blob)):
+            for bit in range(8):
+                flip_bit(path, offset, bit)
+                with pytest.raises(SnapshotCorruptError):
+                    read_snapshot(path)
+                path.write_bytes(blob)  # restore for the next flip
+
+    def test_random_bit_flips_in_a_large_snapshot_are_caught(self, tmp_path):
+        collection = build_collection()
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        blob = path.read_bytes()
+        rng = random.Random(17)
+        for _ in range(80):
+            flip_bit(path, rng.randrange(len(blob)), rng.randrange(8))
+            with pytest.raises(SnapshotCorruptError):
+                read_snapshot(path)
+            path.write_bytes(blob)
+
+    def test_every_truncation_point_is_caught(self, tmp_path):
+        collection = LiveCollection([parse_document("<r><a/></r>")])
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        size = path.stat().st_size
+        for cut in range(size):
+            truncate_file(path, cut)
+            with pytest.raises(SnapshotCorruptError):
+                read_snapshot(path)
+            write_snapshot(collection, path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(tmp_path / "absent.rpsn")
+
+    def test_wrong_magic_with_valid_crc(self, tmp_path):
+        import struct
+        import zlib
+
+        path = tmp_path / "fake.rpsn"
+        body = b"NOPE" + b"\x01" + b"\x00" * 20
+        path.write_bytes(body + struct.pack(">I", zlib.crc32(body)))
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+    def test_injected_corruption_on_the_write_path(self, tmp_path):
+        collection = build_collection(churn=3)
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(
+            collection, path, faults=CorruptSnapshotWrite(byte_offset=25, bit=3)
+        )
+        with pytest.raises(SnapshotCorruptError):
+            read_snapshot(path)
+
+
+class TestAtomicity:
+    def test_no_temp_file_survives_a_write(self, tmp_path):
+        collection = build_collection(churn=2)
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        assert [entry.name for entry in tmp_path.iterdir()] == ["snap.rpsn"]
+
+    def test_rewrite_is_all_or_nothing(self, tmp_path):
+        collection = build_collection(churn=2)
+        path = tmp_path / "snap.rpsn"
+        write_snapshot(collection, path)
+        before = path.read_bytes()
+        collection.insert_child(collection.documents[0], 0)
+        write_snapshot(collection, path)
+        after = path.read_bytes()
+        assert after != before
+        read_snapshot(path)  # still a valid snapshot
+
+    def test_snapshot_bytes_deterministic(self):
+        collection = build_collection()
+        assert snapshot_bytes(collection) == snapshot_bytes(collection)

@@ -62,6 +62,51 @@ class TestCorruptedStoreFiles:
             load_store(path)
 
 
+class TestStoreChecksum:
+    """The v2 RPLS footer: corruption is *detected*, not merely survived."""
+
+    def test_v2_is_the_default_and_round_trips(self, tmp_path):
+        store = LabelStore.build([parse_document(DOC)], scheme="prime")
+        path = tmp_path / "store.bin"
+        save_store(store, path)
+        assert path.read_bytes()[4] == 2  # version byte
+        loaded = load_store(path)
+        assert len(QueryEngine(loaded).evaluate("/r//c")) == 2
+
+    def test_v1_files_remain_readable(self, tmp_path):
+        store = LabelStore.build([parse_document(DOC)], scheme="prime")
+        path = tmp_path / "store-v1.bin"
+        save_store(store, path, version=1)
+        assert path.read_bytes()[4] == 1
+        loaded = load_store(path)
+        assert len(QueryEngine(loaded).evaluate("/r//c")) == 2
+
+    def test_every_bit_flip_in_a_v2_store_is_rejected(self, tmp_path):
+        """With the CRC footer, *silent* acceptance of damage is over: every
+        single-bit flip must raise, where v1 only promised not to crash."""
+        store = LabelStore.build([parse_document(DOC)], scheme="prime")
+        path = tmp_path / "store.bin"
+        save_store(store, path)
+        blob = path.read_bytes()
+        for offset in range(len(blob)):
+            for bit in range(8):
+                corrupted = bytearray(blob)
+                corrupted[offset] ^= 1 << bit
+                path.write_bytes(bytes(corrupted))
+                with pytest.raises(ReproError):
+                    load_store(path)
+
+    def test_every_truncation_of_a_v2_store_is_rejected(self, tmp_path):
+        store = LabelStore.build([parse_document(DOC)], scheme="interval")
+        path = tmp_path / "store.bin"
+        save_store(store, path)
+        blob = path.read_bytes()
+        for cut in range(len(blob)):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(ReproError):
+                load_store(path)
+
+
 class TestCodecGarbage:
     def test_fixed_codec_garbage_blob(self):
         codec = FixedWidthCodec("prime", 2, 2)

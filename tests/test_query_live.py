@@ -95,3 +95,106 @@ class TestUpdates:
         # order axis still correct through the store
         rows = collection.query("/play//act[1]/Following::act")
         assert all(row.tag == "act" for row in rows)
+
+
+class TestDocumentLookup:
+    def test_index_lookup_from_any_depth(self, collection):
+        for index, root in enumerate(collection.documents):
+            for node in root.iter_preorder():
+                assert collection.document_index_of(node) == index
+                assert collection.document_of(node).root is root
+
+    def test_lookup_tracks_added_documents(self, collection):
+        extra = parse_document("<z><zz/></z>")
+        index = collection.add_document(extra)
+        assert collection.document_index_of(extra.children[0]) == index
+
+    def test_lookup_covers_nodes_created_by_updates(self, collection):
+        play = collection.documents[0]
+        collection.insert_child(play, 0, tag="fresh")
+        assert collection.document_index_of(play.children[0]) == 0
+
+    def test_foreign_node_raises(self, collection):
+        with pytest.raises(QueryEvaluationError):
+            collection.document_index_of(parse_document("<lone/>"))
+
+    def test_duplicate_document_rejected_at_build(self):
+        document = parse_document(DOC_A)
+        with pytest.raises(QueryEvaluationError):
+            LiveCollection([document, document])
+
+
+class TestAddDocumentValidation:
+    def test_attached_root_rejected(self, collection):
+        attached = collection.documents[0].children[0]
+        with pytest.raises(QueryEvaluationError):
+            collection.add_document(attached)
+
+    def test_duplicate_rejected(self, collection):
+        with pytest.raises(QueryEvaluationError):
+            collection.add_document(collection.documents[1])
+
+    def test_divergent_group_size_rejected(self, collection):
+        with pytest.raises(QueryEvaluationError) as excinfo:
+            collection.add_document(parse_document("<solo/>"), group_size=9)
+        assert "group_size" in str(excinfo.value)
+
+    def test_matching_group_size_accepted(self, collection):
+        index = collection.add_document(parse_document("<solo/>"), group_size=5)
+        assert index == 2
+
+    def test_added_document_is_updatable(self, collection):
+        extra = parse_document("<z/>")
+        collection.add_document(extra)
+        collection.insert_child(extra, 0, tag="kid")
+        assert collection.count("/z/kid") == 1
+        assert collection.check()
+
+
+class TestEngineCacheInvalidation:
+    """Every mutation kind must drop the cached engine (satellite 4)."""
+
+    def mutate_insert_child(self, collection):
+        collection.insert_child(collection.documents[0], 0)
+
+    def mutate_insert_before(self, collection):
+        collection.insert_before(collection.documents[0].children[0])
+
+    def mutate_insert_after(self, collection):
+        collection.insert_after(collection.documents[0].children[0])
+
+    def mutate_delete(self, collection):
+        collection.delete(collection.documents[1].children[0])
+
+    def mutate_add_document(self, collection):
+        collection.add_document(parse_document("<fresh/>"))
+
+    def mutate_compact(self, collection):
+        collection.compact()
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            "insert_child",
+            "insert_before",
+            "insert_after",
+            "delete",
+            "add_document",
+            "compact",
+        ],
+    )
+    def test_mutation_invalidates_cached_engine(self, collection, mutation):
+        cached = collection.engine
+        getattr(self, f"mutate_{mutation}")(collection)
+        assert collection.engine is not cached
+        # and the rebuilt engine answers correctly
+        assert collection.count("//*") == sum(
+            root.stats().node_count for root in collection.documents
+        )
+
+    def test_queries_alone_never_invalidate(self, collection):
+        cached = collection.engine
+        collection.count("//line")
+        collection.count("/book/author")
+        collection.document_index_of(collection.documents[0])
+        assert collection.engine is cached
