@@ -26,13 +26,18 @@ paper-vs-measured record of every exhibit.
 
 from repro.errors import (
     AuditError,
+    CapacityError,
     DatasetError,
+    DeadlineExceededError,
+    DegradedModeError,
     LabelingError,
     LabelOverflowError,
     OrderingError,
     QueryEvaluationError,
     QuerySyntaxError,
     ReproError,
+    ResilienceError,
+    RetryExhaustedError,
     XmlSyntaxError,
 )
 from repro.obs import metrics
@@ -86,12 +91,17 @@ __all__ = [
     "ReproError",
     "XmlSyntaxError",
     "LabelingError",
+    "CapacityError",
     "LabelOverflowError",
     "OrderingError",
     "QuerySyntaxError",
     "QueryEvaluationError",
     "DatasetError",
     "AuditError",
+    "ResilienceError",
+    "DegradedModeError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
     # observability
     "metrics",
     "AuditReport",

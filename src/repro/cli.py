@@ -8,9 +8,10 @@ Usage (also via ``python -m repro``)::
     python -m repro query '/play//act[2]' doc1.xml doc2.xml --scheme prime
     python -m repro sql '/play//act' --scheme interval
     python -m repro bench fig18
-    python -m repro dump state/ doc1.xml doc2.xml
+    python -m repro dump state/ doc1.xml doc2.xml [--churn 50]
     python -m repro load state/ --query '//act'
     python -m repro recover state/
+    python -m repro health state/ [--json]
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
@@ -30,6 +31,21 @@ did.  Their ``--fsync`` default comes from the ``REPRO_WAL_FSYNC``
 environment variable (``always`` if unset).  ``stats`` also accepts a
 durable collection directory and prints its WAL/snapshot/recovery
 counters.
+
+``health`` recovers a durable collection through the resilient serving
+layer (:mod:`repro.resilient`) and reports breaker state, fault/retry
+counters, and the order-invariant check; ``dump --churn N`` applies N
+synthetic insertions through the same layer after creating the
+collection.  Both honour the ``REPRO_CHAOS`` environment variable
+(``"rate=0.05,seed=7,..."``, see
+:meth:`repro.resilient.ChaosInjector.from_spec`), which arms transient
+fault injection on the write path — how CI soaks the CLI round trip.
+
+Exit codes are part of the contract: 0 success, 1 any other library
+error (:class:`repro.errors.ReproError`), 2 missing file, 3 malformed
+XML (:class:`repro.errors.XmlSyntaxError`), 4 durability failure
+(:class:`repro.errors.DurabilityError` — corrupt WAL/snapshot,
+unrecoverable directory, ...).
 """
 
 from __future__ import annotations
@@ -39,7 +55,7 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import DurabilityError, ReproError, XmlSyntaxError
 from repro.labeling.base import LabelingScheme
 from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
@@ -256,6 +272,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fig17": bench.figure17_table,
         "fig18": bench.figure18_table,
         "durability": bench.durability_table,
+        "resilience": bench.resilience_table,
     }
     builder = exhibits.get(args.exhibit)
     if builder is None:
@@ -277,22 +294,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_dump(args: argparse.Namespace) -> int:
-    from repro.durable import DurableCollection
+    from repro.resilient import ChaosInjector, ResilientCollection, RetryPolicy
 
     documents = _read_documents(args.files)
+    chaos = ChaosInjector.from_env()
     with metrics.collecting() as registry:
-        collection = DurableCollection.create(
+        collection = ResilientCollection.create(
             args.dir,
             documents,
             group_size=args.group_size,
             fsync=args.fsync,
+            faults=chaos,
+            # Generous retry budget: the CLI prefers a slow success over
+            # asking the operator to re-run a whole dump.
+            retry=RetryPolicy(max_attempts=8),
         )
+        for i in range(args.churn):
+            root = collection.documents[i % len(collection.documents)]
+            collection.insert_child(root, 0, tag=f"churn{i}")
+        if args.churn:
+            collection.checkpoint()
         collection.close()
         snapshot = registry.snapshot()
     print(
         f"created durable collection in {args.dir}: "
         f"{len(documents)} document(s), fsync={args.fsync}"
+        + (f", churn={args.churn}" if args.churn else "")
     )
+    if chaos is not None:
+        print(
+            f"chaos: {chaos.total_injected} transient fault(s) injected, "
+            f"{collection.retries} retrie(s), "
+            f"breaker opened {collection.breaker.times_opened}x"
+        )
     _print_snapshot(snapshot)
     return 0
 
@@ -315,6 +349,44 @@ def cmd_load(args: argparse.Namespace) -> int:
         print(f"-- {len(rows)} node(s) retrieved")
     _print_snapshot(snapshot)
     return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Recover through the resilient layer and report serving health."""
+    import json
+
+    from repro.resilient import ChaosInjector, ResilientCollection
+
+    chaos = ChaosInjector.from_env()
+    with metrics.collecting() as registry:
+        collection = ResilientCollection.open(
+            args.dir, fsync=args.fsync, verify=not args.no_verify, faults=chaos
+        )
+        info = collection.durable.last_recovery
+        ordered_ok = collection.check()
+        report = collection.health()
+        collection.close()
+        snapshot = registry.snapshot()
+    report["order_check"] = "ok" if ordered_ok else "FAILED"
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(info.summary())
+        breaker = report["breaker"]
+        print(
+            f"state: {report['state']} | breaker: {breaker['state']} "
+            f"(opened {breaker['times_opened']}x, probes {breaker['probes']}) | "
+            f"order check: {report['order_check']}"
+        )
+        print(
+            f"retries: {report['retries']} | faults: "
+            + " ".join(
+                f"{domain}={count}"
+                for domain, count in sorted(report["faults"].items())
+            )
+        )
+        _print_snapshot(snapshot)
+    return 0 if ordered_ok and report["state"] == "ok" else 1
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -394,6 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--group-size", type=int, default=5,
                       help="SC-table group size (default 5)")
     dump.add_argument("--fsync", default=fsync_default, help=fsync_help)
+    dump.add_argument("--churn", type=int, default=0, metavar="N",
+                      help="apply N synthetic insertions through the "
+                           "resilient layer after creating the collection")
     dump.set_defaults(handler=cmd_dump)
 
     load = commands.add_parser(
@@ -414,6 +489,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the post-replay invariant audit")
     recover.set_defaults(handler=cmd_recover)
 
+    health = commands.add_parser(
+        "health", help="recover through the resilient layer and report health"
+    )
+    health.add_argument("dir")
+    health.add_argument("--fsync", default=fsync_default, help=fsync_help)
+    health.add_argument("--json", action="store_true",
+                        help="emit the full health report as JSON")
+    health.add_argument("--no-verify", action="store_true",
+                        help="skip the post-replay invariant audit")
+    health.set_defaults(handler=cmd_health)
+
     return parser
 
 
@@ -426,6 +512,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except XmlSyntaxError as error:
+        print(f"error: malformed XML: {error}", file=sys.stderr)
+        return 3
+    except DurabilityError as error:
+        print(f"error: durability failure: {error}", file=sys.stderr)
+        return 4
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

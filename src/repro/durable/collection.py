@@ -269,6 +269,26 @@ class DurableCollection:
         return self.live.documents
 
     # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+
+    def reopen_wal(self) -> None:
+        """Repair and reopen the write-ahead log after a storage fault.
+
+        Truncates any torn or poisoned tail (see
+        :meth:`repro.durable.wal.WriteAheadLog.reopen`) and — when the
+        surviving log chains behind sequence numbers this collection has
+        already applied — resets it forward so no sequence number is ever
+        reissued under a snapshot's coverage.  Called by the resilient
+        layer before every retry of a failed durable operation.
+        """
+        if self._closed:
+            raise DurabilityError("durable collection is closed")
+        self.wal.reopen()
+        if self.wal.next_seq <= self.last_seq:
+            self.wal.reset(self.last_seq + 1)
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
 
@@ -310,11 +330,17 @@ class DurableCollection:
         return generation
 
     def close(self) -> None:
-        """Sync and close the log; the collection object becomes read-only."""
+        """Sync and close the log; the collection object becomes read-only.
+
+        Marked closed even when the final WAL sync fails (the error still
+        propagates) so a failing close cannot leave a half-open object.
+        """
         if self._closed:
             return
-        self.wal.close()
-        self._closed = True
+        try:
+            self.wal.close()
+        finally:
+            self._closed = True
 
     def __enter__(self) -> "DurableCollection":
         return self

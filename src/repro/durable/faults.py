@@ -12,12 +12,23 @@ bits in files that were already acknowledged — the fault matrix of
 The injector API mirrors the places real systems lose data:
 
 * :meth:`FaultInjector.on_append` — may truncate the record's bytes (a
-  torn write at the end of the log) or crash before anything is written;
+  torn write at the end of the log), crash before anything is written, or
+  raise a *transient* ``OSError`` the resilient layer retries;
 * :meth:`FaultInjector.after_write` — crash *after* the OS buffered the
   bytes but *before* ``fsync`` (data in the page cache, lost on power cut
-  under ``fsync="never"``/``"batch"`` policies);
+  under ``fsync="never"``/``"batch"`` policies), or fail transiently —
+  the ambiguous-write case the WAL rolls back;
+* :meth:`FaultInjector.on_sync` — fail (or stall) the ``fsync`` itself,
+  the boundary where slow or dying disks actually hurt;
 * :meth:`FaultInjector.on_snapshot` — corrupt or truncate a snapshot blob
-  before it reaches the temp file (a controller writing garbage).
+  before it reaches the temp file (a controller writing garbage);
+* :meth:`FaultInjector.on_snapshot_io` — fail or stall the snapshot's
+  file I/O transiently, before any byte is written (retry-safe: the temp
+  file is rebuilt from scratch).
+
+Crash hooks raise :class:`InjectedCrash`; transient hooks raise plain
+``OSError`` subclasses (see :class:`repro.resilient.chaos.ChaosInjector`
+for the probabilistic chaos harness built on these hooks).
 
 :func:`flip_bit` and :func:`truncate_file` operate on closed files and
 model at-rest corruption (bit rot, partial ``rename`` on a dying disk).
@@ -66,9 +77,26 @@ class FaultInjector:
     def after_write(self, seq: int) -> None:
         """Called after a record's bytes were written, before any fsync."""
 
+    def on_sync(self, pending: int) -> None:
+        """Called right before the WAL fsyncs ``pending`` unsynced appends.
+
+        May raise ``OSError`` (a transient fsync failure — the bytes stay
+        in the page cache and a later sync can still succeed) or sleep to
+        model a stalling disk.
+        """
+
     def on_snapshot(self, blob: bytes) -> bytes:
         """Called with a snapshot's full encoded bytes before writing."""
         return blob
+
+    def on_snapshot_io(self, path: str) -> None:
+        """Called before a snapshot's temp file is opened for writing.
+
+        May raise ``OSError`` (transient storage failure) or sleep (slow
+        disk).  Raising here is always retry-safe: nothing has been
+        written yet and the atomic-rename protocol never exposes a
+        partial snapshot.
+        """
 
 
 class CrashAfterAppends(FaultInjector):

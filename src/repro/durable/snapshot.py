@@ -197,6 +197,9 @@ def write_snapshot(
         blob = snapshot_bytes(collection, last_seq)
         if faults is not None:
             blob = faults.on_snapshot(blob)
+            # The transient-I/O hook fires before the temp file is opened,
+            # so an injected failure (or stall) is always retry-safe.
+            faults.on_snapshot_io(str(path))
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as handle:
             handle.write(blob)

@@ -220,6 +220,9 @@ class WriteAheadLog:
         self._next_seq = scan.last_seq + 1
         self._pending = 0
         self._closed = False
+        #: File offset a failed rollback could not truncate to; ``reopen``
+        #: finishes the repair before trusting the tail again.
+        self._poisoned: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Appending
@@ -236,9 +239,18 @@ class WriteAheadLog:
         The record is on disk (or at least handed to the OS, per the fsync
         policy) when this returns — callers apply the operation in memory
         only afterwards, the "log before apply" contract recovery needs.
+
+        A *transient* failure (an ``OSError`` from the storage layer or an
+        injected one, as opposed to an :class:`InjectedCrash` simulating
+        process death) rolls the file back to its pre-append length before
+        re-raising, so the append is atomic: either the caller gets the
+        sequence number or the record is absent and a retry cannot create
+        a duplicate that replay would apply twice.
         """
         if self._closed:
             raise WalCorruptError("write-ahead log is closed")
+        from repro.durable.faults import InjectedCrash
+
         with metrics.timed("wal.append"):
             payload = _encode_payload(op)
             seq = self._next_seq
@@ -246,44 +258,137 @@ class WriteAheadLog:
                 seq, len(payload), zlib.crc32(header_prefix(seq, payload))
             )
             blob = header + payload
-            to_write = self.faults.on_append(seq, blob)
-            written = len(to_write)
-            if written:
-                self._handle.write(to_write)
-                self._handle.flush()
-            if written < len(blob):
-                # A torn write is a crash: the record never happened as far
-                # as recovery is concerned, and this process is done for.
-                from repro.durable.faults import InjectedCrash
-
-                raise InjectedCrash(
-                    f"torn append of record {seq}: {written}/{len(blob)} bytes"
-                )
-            self.faults.after_write(seq)
-            self._next_seq += 1
-            self._pending += 1
-            metrics.incr("wal.appends")
-            metrics.incr("wal.append_bytes", len(blob))
-            if self.policy.due(self._pending):
-                self.sync()
+            start = self._handle.tell()
+            try:
+                to_write = self.faults.on_append(seq, blob)
+                written = len(to_write)
+                if written:
+                    self._handle.write(to_write)
+                    self._handle.flush()
+                if written < len(blob):
+                    # A torn write is a crash: the record never happened as
+                    # far as recovery is concerned; this process is done for.
+                    raise InjectedCrash(
+                        f"torn append of record {seq}: {written}/{len(blob)} bytes"
+                    )
+                self.faults.after_write(seq)
+                self._next_seq += 1
+                self._pending += 1
+                metrics.incr("wal.appends")
+                metrics.incr("wal.append_bytes", len(blob))
+                if self.policy.due(self._pending):
+                    self.sync()
+            except InjectedCrash:
+                raise  # simulated power cut: on-disk bytes stay exactly as-is
+            except Exception:
+                self._rollback(start, seq)
+                raise
         return seq
 
+    def _rollback(self, offset: int, seq: int) -> None:
+        """Best-effort truncate back to ``offset`` after a failed append.
+
+        Makes the append atomic under transient faults: without this, a
+        record whose bytes landed but whose acknowledgement did not (an
+        fsync or post-write error) would be duplicated by a retry and
+        applied twice on replay.  When the truncate itself fails the
+        offset is remembered as poisoned and :meth:`reopen` finishes the
+        repair.
+        """
+        try:
+            self._handle.flush()
+        except OSError:
+            pass
+        try:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            self._poisoned = offset
+            return
+        if self._next_seq > seq:
+            # sync() failed after the bookkeeping advanced; rewind it.
+            self._next_seq = seq
+            self._pending = max(0, self._pending - 1)
+        metrics.incr("wal.append_rollbacks")
+
     def sync(self) -> None:
-        """Force everything appended so far to stable storage."""
+        """Force everything appended so far to stable storage.
+
+        The fault hook fires between the flush and the ``fsync`` — the
+        boundary where a dying disk actually fails — so an injected
+        ``OSError`` leaves the unsynced count intact and a later sync
+        retries the full tail.
+        """
         if self._closed:
             return
         self._handle.flush()
+        self.faults.on_sync(self._pending)
         os.fsync(self._handle.fileno())
         self._pending = 0
         metrics.incr("wal.fsyncs")
 
     def close(self) -> None:
-        """Sync and close; further appends raise."""
+        """Sync and close; further appends raise.
+
+        The handle is closed and the log marked closed even when the
+        final sync fails — the error still propagates, but a ``close``
+        in an exception path can never leak the file descriptor or leave
+        the object half-usable.  Under ``batch:N`` policies this final
+        sync is what flushes the un-synced tail of a partial batch.
+        """
         if self._closed:
             return
-        self.sync()
-        self._handle.close()
-        self._closed = True
+        try:
+            self.sync()
+        finally:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._closed = True
+
+    def reopen(self) -> None:
+        """Discard the handle, repair the file in place, resume appending.
+
+        The resilient layer calls this after any transient storage fault
+        before retrying: it truncates a poisoned tail a failed rollback
+        left behind, then a torn tail if any, and re-chains the sequence
+        counter to the last valid record — so a retried append extends
+        the trustworthy prefix instead of writing an unreachable record
+        after damage.
+        """
+        if self._closed:
+            raise WalCorruptError("write-ahead log is closed")
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+        if self._poisoned is not None and self.path.exists():
+            with open(self.path, "r+b") as handle:
+                handle.truncate(min(self._poisoned, os.path.getsize(self.path)))
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._poisoned = None
+        scan = scan_wal(self.path)
+        if scan.torn_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            metrics.incr("wal.torn_tail_truncations")
+            metrics.incr("wal.torn_tail_bytes", scan.torn_bytes)
+        self._handle = open(self.path, "ab")
+        if scan.valid_bytes == 0:
+            self._handle.write(_MAGIC + bytes([_VERSION]))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        # Chain strictly after the last surviving record: a gap would make
+        # the scanner distrust everything appended from here on.
+        self._next_seq = scan.last_seq + 1
+        self._pending = 0
+        metrics.incr("wal.reopens")
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "XmlSyntaxError",
     "LabelingError",
+    "CapacityError",
     "LabelOverflowError",
     "OrderingError",
     "AuditError",
@@ -21,6 +22,10 @@ __all__ = [
     "WalCorruptError",
     "SnapshotCorruptError",
     "RecoveryError",
+    "ResilienceError",
+    "DegradedModeError",
+    "DeadlineExceededError",
+    "RetryExhaustedError",
 ]
 
 
@@ -50,16 +55,54 @@ class LabelingError(ReproError):
     """Raised when a labeling scheme is misused (e.g. unlabeled node)."""
 
 
-class LabelOverflowError(LabelingError):
+class OrderingError(ReproError):
+    """Raised on inconsistent use of the SC (simultaneous congruence) table."""
+
+
+class CapacityError(OrderingError, LabelingError):
+    """A labeling or ordering structure ran out of room.
+
+    This is the scheme's known weakness versus compact ancestry labels:
+    under skewed insertion an order number can catch up with its prime
+    self-label (a CRT residue must stay below its modulus), and bounded
+    label encodings can exhaust their width.  The error carries enough
+    context to act on:
+
+    * ``document`` — collection index of the affected document (``None``
+      when the structure is used standalone),
+    * ``group`` — index of the affected SC group/record, when one exists,
+    * ``hint`` — the recovery action an operator (or the resilient
+      serving layer) should take, e.g. ``compact()`` or relabel.
+
+    Subclasses both :class:`OrderingError` and :class:`LabelingError`
+    because capacity can be exhausted on either side of the scheme, and
+    existing handlers for either hierarchy must keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        document: int | None = None,
+        group: int | None = None,
+        hint: str | None = None,
+    ):
+        detail = message
+        if hint:
+            detail += f" (recovery hint: {hint})"
+        super().__init__(detail)
+        self.document = document
+        self.group = group
+        self.hint = hint
+
+
+class LabelOverflowError(CapacityError):
     """Raised when a scheme with a bounded label width runs out of room.
 
     Only the float-interval scheme (QRS) has an intrinsic bound; integer
     schemes use Python's arbitrary-precision ints and never overflow.
+    A :class:`CapacityError`, so the resilient layer classifies it into
+    the capacity-exhaustion fault domain.
     """
-
-
-class OrderingError(ReproError):
-    """Raised on inconsistent use of the SC (simultaneous congruence) table."""
 
 
 class AuditError(ReproError):
@@ -101,3 +144,35 @@ class SnapshotCorruptError(DurabilityError):
 class RecoveryError(DurabilityError):
     """Raised when no snapshot generation yields a valid, audit-clean
     collection — durable state is unrecoverable without operator help."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the resilient serving layer (:mod:`repro.resilient`)."""
+
+
+class DegradedModeError(ResilienceError):
+    """A mutation was rejected because the collection is serving degraded.
+
+    Raised by :class:`repro.resilient.ResilientCollection` in
+    ``fail_fast`` degraded policy after the circuit breaker has tripped:
+    queries keep answering from the in-memory store, but mutations are
+    refused until a half-open probe re-establishes the storage path.
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation (including its retries) overran its time budget.
+
+    Slow storage counts as failed storage for a serving system; the
+    per-operation deadline turns an indefinitely hanging write into a
+    typed, retriable-by-the-caller error.
+    """
+
+
+class RetryExhaustedError(ResilienceError):
+    """Transient-fault retries ran out without a success.
+
+    The final underlying fault is chained as ``__cause__``; the breaker
+    has already recorded every attempt, so repeated exhaustion trips the
+    durable path into degraded mode.
+    """

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
-from repro.errors import OrderingError
+from repro.errors import CapacityError, OrderingError
 from repro.obs import metrics
 from repro.primes.crt import CongruenceSystem
 
@@ -196,9 +196,26 @@ class SCTable:
         if order < 0:
             raise OrderingError(f"order must be >= 0, got {order}")
         if order >= self_label:
-            raise OrderingError(
+            # The scheme's known capacity limit: a CRT residue must stay
+            # below its modulus, and skewed insertion can push an order
+            # number past the node's prime.  Typed so the serving layer
+            # can classify it instead of treating it as a traceback.
+            receiving = (
+                len(self._records) - 1
+                if self._records
+                and (
+                    self.group_size is None
+                    or len(self._records[-1]) < self.group_size
+                )
+                else len(self._records)
+            )
+            metrics.incr("sc.capacity_errors")
+            raise CapacityError(
                 f"order {order} cannot be a residue of modulus {self_label}; "
-                "the node needs a larger prime self-label"
+                "the node needs a larger prime self-label",
+                group=receiving,
+                hint="compact() the document to renumber orders densely, "
+                "or relabel the node with a larger prime",
             )
         if self._records and (
             self.group_size is None or len(self._records[-1]) < self.group_size
@@ -278,9 +295,16 @@ class SCTable:
 
     def set_order(self, self_label: int, order: int) -> int:
         """Rewrite a single node's order; returns records touched (1)."""
-        if not 0 <= order < self_label:
-            raise OrderingError(
-                f"order {order} is not a valid residue of modulus {self_label}"
+        if order < 0:
+            raise OrderingError(f"order must be >= 0, got {order}")
+        if order >= self_label:
+            metrics.incr("sc.capacity_errors")
+            raise CapacityError(
+                f"order {order} cannot be a residue of modulus {self_label}; "
+                "the node needs a larger prime self-label",
+                group=self._record_of.get(self_label),
+                hint="compact() the document to renumber orders densely, "
+                "or relabel the node with a larger prime",
             )
         record = self.record_for(self_label)
         record.system.set_residues({self_label: order})

@@ -15,9 +15,11 @@ choice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from repro.errors import QueryEvaluationError
+from repro.errors import CapacityError, QueryEvaluationError
+from repro.obs import metrics
 from repro.order.document import OrderedDocument, OrderedUpdateReport
 from repro.query.engine import QueryEngine
 from repro.query.store import ElementRow, LabelStore, PrimeOps
@@ -96,7 +98,24 @@ class LiveCollection:
     def _invalidate(self) -> None:
         self._engine = None
 
+    @contextmanager
+    def _capacity_context(self, doc: int) -> Iterator[None]:
+        """Stamp escaping :class:`CapacityError`\\ s with the document index.
+
+        The SC table knows its group but not which collection document it
+        serves; the collection is the first frame that does, so capacity
+        exhaustion surfaces with enough context to compact or relabel the
+        right document.
+        """
+        try:
+            yield
+        except CapacityError as error:
+            if error.document is None:
+                error.document = doc
+            raise
+
     def _build_engine(self) -> QueryEngine:
+        metrics.incr("live.engine_rebuilds")
         rows: List[ElementRow] = []
         ordered_by_doc: Dict[int, OrderedDocument] = {}
         next_id = 0
@@ -154,21 +173,27 @@ class LiveCollection:
         self, parent: XmlElement, index: int, tag: str = "new"
     ) -> OrderedUpdateReport:
         """Order-sensitive insertion under ``parent`` at ``index``."""
-        report = self.document_of(parent).insert_child(parent, index, tag=tag)
+        doc = self.document_index_of(parent)
+        with self._capacity_context(doc):
+            report = self._ordered[doc].insert_child(parent, index, tag=tag)
         self.total_update_cost += report.total_cost
         self._invalidate()
         return report
 
     def insert_before(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
         """Insert a new sibling immediately before ``reference``."""
-        report = self.document_of(reference).insert_before(reference, tag=tag)
+        doc = self.document_index_of(reference)
+        with self._capacity_context(doc):
+            report = self._ordered[doc].insert_before(reference, tag=tag)
         self.total_update_cost += report.total_cost
         self._invalidate()
         return report
 
     def insert_after(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
         """Insert a new sibling immediately after ``reference``."""
-        report = self.document_of(reference).insert_after(reference, tag=tag)
+        doc = self.document_index_of(reference)
+        with self._capacity_context(doc):
+            report = self._ordered[doc].insert_after(reference, tag=tag)
         self.total_update_cost += report.total_cost
         self._invalidate()
         return report
@@ -208,9 +233,15 @@ class LiveCollection:
         return len(self._ordered) - 1
 
     def compact(self) -> None:
-        """Compact every document's SC table (after heavy churn)."""
-        for ordered in self._ordered:
-            ordered.compact()
+        """Compact every document's SC table (after heavy churn).
+
+        Compaction renumbers orders densely, which can itself exhaust a
+        small prime's residue range — a :class:`CapacityError` from here
+        carries the index of the document that needs relabeling.
+        """
+        for doc, ordered in enumerate(self._ordered):
+            with self._capacity_context(doc):
+                ordered.compact()
         self._invalidate()
 
     def check(self) -> bool:

@@ -1,0 +1,137 @@
+"""A circuit breaker for the durable storage path.
+
+Retries alone make a *briefly* faulty disk invisible; they make a *dead*
+disk expensive, because every operation still burns its full retry budget
+before failing.  The breaker is the standard fix (Nygard's "Release It!"
+pattern): count consecutive failures, and past a threshold stop touching
+the failing dependency at all — fail fast, serve what can be served from
+memory, and probe occasionally to notice recovery.
+
+States and transitions::
+
+              failure_threshold
+    CLOSED ────────────────────────▶ OPEN
+      ▲  ▲                            │ cooldown elapsed
+      │  │ probe succeeds             ▼
+      │  └──────────────────────── HALF_OPEN
+      │                               │ probe fails
+      └── (success resets the        ─┘ (back to OPEN,
+           failure streak)              cooldown restarts)
+
+The breaker is deliberately dumb about *what* failed — it only counts.
+Classification (only TRANSIENT faults count as breaker failures) is the
+caller's job, and so is deciding what OPEN means (the resilient
+collection maps it to degraded mode).  The clock is injectable so tests
+drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs import metrics
+from repro.resilient.policy import BreakerPolicy
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding for ``resilient.breaker.state``.
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Counts consecutive failures and gates access to a dependency."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime transition counts, for health reports.
+        self.times_opened = 0
+        self.times_closed = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown-aware: OPEN reports HALF_OPEN once the
+        cooldown has elapsed and a probe would be admitted."""
+        if self._state == OPEN and self._cooldown_elapsed():
+            return HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Length of the current failure streak (0 after any success)."""
+        return self._consecutive_failures
+
+    def _cooldown_elapsed(self) -> bool:
+        return self.clock() - self._opened_at >= self.policy.cooldown_seconds
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt the guarded dependency now.
+
+        CLOSED always admits.  OPEN admits nothing until the cooldown
+        elapses, then admits exactly one attempt as the half-open probe;
+        further calls are rejected until that probe's outcome is recorded.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN:
+            return False  # a probe is already in flight
+        if self._cooldown_elapsed():
+            self._state = HALF_OPEN
+            self.probes += 1
+            metrics.incr("resilient.breaker.probes")
+            self._publish()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Note a successful attempt; closes the circuit from any state."""
+        self._consecutive_failures = 0
+        if self._state != CLOSED:
+            self._state = CLOSED
+            self.times_closed += 1
+            metrics.incr("resilient.breaker.closed")
+        self._publish()
+
+    def record_failure(self) -> None:
+        """Note a failed attempt; may open (or re-open) the circuit."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            # The probe failed: straight back to OPEN, cooldown restarts.
+            self._trip()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip()
+        else:
+            self._publish()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self.times_opened += 1
+        metrics.incr("resilient.breaker.opened")
+        self._publish()
+
+    def _publish(self) -> None:
+        metrics.gauge("resilient.breaker.state", _STATE_GAUGE[self._state])
+
+    def force_open(self) -> None:
+        """Trip the breaker unconditionally (operator override)."""
+        self._consecutive_failures = max(
+            self._consecutive_failures, self.policy.failure_threshold
+        )
+        self._trip()

@@ -1,0 +1,199 @@
+"""Probabilistic transient-fault injection at every durable boundary.
+
+:mod:`repro.durable.faults` injects *scripted* failures — crash exactly
+here, tear exactly that record — which is right for the crash matrix but
+cannot answer the serving-layer question: does the system survive storage
+that fails *sometimes*, at *any* boundary, for a while?
+:class:`ChaosInjector` generalizes the injector into a chaos harness: a
+seeded RNG decides, independently at each hazardous point, whether to
+raise a :class:`TransientIOError` or stall the write (deadline pressure).
+
+Injection sites (the ``sites`` knob selects a subset):
+
+=============  ========================================================
+``append``     before a WAL record's bytes are written — clean failure,
+               nothing lands
+``after``      after the bytes landed, before any fsync — the ambiguous
+               write the WAL must roll back for retries to be safe
+``sync``       the ``fsync`` itself fails or stalls
+``snapshot``   before a snapshot's temp file is opened — retry-safe by
+               the atomic-rename protocol
+=============  ========================================================
+
+Determinism: decisions depend only on the seed and the *sequence* of
+hook calls, so a workload that drives the collection deterministically
+sees the same faults on every run — chaos tests are reproducible, not
+flaky.  The CLI builds one from the ``REPRO_CHAOS`` environment variable
+(see :meth:`ChaosInjector.from_spec`), which is how CI runs the durable
+round trip under fault pressure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from random import Random
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.durable.faults import FaultInjector
+from repro.obs import metrics
+
+__all__ = ["TransientIOError", "ChaosInjector", "ALL_SITES"]
+
+#: Every injection site the chaos harness knows.
+ALL_SITES = frozenset({"append", "after", "sync", "snapshot"})
+
+#: Environment variable the CLI reads chaos specs from.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class TransientIOError(OSError):
+    """The injected transient storage fault.
+
+    An ``OSError`` subclass so classification lands it in the TRANSIENT
+    fault domain exactly like a real storage hiccup would — resilience
+    code must not be able to tell chaos from the real thing.
+    """
+
+
+class ChaosInjector(FaultInjector):
+    """Seeded probabilistic fault injector for WAL and snapshot I/O.
+
+    Parameters
+    ----------
+    rate:
+        Per-site probability in ``[0, 1]`` of raising a
+        :class:`TransientIOError` at each hook call.
+    slow_rate / slow_seconds:
+        Probability and duration of an injected stall (calls ``sleep``,
+        injectable for tests), modeling a disk that answers but slowly —
+        the case per-operation deadlines exist for.
+    sites:
+        Which boundaries to inject at; defaults to all of them.
+    seed:
+        RNG seed; identical seeds over identical call sequences inject
+        identical faults.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.05,
+        slow_rate: float = 0.0,
+        slow_seconds: float = 0.0,
+        sites: Optional[FrozenSet[str] | set] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not 0 <= rate <= 1:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if not 0 <= slow_rate <= 1:
+            raise ValueError(f"slow_rate must be in [0, 1], got {slow_rate}")
+        chosen = ALL_SITES if sites is None else frozenset(sites)
+        unknown = chosen - ALL_SITES
+        if unknown:
+            raise ValueError(
+                f"unknown chaos site(s) {sorted(unknown)}; "
+                f"choose from {sorted(ALL_SITES)}"
+            )
+        self.rate = rate
+        self.slow_rate = slow_rate
+        self.slow_seconds = slow_seconds
+        self.sites = chosen
+        self.seed = seed
+        self._rng = Random(seed)
+        self._sleep = sleep
+        #: Faults actually injected, by site — the chaos soak's oracle
+        #: that pressure really was applied.
+        self.injected: Dict[str, int] = {site: 0 for site in sorted(ALL_SITES)}
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    # Spec parsing (CLI / CI entry point)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Optional[ChaosInjector]":
+        """Build an injector from a ``key=value`` spec string.
+
+        ``"rate=0.05,seed=7,slow=0.01,delay=0.002,sites=append+sync"`` —
+        every key optional; an empty/blank spec returns ``None`` (chaos
+        disabled).  Unknown keys are rejected loudly: a typo in a chaos
+        spec silently disabling injection would be chaos theater.
+        """
+        spec = (spec or "").strip()
+        if not spec:
+            return None
+        kwargs: Dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "rate":
+                    kwargs["rate"] = float(value)
+                elif key == "slow":
+                    kwargs["slow_rate"] = float(value)
+                elif key == "delay":
+                    kwargs["slow_seconds"] = float(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "sites":
+                    kwargs["sites"] = frozenset(value.split("+"))
+                else:
+                    raise ValueError(f"unknown chaos spec key {key!r}")
+            except ValueError as error:
+                raise ValueError(f"bad chaos spec {spec!r}: {error}") from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls) -> "Optional[ChaosInjector]":
+        """Build an injector from ``$REPRO_CHAOS`` (``None`` when unset)."""
+        return cls.from_spec(os.environ.get(CHAOS_ENV, ""))
+
+    # ------------------------------------------------------------------
+    # The dice
+    # ------------------------------------------------------------------
+
+    def _maybe_stall(self, site: str) -> None:
+        if self.slow_rate and self._rng.random() < self.slow_rate:
+            self.stalls += 1
+            metrics.incr("chaos.stalls")
+            self._sleep(self.slow_seconds)
+
+    def _maybe_fail(self, site: str, detail: str) -> None:
+        if site not in self.sites:
+            return
+        self._maybe_stall(site)
+        if self.rate and self._rng.random() < self.rate:
+            self.injected[site] += 1
+            metrics.incr(f"chaos.injected.{site}")
+            raise TransientIOError(f"injected transient fault: {detail}")
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected across every site."""
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # FaultInjector hooks
+    # ------------------------------------------------------------------
+
+    def on_append(self, seq: int, blob: bytes) -> bytes:
+        """Maybe fail (or stall) before record ``seq``'s bytes land."""
+        self._maybe_fail("append", f"append of WAL record {seq}")
+        return blob
+
+    def after_write(self, seq: int) -> None:
+        """Maybe fail after record ``seq`` landed — the ambiguous write."""
+        self._maybe_fail("after", f"post-write of WAL record {seq}")
+
+    def on_sync(self, pending: int) -> None:
+        """Maybe fail (or stall) the fsync of ``pending`` records."""
+        self._maybe_fail("sync", f"fsync of {pending} pending record(s)")
+
+    def on_snapshot_io(self, path: str) -> None:
+        """Maybe fail (or stall) before the snapshot temp file opens."""
+        self._maybe_fail("snapshot", f"snapshot write to {path}")

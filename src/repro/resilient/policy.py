@@ -1,0 +1,156 @@
+"""Fault domains, classification, and retry/deadline policy knobs.
+
+The resilient serving layer never handles a bare exception: every failure
+is first classified into one of four :class:`FaultDomain`\\ s, and the
+domain — not the exception type at the raise site — decides the response:
+
+===========  ====================================================  ==========
+domain       typical causes                                        response
+===========  ====================================================  ==========
+TRANSIENT    ``OSError``/``TimeoutError`` from the storage layer   retry with
+             (full disk blip, NFS hiccup, injected chaos)          backoff
+CORRUPTION   CRC/structure damage found while *using* durable      surface;
+             state (``WalCorruptError``, ``SnapshotCorruptError``) never retry
+CAPACITY     the scheme's own exhaustion modes                     surface with
+             (:class:`repro.errors.CapacityError`)                 the hint
+INVARIANT    audit violations and API misuse (``AuditError``,      surface;
+             ``OrderingError``, ...)                               never retry
+===========  ====================================================  ==========
+
+Only TRANSIENT faults are retried: retrying corruption re-reads the same
+bad bytes, retrying capacity re-runs the same full table, and retrying an
+invariant violation re-applies the same broken operation.  The breaker
+(:mod:`repro.resilient.breaker`) counts TRANSIENT failures per *attempt*,
+so a persistently failing disk trips it even when each logical operation
+gives up after a handful of retries.
+
+:class:`RetryPolicy` is deliberately boring: capped exponential backoff
+with deterministic, seedable jitter (a fleet of processes restarting in
+lockstep must not fsync in lockstep too) and an optional per-operation
+deadline that converts a stalling disk into a typed
+:class:`repro.errors.DeadlineExceededError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from random import Random
+from typing import Optional
+
+from repro.errors import (
+    CapacityError,
+    DurabilityError,
+    ReproError,
+    SnapshotCorruptError,
+    WalCorruptError,
+)
+
+__all__ = ["FaultDomain", "classify_fault", "RetryPolicy", "BreakerPolicy"]
+
+
+class FaultDomain(enum.Enum):
+    """The four failure classes the serving layer distinguishes."""
+
+    TRANSIENT = "transient"
+    CORRUPTION = "corruption"
+    CAPACITY = "capacity"
+    INVARIANT = "invariant"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify_fault(error: BaseException) -> FaultDomain:
+    """Map an exception to its fault domain.
+
+    Order matters: :class:`repro.errors.CapacityError` subclasses both
+    ordering and labeling errors, so capacity is checked before the
+    invariant bucket; corruption errors subclass ``DurabilityError`` and
+    are checked before the generic durability case.  Anything that is
+    neither an OS-level error nor a known ``ReproError`` falls into the
+    INVARIANT domain — unknown failures must never be silently retried.
+    """
+    if isinstance(error, CapacityError):
+        return FaultDomain.CAPACITY
+    if isinstance(error, (WalCorruptError, SnapshotCorruptError)):
+        return FaultDomain.CORRUPTION
+    if isinstance(error, (OSError, TimeoutError)):
+        return FaultDomain.TRANSIENT
+    if isinstance(error, DurabilityError):
+        # Generic durability misuse (closed log, bad policy string, ...)
+        # is deterministic: retrying cannot help.
+        return FaultDomain.INVARIANT
+    if isinstance(error, ReproError):
+        return FaultDomain.INVARIANT
+    return FaultDomain.INVARIANT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient faults are retried.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` means one
+    attempt plus up to three retries.  The delay before retry *n* (1-based)
+    is ``min(max_delay, base_delay * multiplier**(n-1))``, then shrunk by
+    up to ``jitter`` (a fraction in ``[0, 1]``) using the policy's seeded
+    RNG — deterministic for tests, decorrelated across seeds for fleets.
+    ``deadline_seconds`` bounds the whole operation (attempts + backoff);
+    ``None`` disables the deadline.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    max_delay: float = 0.5
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline_seconds: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+
+    def rng(self) -> Random:
+        """A fresh jitter RNG seeded with this policy's seed."""
+        return Random(self.seed)
+
+    def delay(self, attempt: int, rng: Random) -> float:
+        """Backoff before retry ``attempt`` (1-based), jitter applied."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When the circuit breaker trips, and how it probes its way back.
+
+    ``failure_threshold`` consecutive transient failures (counted per
+    attempt, across operations) open the circuit; after
+    ``cooldown_seconds`` of monotonic time the breaker lets exactly one
+    probe through (half-open).  A successful probe closes the circuit; a
+    failed one re-opens it and restarts the cooldown.
+    """
+
+    failure_threshold: int = 5
+    cooldown_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_seconds < 0:
+            raise ValueError(
+                f"cooldown_seconds must be >= 0, got {self.cooldown_seconds}"
+            )

@@ -40,8 +40,8 @@ class TestStats:
     def test_malformed_file(self, tmp_path, capsys):
         bad = tmp_path / "bad.xml"
         bad.write_text("<a><b></a>", encoding="utf-8")
-        assert main(["stats", str(bad)]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["stats", str(bad)]) == 3
+        assert "malformed XML" in capsys.readouterr().err
 
 
 class TestLabel:
@@ -135,7 +135,7 @@ class TestDurableVerbs:
         assert "snapshot.writes = 1" in out
 
     def test_dump_refuses_to_overwrite(self, state_dir, play_file, capsys):
-        assert main(["dump", state_dir, play_file]) == 1
+        assert main(["dump", state_dir, play_file]) == 4
         assert "already holds" in capsys.readouterr().err
 
     def test_load_round_trips_a_query(self, state_dir, play_file, capsys):
@@ -174,8 +174,8 @@ class TestDurableVerbs:
         assert "fell back past corrupt generation(s): 2" in out
 
     def test_recover_on_garbage_directory_fails_cleanly(self, tmp_path, capsys):
-        assert main(["recover", str(tmp_path / "nothing")]) == 1
-        assert "error" in capsys.readouterr().err
+        assert main(["recover", str(tmp_path / "nothing")]) == 4
+        assert "durability failure" in capsys.readouterr().err
 
     def test_stats_accepts_a_durable_directory(self, state_dir, capsys):
         assert main(["stats", state_dir]) == 0
@@ -194,7 +194,77 @@ class TestDurableVerbs:
     def test_fsync_garbage_is_an_error(self, tmp_path, play_file, capsys):
         assert main(
             ["dump", str(tmp_path / "s"), play_file, "--fsync", "sometimes"]
-        ) == 1
+        ) == 4
+
+
+class TestHealthVerb:
+    @pytest.fixture
+    def state_dir(self, tmp_path, xml_file):
+        directory = tmp_path / "state"
+        assert main(["dump", str(directory), xml_file, "--churn", "10"]) == 0
+        return str(directory)
+
+    def test_healthy_collection_exits_zero(self, state_dir, capsys):
+        assert main(["health", state_dir]) == 0
+        out = capsys.readouterr().out
+        assert "state: ok" in out
+        assert "breaker: closed" in out
+        assert "order check: ok" in out
+
+    def test_json_report(self, state_dir, capsys):
+        import json
+
+        assert main(["health", state_dir, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["state"] == "ok"
+        assert report["breaker"]["state"] == "closed"
+        assert report["order_check"] == "ok"
+        assert report["last_seq"] == 10
+
+    def test_garbage_directory_exits_four(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path / "nothing")]) == 4
+        assert "durability failure" in capsys.readouterr().err
+
+
+class TestChaosEnv:
+    def test_chaos_dump_retries_and_round_trips(
+        self, tmp_path, xml_file, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", "rate=0.08,seed=7")
+        directory = str(tmp_path / "state")
+        assert main(["dump", directory, xml_file, "--churn", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        assert "resilient.retries" in out  # faults were actually retried
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert main(["load", directory, "--query", "//*"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+        assert main(["health", directory]) == 0
+
+    def test_bad_chaos_spec_is_rejected(self, tmp_path, xml_file, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "rate=lots")
+        with pytest.raises(ValueError, match="bad chaos spec"):
+            main(["dump", str(tmp_path / "state"), xml_file])
+
+
+class TestExitCodeContract:
+    """Exit codes are API: 1 generic, 2 missing file, 3 bad XML, 4 durability."""
+
+    def test_generic_repro_error_is_one(self, play_file):
+        assert main(["query", "PLAY//", play_file]) == 1
+
+    def test_missing_file_is_two(self):
+        assert main(["stats", "/no/such/file.xml"]) == 2
+
+    def test_malformed_xml_is_three(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<unclosed", encoding="utf-8")
+        assert main(["query", "//*", str(bad)]) == 3
+
+    def test_durability_error_is_four(self, tmp_path):
+        wal = tmp_path / "wal.log"
+        wal.write_bytes(b"not a wal at all")
+        assert main(["load", str(tmp_path)]) == 4
 
 
 class TestBenchDurability:

@@ -213,3 +213,114 @@ class TestMaintenance:
         with pytest.raises(ValueError):
             wal.reset(next_seq=2)
         wal.close()
+
+
+class TestBatchCloseFlush:
+    """Regression: close() under batch:N must flush the un-synced tail."""
+
+    def test_close_mid_batch_loses_nothing(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with metrics.collecting() as registry:
+            wal = WriteAheadLog(path, fsync="batch:5")
+            for op in ops(3):  # 3 < 5: no batch sync has fired yet
+                wal.append(op)
+            wal.close()
+            counters = registry.snapshot()["counters"]
+        assert counters["wal.fsyncs"] == 1  # exactly the close() flush
+        reopened = WriteAheadLog(path, fsync="batch:5")
+        scan = scan_wal(path)
+        assert [record.seq for record in scan.records] == [1, 2, 3]
+        assert reopened.next_seq == 4
+        reopened.close()
+
+    def test_close_failure_still_closes(self, tmp_path):
+        class FailingSync:
+            def on_append(self, seq, blob):
+                return blob
+
+            def after_write(self, seq):
+                return None
+
+            def on_sync(self, pending):
+                raise OSError("sync died")
+
+            def on_snapshot(self, blob):
+                return blob
+
+            def on_snapshot_io(self, path):
+                return None
+
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="never",
+                            faults=FailingSync())
+        wal._pending = 0  # header write is already durable
+        with pytest.raises(OSError):
+            wal.close()
+        # the object is closed for good, not half-usable
+        with pytest.raises(WalCorruptError):
+            wal.append({"op": "compact"})
+        wal.close()  # idempotent
+
+
+class TestAppendRollback:
+    """A failed append must leave the file exactly as it was (retry-safe)."""
+
+    class FailOnce:
+        def __init__(self, site):
+            self.site = site
+            self.fired = False
+
+        def on_append(self, seq, blob):
+            if self.site == "append" and not self.fired:
+                self.fired = True
+                raise OSError("injected pre-write fault")
+            return blob
+
+        def after_write(self, seq):
+            if self.site == "after" and not self.fired:
+                self.fired = True
+                raise OSError("injected post-write fault")
+
+        def on_sync(self, pending):
+            if self.site == "sync" and not self.fired:
+                self.fired = True
+                raise OSError("injected fsync fault")
+
+        def on_snapshot(self, blob):
+            return blob
+
+        def on_snapshot_io(self, path):
+            return None
+
+    @pytest.mark.parametrize("site", ["append", "after", "sync"])
+    def test_retry_after_fault_creates_no_duplicate(self, tmp_path, site):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path, fsync="always", faults=self.FailOnce(site))
+        with pytest.raises(OSError):
+            wal.append({"op": "compact"})
+        # the failed record's bytes were rolled back...
+        assert scan_wal(path).records == []
+        # ...so the retry lands as the one-and-only record 1
+        assert wal.append({"op": "compact"}) == 1
+        wal.close()
+        scan = scan_wal(path)
+        assert [record.seq for record in scan.records] == [1]
+
+    def test_reopen_repairs_and_rechains(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for op in ops(3):
+            wal.append(op)
+        # simulate damage behind the handle's back: torn tail on disk
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        wal.reopen()
+        assert wal.next_seq == 3  # record 3 lost its tail -> rescan trusts 1..2
+        assert wal.append({"op": "compact"}) == 3
+        wal.close()
+        assert [r.seq for r in scan_wal(path).records] == [1, 2, 3]
+
+    def test_reopen_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(WalCorruptError):
+            wal.reopen()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import OrderingError
+from repro.errors import CapacityError, OrderingError
 from repro.order.sc_table import SCTable
 
 
@@ -209,3 +209,59 @@ class TestGroupSizeTradeoff:
             big.register(prime, order)
         assert small.shift_orders_from(1)[0] == 5
         assert big.shift_orders_from(1)[0] == 2
+
+
+class TestCapacityErrors:
+    """Residue-range exhaustion surfaces as a typed, hinted CapacityError."""
+
+    def test_register_overflow_is_a_capacity_error(self):
+        table = SCTable(group_size=2)
+        table.register(3, 0)
+        table.register(5, 1)
+        with pytest.raises(CapacityError) as info:
+            table.register(7, 9)  # 9 >= 7: not a legal residue
+        error = info.value
+        assert error.group == 1  # a full first record: a new one would open
+        assert error.document is None  # the table cannot know the document
+        assert "recovery hint" in str(error)
+        assert "compact()" in error.hint
+
+    def test_register_overflow_names_the_receiving_group(self):
+        table = SCTable(group_size=5)
+        table.register(3, 0)
+        with pytest.raises(CapacityError) as info:
+            table.register(11, 11)
+        assert info.value.group == 0  # last record still has room
+
+    def test_set_order_overflow_is_a_capacity_error(self):
+        table = SCTable()
+        table.register(5, 0)
+        with pytest.raises(CapacityError) as info:
+            table.set_order(5, 5)
+        assert info.value.group == 0
+        assert info.value.hint
+
+    def test_negative_order_is_still_a_plain_ordering_error(self):
+        table = SCTable()
+        with pytest.raises(OrderingError) as info:
+            table.register(5, -1)
+        assert not isinstance(info.value, CapacityError)
+
+    def test_capacity_error_is_catchable_as_before(self):
+        # CapacityError subclasses both legacy hierarchies, so existing
+        # handlers keep working.
+        from repro.errors import LabelingError
+
+        assert issubclass(CapacityError, OrderingError)
+        assert issubclass(CapacityError, LabelingError)
+
+    def test_capacity_errors_are_counted(self):
+        from repro.obs import metrics
+
+        with metrics.collecting() as registry:
+            table = SCTable()
+            table.register(5, 0)
+            with pytest.raises(CapacityError):
+                table.set_order(5, 7)
+            counters = registry.snapshot()["counters"]
+        assert counters["sc.capacity_errors"] == 1

@@ -198,3 +198,53 @@ class TestEngineCacheInvalidation:
         collection.count("/book/author")
         collection.document_index_of(collection.documents[0])
         assert collection.engine is cached
+
+class TestCapacityContext:
+    """The collection stamps CapacityError with the owning document index."""
+
+    def _collection(self):
+        return LiveCollection(
+            [parse_document("<a><b/></a>"), parse_document("<c><d/></c>")]
+        )
+
+    def test_insert_paths_stamp_the_document_index(self, monkeypatch):
+        from repro.errors import CapacityError
+
+        collection = self._collection()
+
+        def exhausted(*args, **kwargs):
+            raise CapacityError("full", group=0, hint="compact()")
+
+        monkeypatch.setattr(collection._ordered[1], "insert_child", exhausted)
+        target = collection.documents[1]
+        with pytest.raises(CapacityError) as info:
+            collection.insert_child(target, 0)
+        assert info.value.document == 1
+        assert info.value.group == 0
+
+    def test_compact_stamps_the_failing_document(self, monkeypatch):
+        from repro.errors import CapacityError
+
+        collection = self._collection()
+
+        def exhausted():
+            raise CapacityError("full", group=2)
+
+        monkeypatch.setattr(collection._ordered[1], "compact", exhausted)
+        with pytest.raises(CapacityError) as info:
+            collection.compact()
+        assert info.value.document == 1
+
+    def test_existing_document_attribution_is_preserved(self, monkeypatch):
+        from repro.errors import CapacityError
+
+        collection = self._collection()
+
+        def exhausted(*args, **kwargs):
+            raise CapacityError("full", document=7)
+
+        monkeypatch.setattr(collection._ordered[0], "insert_before", exhausted)
+        node = collection.documents[0].children[0]
+        with pytest.raises(CapacityError) as info:
+            collection.insert_before(node)
+        assert info.value.document == 7  # never overwritten

@@ -1,0 +1,124 @@
+"""Circuit breaker state machine, driven by a fake clock."""
+
+from repro.obs import metrics
+from repro.resilient import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(failure_threshold=threshold, cooldown_seconds=cooldown),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self):
+        breaker, _clock = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _clock = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_the_streak(self):
+        breaker, _clock = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # 2+2 interleaved never reaches 3
+
+
+class TestOpen:
+    def test_threshold_trips(self):
+        breaker, _clock = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_cooldown_gates_readmission(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.state == HALF_OPEN  # state property is cooldown-aware
+        assert breaker.allow()
+
+    def test_force_open(self):
+        breaker, _clock = make()
+        breaker.force_open()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+
+class TestHalfOpen:
+    def test_exactly_one_probe_is_admitted(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # probe in flight: nobody else
+        assert breaker.probes == 1
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.times_closed == 1
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()  # cooldown restarted at t=5
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()
+        assert breaker.times_opened == 2
+
+
+class TestMetrics:
+    def test_transitions_are_counted(self):
+        with metrics.collecting() as registry:
+            breaker, clock = make(threshold=2, cooldown=1.0)
+            breaker.record_failure()
+            breaker.record_failure()  # opens
+            clock.now = 1.0
+            assert breaker.allow()  # probe
+            breaker.record_success()  # closes
+            counters = registry.snapshot()["counters"]
+        assert counters["resilient.breaker.opened"] == 1
+        assert counters["resilient.breaker.probes"] == 1
+        assert counters["resilient.breaker.closed"] == 1

@@ -1,0 +1,108 @@
+"""Fault classification and retry/breaker policy knobs."""
+
+import pytest
+
+from repro.errors import (
+    AuditError,
+    CapacityError,
+    DurabilityError,
+    LabelOverflowError,
+    OrderingError,
+    QueryEvaluationError,
+    SnapshotCorruptError,
+    WalCorruptError,
+)
+from repro.resilient import (
+    BreakerPolicy,
+    FaultDomain,
+    RetryPolicy,
+    TransientIOError,
+    classify_fault,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "error,domain",
+        [
+            (OSError("disk hiccup"), FaultDomain.TRANSIENT),
+            (TransientIOError("injected"), FaultDomain.TRANSIENT),
+            (TimeoutError("slow disk"), FaultDomain.TRANSIENT),
+            (WalCorruptError("bad crc"), FaultDomain.CORRUPTION),
+            (SnapshotCorruptError("bad footer"), FaultDomain.CORRUPTION),
+            (CapacityError("order too big"), FaultDomain.CAPACITY),
+            (LabelOverflowError("label too wide"), FaultDomain.CAPACITY),
+            (DurabilityError("log is closed"), FaultDomain.INVARIANT),
+            (OrderingError("bad self-label"), FaultDomain.INVARIANT),
+            (AuditError("violated"), FaultDomain.INVARIANT),
+            (QueryEvaluationError("no such doc"), FaultDomain.INVARIANT),
+            (RuntimeError("who knows"), FaultDomain.INVARIANT),
+        ],
+    )
+    def test_domains(self, error, domain):
+        assert classify_fault(error) is domain
+
+    def test_unknown_errors_are_never_retryable(self):
+        # The INVARIANT bucket is the safe default: silently retrying an
+        # unknown failure is how data corruption becomes data loss.
+        assert classify_fault(KeyError("oops")) is FaultDomain.INVARIANT
+
+    def test_domain_str_is_the_metric_suffix(self):
+        assert str(FaultDomain.TRANSIENT) == "transient"
+        assert str(FaultDomain.CAPACITY) == "capacity"
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, multiplier=2.0,
+                             jitter=0.0)
+        rng = policy.rng()
+        delays = [policy.delay(n, rng) for n in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_only_shrinks(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5, seed=3)
+        rng = policy.rng()
+        for attempt in range(1, 10):
+            raw = min(1.0, 0.1 * 2.0 ** (attempt - 1))
+            got = policy.delay(attempt, rng)
+            assert raw * 0.5 <= got <= raw
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert [a.delay(n, a.rng()) for n in (1, 2, 3)] == [
+            b.delay(n, b.rng()) for n in (1, 2, 3)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"jitter": 1.5},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_must_be_positive(self):
+        policy = RetryPolicy()
+        with pytest.raises(ValueError):
+            policy.delay(0, policy.rng())
+
+
+class TestBreakerPolicy:
+    def test_defaults_are_sane(self):
+        policy = BreakerPolicy()
+        assert policy.failure_threshold >= 1
+        assert policy.cooldown_seconds > 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"failure_threshold": 0}, {"cooldown_seconds": -1.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)
