@@ -15,7 +15,9 @@ Usage (also via ``python -m repro``)::
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
-their corpora on demand).
+their corpora on demand), plus the systems exhibits ``durability``,
+``resilience`` and ``throughput`` (sequential vs batched update
+pipeline); ``--csv``/``--json`` export any of them.
 
 ``stats`` also runs each document through an instrumented prime
 pipeline (label + SC table + a ``//*`` query) and prints the
@@ -273,6 +275,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fig18": bench.figure18_table,
         "durability": bench.durability_table,
         "resilience": bench.resilience_table,
+        "throughput": bench.throughput_table,
     }
     builder = exhibits.get(args.exhibit)
     if builder is None:
@@ -290,6 +293,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         table_to_csv(table, args.csv)
         print(f"wrote {args.csv}")
+    if args.json:
+        from repro.bench.export import table_to_json
+
+        table_to_json(table, args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -450,6 +458,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("exhibit")
     bench.add_argument("--chart", action="store_true", help="render as text bars")
     bench.add_argument("--csv", metavar="OUT.csv", help="also write the table as CSV")
+    bench.add_argument(
+        "--json", metavar="OUT.json", help="also write the table (plus metrics) as JSON"
+    )
     bench.set_defaults(handler=cmd_bench)
 
     fsync_default = os.environ.get("REPRO_WAL_FSYNC", "always")

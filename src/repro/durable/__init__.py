@@ -37,7 +37,14 @@ from repro.durable.snapshot import (
     restore_collection,
     write_snapshot,
 )
-from repro.durable.wal import FsyncPolicy, WalRecord, WalScan, WriteAheadLog, scan_wal
+from repro.durable.wal import (
+    FsyncPolicy,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    batch_record,
+    scan_wal,
+)
 
 __all__ = [
     "DurableCollection",
@@ -61,5 +68,6 @@ __all__ = [
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
+    "batch_record",
     "scan_wal",
 ]

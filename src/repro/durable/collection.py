@@ -24,6 +24,17 @@ the snapshot state and reaches exactly where step 4 would have.  A crash
 between 1 and 3 loses the operation entirely, which is also consistent —
 the caller never got an acknowledgement.
 
+Batches invert the protocol (**apply, then group-commit**): the sub-ops
+are applied in memory first — computing each one's WAL address immediately
+before it applies, which is exactly the state sequential replay sees —
+and then all of them are logged as *one* record (one append, one fsync).
+A crash before the record lands leaves no trace of the batch on disk, so
+recovery restores the pre-batch state; once it lands the whole batch
+replays.  Either way the batch is atomic.  If applying or logging fails
+in-process, :meth:`DurableCollection.apply_batch` rolls the in-memory
+collection back by reloading the last durable state, so a failed batch is
+safely retriable as a unit (the resilient layer does exactly that).
+
 :meth:`checkpoint` first fsyncs the WAL (so no retained snapshot ever
 claims coverage of records the log does not durably hold), then writes a
 new snapshot generation, drops generations beyond the last two, and
@@ -35,7 +46,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.durable.faults import FaultInjector
+from repro.durable.faults import FaultInjector, InjectedCrash
 from repro.durable.recovery import (
     RecoveryInfo,
     WAL_NAME,
@@ -44,11 +55,16 @@ from repro.durable.recovery import (
     snapshot_path,
 )
 from repro.durable.snapshot import read_snapshot, write_snapshot
-from repro.durable.wal import FsyncPolicy, WriteAheadLog
-from repro.errors import DurabilityError, OrderingError, SnapshotCorruptError
+from repro.durable.wal import FsyncPolicy, WriteAheadLog, batch_record
+from repro.errors import (
+    DurabilityError,
+    OrderingError,
+    ReproError,
+    SnapshotCorruptError,
+)
 from repro.obs import metrics
 from repro.order.document import OrderedUpdateReport
-from repro.query.live import LiveCollection
+from repro.query.live import BatchOp, BatchReport, LiveCollection
 from repro.query.store import ElementRow
 from repro.xmlkit.serialize import serialize
 from repro.xmlkit.tree import XmlElement
@@ -241,11 +257,192 @@ class DurableCollection:
         self.last_seq = seq
         return index
 
-    def compact(self) -> None:
-        """Logged SC-table compaction across every document."""
+    def compact(self) -> List[int]:
+        """Logged SC-table compaction; returns per-document record counts."""
         seq = self._log({"op": "compact"})
-        self.live.compact()
+        record_counts = self.live.compact()
         self.last_seq = seq
+        return record_counts
+
+    # ------------------------------------------------------------------
+    # Batched mutations (group commit)
+    # ------------------------------------------------------------------
+
+    def encode_batch(self, ops: Sequence[BatchOp]) -> List[dict]:
+        """Encode batch ops as addresses against the *current* state.
+
+        Returns JSON-ready entries carrying ``(document index, preorder
+        position)`` for each op's target, all in pre-batch coordinates.
+        This addressed form is the retriable currency of a batch: node
+        references die when a failed batch rolls the in-memory collection
+        back, but addresses re-resolve against the reloaded (pre-batch-
+        identical) state — see :meth:`resolve_batch`.
+        """
+        encoded: List[dict] = []
+        for position, op in enumerate(ops):
+            doc, node_position = self._address(op.node)
+            if op.kind != "insert_child" and op.node.is_root:
+                raise OrderingError(
+                    f"batch op #{position} ({op.kind}) targets the document "
+                    "root, which has no siblings and cannot be deleted"
+                )
+            entry = {"kind": op.kind, "doc": doc, "pos": node_position}
+            if op.kind == "insert_child":
+                if not 0 <= op.index <= len(op.node.children):
+                    raise OrderingError(
+                        f"batch op #{position}: insert index {op.index} out "
+                        f"of range for a parent with {len(op.node.children)} "
+                        "children"
+                    )
+                entry["index"] = op.index
+            if op.kind != "delete":
+                entry["tag"] = op.tag
+            encoded.append(entry)
+        return encoded
+
+    def resolve_batch(self, encoded: Sequence[dict]) -> List[BatchOp]:
+        """Re-materialize :class:`BatchOp`\\ s from an addressed batch.
+
+        Resolves every address in one preorder walk per referenced
+        document, against the current in-memory state — which, for a
+        retried batch, is the rolled-back state the addresses were encoded
+        against.
+        """
+        roots = self.live.documents
+        needed: dict = {}
+        for entry in encoded:
+            needed.setdefault(entry["doc"], set()).add(entry["pos"])
+        nodes: dict = {}
+        for doc, positions in needed.items():
+            if not 0 <= doc < len(roots):
+                raise DurabilityError(
+                    f"batch references document {doc}; have {len(roots)}"
+                )
+            for position, node in enumerate(roots[doc].iter_preorder()):
+                if position in positions:
+                    nodes[(doc, position)] = node
+        ops: List[BatchOp] = []
+        for entry in encoded:
+            key = (entry["doc"], entry["pos"])
+            if key not in nodes:
+                raise DurabilityError(
+                    f"batch references preorder position {key[1]} of "
+                    f"document {key[0]}, which does not exist"
+                )
+            node = nodes[key]
+            kind = entry["kind"]
+            if kind == "insert_child":
+                ops.append(BatchOp.insert_child(node, entry["index"], tag=entry["tag"]))
+            elif kind == "delete":
+                ops.append(BatchOp.delete(node))
+            else:
+                ops.append(BatchOp(kind, node, tag=entry["tag"]))
+        return ops
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> BatchReport:
+        """Apply N mutations as one atomic, group-committed unit.
+
+        All-or-nothing in memory *and* on disk: the sub-ops apply through
+        the live collection's coalesced batch path, then land in the WAL as
+        a single checksummed record (one append + one fsync per batch under
+        ``fsync='always'``).  Any failure rolls the in-memory state back to
+        the last durable state before re-raising, so node references held
+        by the caller into mutated documents become stale — re-fetch from
+        ``documents`` after a failed batch.
+        """
+        if self._closed:
+            raise DurabilityError("durable collection is closed")
+        ops = list(ops)
+        if not ops:
+            return BatchReport()
+        return self.apply_batch_addressed(self.encode_batch(ops))
+
+    def apply_batch_addressed(self, encoded: Sequence[dict]) -> BatchReport:
+        """:meth:`apply_batch` for an already-:meth:`encode_batch`-ed batch.
+
+        The resilient layer encodes once and retries this, because a
+        rollback invalidates the node references the original ops carried
+        while the addressed form survives.
+        """
+        if self._closed:
+            raise DurabilityError("durable collection is closed")
+        encoded = list(encoded)
+        if not encoded:
+            return BatchReport()
+        payload: List[dict] = []
+
+        def log_address(position: int, op: BatchOp) -> None:
+            # Called by the live layer immediately before each sub-op
+            # applies: these coordinates are exactly what sequential replay
+            # of the batch record will see.
+            doc, node_position = self._address(op.node)
+            if op.kind == "insert_child":
+                payload.append(
+                    {
+                        "op": "insert_child",
+                        "doc": doc,
+                        "parent": node_position,
+                        "index": op.index,
+                        "tag": op.tag,
+                    }
+                )
+            elif op.kind == "delete":
+                payload.append({"op": "delete", "doc": doc, "node": node_position})
+            else:
+                payload.append(
+                    {"op": op.kind, "doc": doc, "ref": node_position, "tag": op.tag}
+                )
+
+        try:
+            resolved = self.resolve_batch(encoded)
+            report = self.live.apply_batch(resolved, before_op=log_address)
+            seq = self._log(batch_record(payload))
+        except InjectedCrash:
+            # Simulated process death: in-memory state is moot, and the
+            # torn-tail rule guarantees recovery lands on the pre-batch
+            # state (the batch record never became fully durable).
+            raise
+        except Exception:
+            self._rollback_batch()
+            raise
+        self.last_seq = seq
+        metrics.incr("durable.group_commits")
+        metrics.incr("durable.batched_ops", len(encoded))
+        return report
+
+    def bulk_insert(
+        self, inserts: Sequence[Tuple[XmlElement, int, str]]
+    ) -> BatchReport:
+        """Group-committed insertions from (parent, index, tag) triples."""
+        return self.apply_batch(
+            [BatchOp.insert_child(parent, index, tag) for parent, index, tag in inserts]
+        )
+
+    def bulk_delete(self, nodes: Sequence[XmlElement]) -> BatchReport:
+        """Group-committed deletion of ``nodes`` (each with its subtree)."""
+        return self.apply_batch([BatchOp.delete(node) for node in nodes])
+
+    def _rollback_batch(self) -> None:
+        """Discard a half-applied batch: reload memory from durable state.
+
+        The WAL is repaired first so an ambiguous append (record bytes
+        written but not acknowledged) cannot survive on disk while the
+        caller is told the batch failed — otherwise a retry would apply the
+        batch twice.  If even reloading fails, a :class:`DurabilityError`
+        is raised (chained onto the original failure) because the in-memory
+        state can no longer be trusted to match the log.
+        """
+        try:
+            self.reopen_wal()
+            recovered = recover(self.directory, verify=False)
+        except (OSError, ReproError) as error:
+            raise DurabilityError(
+                "batch rollback could not reload the last durable state; "
+                f"the in-memory collection may be ahead of the log: {error}"
+            ) from error
+        self.live = recovered.collection
+        self.last_seq = recovered.info.last_seq
+        metrics.incr("durable.batch_rollbacks")
 
     # ------------------------------------------------------------------
     # Queries (pass-through: reading needs no logging)

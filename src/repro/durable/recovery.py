@@ -140,6 +140,17 @@ def apply_operation(collection: LiveCollection, op: Dict[str, Any]) -> None:
         collection.add_document(parse_document(op["xml"]))
     elif kind == "compact":
         collection.compact()
+    elif kind == "batch":
+        # A group commit: sub-ops replay in logged order as one unit (the
+        # record is atomic under the torn-tail rule, so a half batch never
+        # reaches here).  Each sub-op's address was encoded immediately
+        # before it originally applied, which is exactly the state this
+        # sequential replay presents.  batch_scope keeps replay's CRT cost
+        # on the original group-commit footing: one solve per touched SC
+        # record for the whole batch.
+        with collection.batch_scope():
+            for sub_op in op["ops"]:
+                apply_operation(collection, sub_op)
     else:
         raise DurabilityError(f"unknown WAL operation {kind!r}")
 

@@ -38,6 +38,16 @@ Fsync policy decides when appended bytes are forced to disk:
   acknowledged records),
 * ``"never"`` — leave it to the OS (fastest; loss window unbounded until
   :meth:`~WriteAheadLog.close`, which always syncs).
+
+**Group commit**: a batched mutation
+(:meth:`~repro.durable.collection.DurableCollection.apply_batch`) logs all
+of its N logical operations as *one* record whose payload is
+:func:`batch_record` — ``{"op": "batch", "count": N, "ops": [...]}`` with
+each element shaped exactly like a single-op record's payload.  One
+append, one CRC, and (under ``"always"``) one fsync cover the whole batch,
+and because the torn-tail rule discards a record atomically, recovery
+replays the batch all-or-nothing — a crash mid-commit yields the
+pre-batch state, never a half-applied one.
 """
 
 from __future__ import annotations
@@ -54,7 +64,25 @@ from repro.durable.faults import FaultInjector
 from repro.errors import DurabilityError, WalCorruptError
 from repro.obs import metrics
 
-__all__ = ["FsyncPolicy", "WalRecord", "WalScan", "WriteAheadLog", "scan_wal"]
+__all__ = [
+    "FsyncPolicy",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "batch_record",
+    "scan_wal",
+]
+
+
+def batch_record(ops: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The group-commit payload: N logical operations, one WAL record.
+
+    ``ops`` are single-op payloads (same shapes the single-op write paths
+    log) in application order; replay applies them in that order as one
+    atomic unit.  ``count`` is redundant with ``len(ops)`` but makes raw
+    log inspection cheap.
+    """
+    return {"op": "batch", "count": len(ops), "ops": list(ops)}
 
 _MAGIC = b"RPWL"
 _VERSION = 1

@@ -18,6 +18,12 @@ Design notes
   work; the newly inserted node counts as one relabel, matching the paper
   ("the number of nodes that need to be re-labeled for the prefix labeling
   scheme is 1, which is essentially the inserted node").
+* Schemes whose updates only ever touch labels through :meth:`_set_label`
+  (never clearing and re-assigning the whole mapping) can set
+  ``_tracks_relabels = True``: ``insert_leaf`` then records the labels
+  actually written during the structural change instead of snapshotting
+  and diffing the full mapping, turning an O(document) report into an
+  O(changes) one with identical contents.
 """
 
 from __future__ import annotations
@@ -73,10 +79,21 @@ class LabelingScheme(ABC):
     #: Human-readable scheme name used by the benchmark harness.
     name: str = "abstract"
 
+    #: Subclasses whose dynamic updates route every label write through
+    #: :meth:`_set_label` (no wholesale re-assignment) may opt into the
+    #: O(changes) relabel report of :meth:`insert_leaf`.
+    _tracks_relabels: bool = False
+
+    #: Sentinel recording "node had no label before this update".
+    _NO_LABEL = object()
+
     def __init__(self) -> None:
         self._labels: Dict[int, Any] = {}
         self._nodes: Dict[int, XmlElement] = {}
         self._root: Optional[XmlElement] = None
+        #: While an update is being tracked: node id -> label it carried
+        #: before the update (``_NO_LABEL`` if it had none).
+        self._relabel_track: Optional[Dict[int, Any]] = None
 
     # ------------------------------------------------------------------
     # Labeling
@@ -101,8 +118,11 @@ class LabelingScheme(ABC):
         return self._root
 
     def _set_label(self, node: XmlElement, label: Any) -> None:
-        self._labels[id(node)] = label
-        self._nodes[id(node)] = node
+        key = id(node)
+        if self._relabel_track is not None and key not in self._relabel_track:
+            self._relabel_track[key] = self._labels.get(key, self._NO_LABEL)
+        self._labels[key] = label
+        self._nodes[key] = node
 
     def _drop_label(self, node: XmlElement) -> None:
         self._labels.pop(id(node), None)
@@ -183,6 +203,23 @@ class LabelingScheme(ABC):
         ]
         return RelabelReport(relabeled=changed, new_node=new_node)
 
+    def _tracked_report(
+        self, track: Dict[int, Any], new_node: Optional[XmlElement]
+    ) -> RelabelReport:
+        """Relabel report from recorded label writes, in write order.
+
+        Equivalent to :meth:`_diff_report` whenever every label change of
+        the update went through :meth:`_set_label`: a node counts as
+        relabeled iff it still carries a label and that label differs from
+        the one captured before its first write.
+        """
+        changed = [
+            self._nodes[node_id]
+            for node_id, old in track.items()
+            if node_id in self._labels and self._labels[node_id] != old
+        ]
+        return RelabelReport(relabeled=changed, new_node=new_node)
+
     def insert_leaf(
         self,
         parent: XmlElement,
@@ -195,6 +232,15 @@ class LabelingScheme(ABC):
         workload of Figure 16); an explicit index inserts at that sibling
         position.  Returns the relabel report.
         """
+        if self._tracks_relabels:
+            node = XmlElement(tag)
+            parent.insert(len(parent.children) if index is None else index, node)
+            self._relabel_track = track = {}
+            try:
+                self._after_structural_change(node)
+            finally:
+                self._relabel_track = None
+            return self._tracked_report(track, node)
         before = self._snapshot()
         node = XmlElement(tag)
         parent.insert(len(parent.children) if index is None else index, node)

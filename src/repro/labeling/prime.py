@@ -85,6 +85,11 @@ class PrimeScheme(LabelingScheme):
 
     name = "prime"
 
+    # Every dynamic update below writes labels only through _set_label (no
+    # wholesale relabeling), so insert_leaf reports can be tracked in
+    # O(changes) instead of diffing the full mapping.
+    _tracks_relabels = True
+
     def __init__(
         self,
         reserved_primes: int = DEFAULT_RESERVED_PRIMES,

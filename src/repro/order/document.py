@@ -26,8 +26,9 @@ DESIGN.md:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import OrderingError
 from repro.labeling.prime import PrimeLabel, PrimeScheme
@@ -137,6 +138,20 @@ class OrderedDocument:
     # ------------------------------------------------------------------
     # Order-sensitive updates (Section 4.2)
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def batch(self) -> Iterator["OrderedDocument"]:
+        """Coalesce SC-record CRT solves across a run of updates.
+
+        Delegates to :meth:`repro.order.sc_table.SCTable.batch`: inside the
+        context, inserts and deletes follow exactly the sequential
+        algorithm (same grouping, same overflow repairs, same per-record
+        cost reports) but each touched SC record is re-solved once when the
+        context exits instead of once per mutation.  Must not span
+        :meth:`compact`, which replaces the SC table wholesale.
+        """
+        with self.sc_table.batch():
+            yield self
 
     def _preorder_rank(self, node: XmlElement) -> int:
         """Order number a node at this tree position should carry.

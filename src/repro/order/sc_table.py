@@ -17,12 +17,30 @@ Cost model: the paper counts **one record update as one relabeled node**
 re-labeling", Section 5.4); :meth:`SCTable.shift_orders_from` and
 :meth:`SCTable.register` return how many records they touched so the
 Figure 18 experiment can charge exactly that.
+
+Batching: inside a :meth:`SCTable.batch` context every record's
+:class:`~repro.primes.crt.CongruenceSystem` runs deferred and the records
+actually touched are re-solved **once each** when the outermost batch
+exits.  On top of that, the ``+1`` order shifts themselves are *coalesced*:
+:meth:`shift_orders_from` appends the threshold to a pending list and only
+maintains two exact per-record aggregates (the maximum member order and a
+conservative minimum residue slack), so each shift costs O(records)
+instead of O(nodes).  Pending shifts are *folded* into a record's residue
+map lazily — when the record is read, gains or loses a member, or the
+batch exits — by replaying the thresholds in sequence, which reproduces
+the sequential evolution exactly.  The slack aggregate can only
+under-estimate, so a fold is always forced **at the op** where a residue
+could reach its modulus: overflow repairs fire at the same operation, with
+the same fresh primes, as the unbatched path.  The per-call return values
+(records touched, overflowed members) are unchanged, so the paper's cost
+accounting is identical batched or not.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.errors import CapacityError, OrderingError
 from repro.obs import metrics
@@ -31,12 +49,33 @@ from repro.primes.crt import CongruenceSystem
 __all__ = ["SCRecord", "SCTable"]
 
 
+#: Slack sentinel for records with no members (nothing can overflow).
+_NO_SLACK = 1 << 62
+
+
 @dataclass
 class SCRecord:
-    """One row of the SC table: a congruence system plus its routing key."""
+    """One row of the SC table: a congruence system plus its routing key.
+
+    The last three fields are batch-scoped scratch state for coalesced
+    shifts (see :meth:`SCTable.batch`); outside a batch they are inert:
+
+    * ``pending_base`` — how many of the table's pending shift thresholds
+      are already folded into this record's residues,
+    * ``cur_max`` — exact maximum member order (``-1`` when empty),
+    * ``cur_slack`` — conservative (never over-estimating) minimum of
+      ``modulus - order`` over members; a fold is forced before it could
+      reach 0, i.e. before any residue could touch its modulus,
+    * ``stale`` — whether any pending threshold actually moved a member
+      (``False`` means the pending tail is a no-op for this record).
+    """
 
     system: CongruenceSystem
     max_prime: int
+    pending_base: int = 0
+    cur_max: int = -1
+    cur_slack: int = _NO_SLACK
+    stale: bool = False
 
     @property
     def sc(self) -> int:
@@ -65,6 +104,9 @@ class SCTable:
         self.group_size = group_size
         self._records: List[SCRecord] = []
         self._record_of: Dict[int, int] = {}  # self_label -> record index
+        self._batch_depth = 0
+        self._batch_dirty: Set[int] = set()  # record indices touched in-batch
+        self._pending: List[int] = []  # unfolded shift thresholds, in op order
 
     # ------------------------------------------------------------------
     # Introspection
@@ -113,8 +155,22 @@ class SCTable:
         raise OrderingError(f"self-label {self_label} is not in the SC table")
 
     def order_of(self, self_label: int) -> int:
-        """Order number of the node with ``self_label``: ``SC mod self_label``."""
-        return self.record_for(self_label).sc % self_label
+        """Order number of the node with ``self_label``: ``SC mod self_label``.
+
+        Reads the stored residue directly — by CRT construction it *is*
+        ``sc % self_label`` (:meth:`check` verifies the equivalence), but
+        the direct read is O(1) and never forces a lazy CRT solve.  Inside
+        a :meth:`batch` the record may carry unfolded shift thresholds;
+        they are replayed over the stored residue here, so reads stay
+        exact mid-batch without folding the whole record.
+        """
+        record = self.record_for(self_label)
+        order = record.system.residue(self_label)
+        if record.stale and record.pending_base < len(self._pending):
+            for threshold in self._pending[record.pending_base :]:
+                if order >= threshold:
+                    order += 1
+        return order
 
     def groups(self) -> List[Tuple[int, List[Tuple[int, int]]]]:
         """Record-by-record ``(max_prime, [(modulus, residue), ...])`` dump.
@@ -125,6 +181,8 @@ class SCTable:
         has room) — so a table restored from groups behaves identically to
         the original under further updates.
         """
+        if self._batch_depth:
+            self._fold_all()
         return [
             (
                 record.max_prime,
@@ -176,6 +234,147 @@ class SCTable:
         return table
 
     # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+
+    @property
+    def in_batch(self) -> bool:
+        """Whether a :meth:`batch` context is currently open."""
+        return self._batch_depth > 0
+
+    def _touch(self, index: int) -> None:
+        if self._batch_depth:
+            self._batch_dirty.add(index)
+
+    def _refresh_caches(self, index: int) -> None:
+        """Recompute a record's exact ``cur_max``/``cur_slack`` aggregates.
+
+        Requires the record's residues to be fully folded (its pending
+        tail applied); marks it so.
+        """
+        record = self._records[index]
+        record.pending_base = len(self._pending)
+        record.stale = False
+        cur_max, cur_slack = -1, _NO_SLACK
+        system = record.system
+        for modulus in system.moduli:
+            order = system.residue(modulus)
+            if order > cur_max:
+                cur_max = order
+            slack = modulus - order
+            if slack < cur_slack:
+                cur_slack = slack
+        record.cur_max = cur_max
+        record.cur_slack = cur_slack
+
+    def _fold(self, index: int) -> List[Tuple[int, int]]:
+        """Apply a record's pending shift thresholds to its residues.
+
+        Replays ``self._pending[record.pending_base:]`` in operation order
+        over every member, which reproduces the sequential per-op shifts
+        exactly.  Members whose folded order reaches their modulus are
+        returned as ``(self_label, new_order)`` overflow pairs *without*
+        writing their residue — the caller unregisters and relabels them,
+        exactly as the unbatched :meth:`shift_orders_from` would have.
+
+        Because :meth:`shift_orders_from` forces a fold whenever a record's
+        conservative slack drops to 1, an overflow can only ever surface in
+        a fold triggered by the shift that caused it — so folds from
+        :meth:`register`/:meth:`unregister`/batch-exit never return pairs.
+        """
+        record = self._records[index]
+        tail = self._pending[record.pending_base :]
+        record.pending_base = len(self._pending)
+        if not tail or not record.stale:
+            record.stale = False
+            return []
+        record.stale = False
+        updates: Dict[int, int] = {}
+        overflowed: List[Tuple[int, int]] = []
+        shifted = 0
+        cur_max, cur_slack = -1, _NO_SLACK
+        system = record.system
+        for modulus in system.moduli:
+            base = order = system.residue(modulus)
+            for threshold in tail:
+                if order >= threshold:
+                    order += 1
+            if order > base and order >= modulus:
+                # The final +1 is the overflowing one; sequential accounting
+                # charges it to sc.residue_overflows, not sc.shift_span.
+                shifted += order - base - 1
+                overflowed.append((modulus, order))
+                continue  # unregistered by the caller; keep it out of the caches
+            if order > base:
+                updates[modulus] = order
+                shifted += order - base
+            if order > cur_max:
+                cur_max = order
+            slack = modulus - order
+            if slack < cur_slack:
+                cur_slack = slack
+        if updates:
+            system.set_residues(updates)
+        record.cur_max = cur_max
+        record.cur_slack = cur_slack
+        metrics.incr("sc.shift_span", shifted)
+        return overflowed
+
+    def _checked_fold(self, index: int) -> None:
+        """Fold one record where the slack invariant forbids overflow."""
+        leftover = self._fold(index)
+        if leftover:  # pragma: no cover - guarded by the slack invariant
+            raise OrderingError(
+                f"SC record #{index} overflowed outside shift_orders_from: "
+                f"{leftover}"
+            )
+
+    def _fold_all(self) -> None:
+        """Fold every record's pending tail; the pending list empties."""
+        for index in range(len(self._records)):
+            self._checked_fold(index)
+        self._pending.clear()
+
+    @contextmanager
+    def batch(self) -> Iterator["SCTable"]:
+        """Coalesce CRT solves *and* order shifts across a run of mutations.
+
+        Inside the context every record's congruence system is deferred
+        (mutations cost residue-map work only) and
+        :meth:`shift_orders_from` coalesces: each call is O(records),
+        appending its threshold to a pending list and maintaining exact
+        per-record aggregates, instead of rewriting O(nodes) residues.
+        Reads (:meth:`order_of`) and membership changes fold the pending
+        thresholds lazily, so every operation observes exactly the state
+        the sequential path would produce — including residue-overflow
+        repairs, which are forced to surface at the very operation that
+        caused them.  When the outermost context exits — on success *or*
+        failure, so no system is ever left deferred — all residues are
+        folded and each record touched during the batch is re-solved
+        exactly once (metric ``sc.batch_solves``).  Records the batch
+        never touched keep their cached values untouched.  Contexts nest;
+        only the outermost one commits.
+        """
+        self._batch_depth += 1
+        if self._batch_depth == 1:
+            self._pending.clear()
+            for index, record in enumerate(self._records):
+                record.system.begin_deferred()
+                self._refresh_caches(index)
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                self._fold_all()
+                dirty, self._batch_dirty = self._batch_dirty, set()
+                for record in self._records:
+                    record.system.end_deferred()
+                for index in sorted(dirty):
+                    self._records[index].system.value  # the one solve per record
+                metrics.incr("sc.batch_solves", len(dirty))
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
 
@@ -220,15 +419,30 @@ class SCTable:
         if self._records and (
             self.group_size is None or len(self._records[-1]) < self.group_size
         ):
-            record = self._records[-1]
+            index = len(self._records) - 1
+            if self._batch_depth:
+                # Fold first so the new member and the existing ones share
+                # the same (current) coordinate space.
+                self._checked_fold(index)
+            record = self._records[index]
             record.system.append(self_label, order)
             record.max_prime = max(record.max_prime, self_label)
-            self._record_of[self_label] = len(self._records) - 1
+            self._record_of[self_label] = index
+            if self._batch_depth:
+                record.cur_max = max(record.cur_max, order)
+                record.cur_slack = min(record.cur_slack, self_label - order)
         else:
             system = CongruenceSystem([self_label], [order])
-            self._records.append(SCRecord(system=system, max_prime=self_label))
+            record = SCRecord(system=system, max_prime=self_label)
+            if self._batch_depth:
+                system.begin_deferred()
+                record.pending_base = len(self._pending)
+                record.cur_max = order
+                record.cur_slack = self_label - order
+            self._records.append(record)
             self._record_of[self_label] = len(self._records) - 1
             metrics.incr("sc.records_opened")
+        self._touch(self._record_of[self_label])
         metrics.incr("sc.registered")
         metrics.incr("sc.records_touched")
         return 1
@@ -238,10 +452,15 @@ class SCTable:
         index = self._record_of.pop(self_label, None)
         if index is None:
             raise OrderingError(f"self-label {self_label} is not in the SC table")
+        if self._batch_depth:
+            self._checked_fold(index)
         record = self._records[index]
         record.system.remove(self_label)
         if self_label == record.max_prime:
             record.max_prime = max(record.system.moduli, default=0)
+        if self._batch_depth:
+            self._refresh_caches(index)
+        self._touch(index)
         metrics.incr("sc.unregistered")
 
     def shift_orders_from(self, threshold: int) -> Tuple[int, List[Tuple[int, int]]]:
@@ -265,11 +484,21 @@ class SCTable:
         sibling residue also shifted, so Figure 18's cost unit must charge
         it — the earlier accounting silently dropped exactly the case the
         paper overlooks.
+
+        Inside a :meth:`batch` the shift is coalesced: the threshold joins
+        the pending list and only the per-record aggregates move, O(records)
+        instead of O(nodes).  A record is touched iff its maximum member
+        order reaches the threshold — the same criterion the member scan
+        applies — and whenever the conservative slack says a member *could*
+        overflow, the record is folded on the spot so the overflow (if
+        real) is repaired at this very operation.
         """
+        if self._batch_depth:
+            return self._shift_coalesced(threshold)
         touched = 0
         shifted = 0
         overflowed: List[Tuple[int, int]] = []
-        for record in self._records:
+        for index, record in enumerate(self._records):
             updates: Dict[int, int] = {}
             overflow_here = False
             for modulus in record.system.moduli:
@@ -286,10 +515,43 @@ class SCTable:
                 shifted += len(updates)
             if updates or overflow_here:
                 touched += 1
+                self._touch(index)
         for self_label, _new_order in overflowed:
             self.unregister(self_label)
         metrics.incr("sc.records_touched", touched)
         metrics.incr("sc.shift_span", shifted)
+        metrics.incr("sc.residue_overflows", len(overflowed))
+        return touched, overflowed
+
+    def _shift_coalesced(self, threshold: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """The batched shift: O(records) aggregate maintenance per call.
+
+        ``cur_max >= threshold`` decides "touched" exactly (some member has
+        order >= threshold iff the maximum does).  A touched record's
+        maximum grows by exactly one, and its minimum slack shrinks by at
+        most one — decrementing unconditionally keeps ``cur_slack`` a safe
+        under-estimate.  When it hits 1 a residue may reach its modulus on
+        this very shift, so the record folds now and any real overflow is
+        returned from *this* call, keeping overflow repair (and the prime
+        issuance it triggers) on the sequential schedule.
+        """
+        self._pending.append(threshold)
+        touched = 0
+        overflowed: List[Tuple[int, int]] = []
+        dirty = self._batch_dirty
+        for index, record in enumerate(self._records):
+            if record.cur_max < threshold:
+                continue
+            record.cur_max += 1
+            record.cur_slack -= 1
+            record.stale = True
+            touched += 1
+            dirty.add(index)
+            if record.cur_slack <= 1:
+                overflowed.extend(self._fold(index))
+        for self_label, _new_order in overflowed:
+            self.unregister(self_label)
+        metrics.incr("sc.records_touched", touched)
         metrics.incr("sc.residue_overflows", len(overflowed))
         return touched, overflowed
 
@@ -306,8 +568,14 @@ class SCTable:
                 hint="compact() the document to renumber orders densely, "
                 "or relabel the node with a larger prime",
             )
-        record = self.record_for(self_label)
+        record = self.record_for(self_label)  # validates membership
+        index = self._record_of[self_label]
+        if self._batch_depth:
+            self._checked_fold(index)
         record.system.set_residues({self_label: order})
+        if self._batch_depth:
+            self._refresh_caches(index)
+        self._touch(index)
         metrics.incr("sc.records_touched")
         return 1
 

@@ -16,8 +16,14 @@ Two solvers are provided:
   agree on all inputs (see the property tests).
 
 :class:`CongruenceSystem` wraps a solved system and supports the paper's
-update operations: appending a new congruence and rewriting residues, both
-without re-solving unrelated congruences from scratch.
+update operations: appending a new congruence, rewriting residues, and
+dropping a congruence — each maintained *incrementally* against the cached
+value (delta-merge for rewrites, ``value % reduced_product`` for drops), so
+no update re-solves unrelated congruences from scratch.  For bulk
+mutations, :meth:`CongruenceSystem.begin_deferred` switches the system into
+a mode where mutations only touch the residue map and the single CRT solve
+is paid lazily after :meth:`CongruenceSystem.end_deferred` — one solve per
+system per batch, however many members changed.
 """
 
 from __future__ import annotations
@@ -112,6 +118,11 @@ class CongruenceSystem:
       applied to nodes after an insertion point), and
     * :meth:`remove` — drop a congruence (node deletion; the paper notes
       deletions never disturb order, but dropping keeps the value small).
+
+    All three maintain the cached value incrementally (no from-scratch
+    re-solve); between :meth:`begin_deferred` and :meth:`end_deferred` they
+    skip even that and only update the residue map, leaving one lazy solve
+    for the whole run of mutations.
     """
 
     def __init__(self, moduli: Iterable[int] = (), residues: Iterable[int] = ()):
@@ -120,6 +131,7 @@ class CongruenceSystem:
             self._check_new_modulus(modulus)
             self._congruences[modulus] = residue % modulus
         self._value: int | None = None
+        self._deferred = False
 
     def _check_new_modulus(self, modulus: int) -> None:
         if modulus <= 1:
@@ -163,37 +175,87 @@ class CongruenceSystem:
         except KeyError:
             raise KeyError(f"no congruence with modulus {modulus}") from None
 
-    def append(self, modulus: int, residue: int) -> int:
-        """Add ``x mod modulus == residue``; returns the new solved value.
+    @property
+    def deferred(self) -> bool:
+        """Whether value maintenance is currently deferred (batch mode)."""
+        return self._deferred
 
-        Incremental: reuses the cached value instead of re-solving, which is
-        exactly the low-cost update the paper advertises.
+    def begin_deferred(self) -> None:
+        """Enter batch mode: mutations update residues only, no CRT work.
+
+        While deferred, :meth:`append`, :meth:`set_residues`, and
+        :meth:`remove` drop the cached value instead of maintaining it, so
+        an arbitrary run of mutations costs small-integer dictionary work.
+        Reading :attr:`value` mid-batch still works (it lazily solves and
+        the next mutation re-invalidates); the point of the mode is that
+        callers who *don't* read mid-batch pay exactly one solve at the end.
+        """
+        self._deferred = True
+
+    def end_deferred(self) -> None:
+        """Leave batch mode; the next :attr:`value` read solves once."""
+        self._deferred = False
+
+    def append(self, modulus: int, residue: int) -> None:
+        """Add ``x mod modulus == residue``.
+
+        Incremental: merges into the cached value instead of re-solving,
+        which is exactly the low-cost update the paper advertises.
         """
         self._check_new_modulus(modulus)
-        if self._value is not None:
-            old_product = self.product
-            self._value, _ = _merge(
-                self._value, old_product, residue % modulus, modulus
-            )
-        self._congruences[modulus] = residue % modulus
-        return self.value
+        residue %= modulus
+        if self._deferred:
+            self._value = None
+        elif self._value is not None:
+            self._value, _ = _merge(self._value, self.product, residue, modulus)
+        self._congruences[modulus] = residue
 
-    def set_residues(self, updates: Mapping[int, int]) -> int:
-        """Rewrite residues for existing moduli; returns the new value."""
+    def set_residues(self, updates: Mapping[int, int]) -> None:
+        """Rewrite residues for existing moduli, incrementally.
+
+        With a cached value ``x`` and product ``P``, each rewrite of modulus
+        ``m`` from ``r_old`` to ``r_new`` adds ``(r_new - r_old) * c_m`` to
+        ``x`` modulo ``P``, where ``c_m = (P/m) * ((P/m)^-1 mod m)`` is the
+        canonical CRT basis element (``c_m == 1 mod m`` and ``0`` modulo
+        every other member).  That is O(group) integer work per call instead
+        of the from-scratch re-solve this method used to trigger — the fix
+        for delete/shift being O(group^2) under churn.  :meth:`check`
+        remains the oracle that the shortcut agrees with a full solve.
+        """
         for modulus in updates:
             if modulus not in self._congruences:
                 raise KeyError(f"no congruence with modulus {modulus}")
+        if self._deferred or self._value is None:
+            for modulus, residue in updates.items():
+                self._congruences[modulus] = residue % modulus
+            self._value = None
+            return
+        product = self.product
+        delta = 0
         for modulus, residue in updates.items():
-            self._congruences[modulus] = residue % modulus
-        self._value = None
-        return self.value
+            residue %= modulus
+            old = self._congruences[modulus]
+            if residue != old:
+                cofactor = product // modulus
+                basis = cofactor * modular_inverse(cofactor % modulus, modulus)
+                delta += (residue - old) * basis
+                self._congruences[modulus] = residue
+        self._value = (self._value + delta) % product
 
     def remove(self, modulus: int) -> None:
-        """Drop the congruence for ``modulus``."""
+        """Drop the congruence for ``modulus`` in O(1) CRT work.
+
+        Every remaining modulus divides the reduced product ``P' = P/m``,
+        so ``value % P'`` still satisfies every remaining congruence and is
+        the unique solution in ``[0, P')`` — no re-solve needed.
+        """
         if modulus not in self._congruences:
             raise KeyError(f"no congruence with modulus {modulus}")
         del self._congruences[modulus]
-        self._value = None
+        if self._deferred:
+            self._value = None
+        elif self._value is not None:
+            self._value %= self.product
 
     def check(self) -> bool:
         """Verify ``value mod m == n`` for every stored congruence."""

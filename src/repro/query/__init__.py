@@ -19,7 +19,7 @@ from repro.query.ast import Axis, Query, Step
 from repro.query.dataguide import DataGuide, GuidedQueryEngine
 from repro.query.engine import QueryEngine
 from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
-from repro.query.live import LiveCollection
+from repro.query.live import BatchOp, BatchReport, LiveCollection
 from repro.query.persist import load_store, save_store
 from repro.query.sql import to_sql
 from repro.query.store import ElementRow, LabelStore
@@ -37,6 +37,8 @@ __all__ = [
     "prime_merge_join",
     "stack_tree_join",
     "to_sql",
+    "BatchOp",
+    "BatchReport",
     "ElementRow",
     "LabelStore",
     "LiveCollection",

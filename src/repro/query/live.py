@@ -11,12 +11,22 @@ between mutations reuse the cached store.  Rebuilding keeps correctness
 trivially — the per-update *cost model* still comes from the ordered
 documents' reports, so experiments are unaffected by the engineering
 choice.
+
+Batched mutations: :meth:`LiveCollection.apply_batch` (and the
+:meth:`~LiveCollection.bulk_insert` / :meth:`~LiveCollection.bulk_delete`
+conveniences) run a sequence of :class:`BatchOp`\\ s through the *same*
+sequential update algorithm, but with each touched document's SC table in
+batch mode — so grouping, prime issuance, overflow repair, and per-op cost
+reports are byte-identical to applying the ops one by one, while each
+touched SC record pays one CRT solve per batch instead of one per node.
+See ``docs/BATCHING.md``.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, QueryEvaluationError
 from repro.obs import metrics
@@ -25,7 +35,89 @@ from repro.query.engine import QueryEngine
 from repro.query.store import ElementRow, LabelStore, PrimeOps
 from repro.xmlkit.tree import XmlElement
 
-__all__ = ["LiveCollection"]
+__all__ = ["BatchOp", "BatchReport", "LiveCollection"]
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    """One mutation inside a batch: an operation kind plus its target.
+
+    ``node`` is the *parent* for ``insert_child``, the reference sibling
+    for ``insert_before`` / ``insert_after``, and the doomed node for
+    ``delete``.  Ops are built against the pre-batch tree; a batch must not
+    target a node that an earlier op in the same batch deletes (the op will
+    fail and, at the durable layer, roll the whole batch back).
+    """
+
+    KINDS: ClassVar[Tuple[str, ...]] = (
+        "insert_child",
+        "insert_before",
+        "insert_after",
+        "delete",
+    )
+
+    kind: str
+    node: XmlElement
+    index: Optional[int] = None
+    tag: str = "new"
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise QueryEvaluationError(
+                f"unknown batch op kind {self.kind!r}; expected one of {self.KINDS}"
+            )
+        if self.kind == "insert_child" and self.index is None:
+            raise QueryEvaluationError("insert_child batch ops need an index")
+
+    @classmethod
+    def insert_child(cls, parent: XmlElement, index: int, tag: str = "new") -> "BatchOp":
+        """An order-sensitive insertion under ``parent`` at ``index``."""
+        return cls("insert_child", parent, index=index, tag=tag)
+
+    @classmethod
+    def insert_before(cls, reference: XmlElement, tag: str = "new") -> "BatchOp":
+        """A new sibling immediately before ``reference``."""
+        return cls("insert_before", reference, tag=tag)
+
+    @classmethod
+    def insert_after(cls, reference: XmlElement, tag: str = "new") -> "BatchOp":
+        """A new sibling immediately after ``reference``."""
+        return cls("insert_after", reference, tag=tag)
+
+    @classmethod
+    def delete(cls, node: XmlElement) -> "BatchOp":
+        """Deletion of ``node`` and its subtree."""
+        return cls("delete", node)
+
+
+@dataclass
+class BatchReport:
+    """Per-op cost reports for one batch, plus the aggregate totals.
+
+    The per-op :class:`~repro.order.document.OrderedUpdateReport`\\ s are
+    exactly what the sequential path would have produced — batching changes
+    *when* CRT solves happen, never what the paper's cost model charges.
+    """
+
+    reports: List[OrderedUpdateReport] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    @property
+    def node_relabels(self) -> int:
+        """Total nodes relabeled across the batch."""
+        return sum(report.node_relabels for report in self.reports)
+
+    @property
+    def sc_records_updated(self) -> int:
+        """Total SC record updates charged across the batch."""
+        return sum(report.sc_records_updated for report in self.reports)
+
+    @property
+    def total_cost(self) -> int:
+        """The paper's Figure 18 cost summed over every op in the batch."""
+        return sum(report.total_cost for report in self.reports)
 
 
 class LiveCollection:
@@ -65,9 +157,22 @@ class LiveCollection:
         Used by snapshot restore (:mod:`repro.durable`), where the documents
         arrive already labeled and ordered: re-running ``__init__`` would
         relabel them from scratch and destroy the restored state.
+
+        Every restored document must share the collection's ``group_size``:
+        ``add_document`` enforces one SC grouping policy per collection, and
+        a snapshot assembled from mixed-policy documents must not sneak past
+        that invariant just because it arrives pre-built.
         """
         if not ordered:
             raise QueryEvaluationError("a collection needs at least one document")
+        for index, document in enumerate(ordered):
+            if document.sc_table.group_size != group_size:
+                raise QueryEvaluationError(
+                    f"restored document {index} uses SC group_size "
+                    f"{document.sc_table.group_size}, but the collection is "
+                    f"being assembled with {group_size}; one SC grouping "
+                    "policy applies collection-wide"
+                )
         collection = cls.__new__(cls)
         collection.group_size = group_size
         collection.strategy = strategy
@@ -199,10 +304,103 @@ class LiveCollection:
         return report
 
     def delete(self, node: XmlElement) -> OrderedUpdateReport:
-        """Delete ``node`` and its subtree (free, per Section 4.2)."""
-        report = self.document_of(node).delete(node)
+        """Delete ``node`` and its subtree (free, per Section 4.2).
+
+        Charged and guarded exactly like the three insert paths: the
+        report's cost lands in ``total_update_cost`` (today a delete costs
+        0, but the invariant is that *every* update path charges what its
+        report says) and an escaping :class:`CapacityError` is stamped
+        with the document index.
+        """
+        doc = self.document_index_of(node)
+        with self._capacity_context(doc):
+            report = self._ordered[doc].delete(node)
+        self.total_update_cost += report.total_cost
         self._invalidate()
         return report
+
+    def apply_batch(
+        self,
+        ops: Sequence[BatchOp],
+        before_op: Optional[Callable[[int, BatchOp], None]] = None,
+    ) -> BatchReport:
+        """Apply a sequence of :class:`BatchOp`\\ s with coalesced SC solves.
+
+        Each op runs through the ordinary sequential update algorithm, in
+        order, with every touched document's SC table in batch mode — the
+        end state is byte-identical to applying the ops one by one, but
+        each touched SC record is re-solved once per batch rather than once
+        per op.  The summed cost is charged to ``total_update_cost`` and
+        the engine is invalidated once.
+
+        ``before_op`` is called with ``(position, op)`` immediately before
+        each op applies — the durability layer uses it to encode WAL
+        addresses against exactly the state replay will see.
+
+        On failure the exception propagates after the already-applied
+        prefix's costs are charged and every SC table leaves batch mode
+        (no system stays deferred); this layer does *not* undo the prefix —
+        atomic all-or-nothing batches are the durable layer's contract,
+        which rolls back by reloading the last durable state.
+        """
+        ops = list(ops)
+        batch = BatchReport()
+        if not ops:
+            return batch
+        metrics.incr("live.batches")
+        try:
+            with ExitStack() as stack:
+                in_batch: set = set()
+                for position, op in enumerate(ops):
+                    doc = self.document_index_of(op.node)
+                    if doc not in in_batch:
+                        stack.enter_context(self._ordered[doc].batch())
+                        in_batch.add(doc)
+                    if before_op is not None:
+                        before_op(position, op)
+                    with self._capacity_context(doc):
+                        batch.reports.append(self._apply_one(doc, op))
+        finally:
+            self.total_update_cost += batch.total_cost
+            self._invalidate()
+        metrics.incr("live.batch_ops", len(ops))
+        return batch
+
+    def _apply_one(self, doc: int, op: BatchOp) -> OrderedUpdateReport:
+        document = self._ordered[doc]
+        if op.kind == "insert_child":
+            assert op.index is not None
+            return document.insert_child(op.node, op.index, tag=op.tag)
+        if op.kind == "insert_before":
+            return document.insert_before(op.node, tag=op.tag)
+        if op.kind == "insert_after":
+            return document.insert_after(op.node, tag=op.tag)
+        return document.delete(op.node)
+
+    @contextmanager
+    def batch_scope(self) -> Iterator["LiveCollection"]:
+        """Defer SC solves across arbitrary updates on every document.
+
+        WAL replay uses this to re-apply a logged batch through the
+        single-op methods while still paying one CRT solve per touched
+        record, mirroring the original group commit.
+        """
+        with ExitStack() as stack:
+            for document in self._ordered:
+                stack.enter_context(document.batch())
+            yield self
+
+    def bulk_insert(
+        self, inserts: Sequence[Tuple[XmlElement, int, str]]
+    ) -> BatchReport:
+        """Batched order-sensitive insertions from (parent, index, tag) triples."""
+        return self.apply_batch(
+            [BatchOp.insert_child(parent, index, tag) for parent, index, tag in inserts]
+        )
+
+    def bulk_delete(self, nodes: Sequence[XmlElement]) -> BatchReport:
+        """Batched deletion of ``nodes`` (each with its subtree)."""
+        return self.apply_batch([BatchOp.delete(node) for node in nodes])
 
     def add_document(
         self, root: XmlElement, group_size: int | None = None
@@ -232,17 +430,21 @@ class LiveCollection:
         self._invalidate()
         return len(self._ordered) - 1
 
-    def compact(self) -> None:
+    def compact(self) -> List[int]:
         """Compact every document's SC table (after heavy churn).
 
         Compaction renumbers orders densely, which can itself exhaust a
         small prime's residue range — a :class:`CapacityError` from here
-        carries the index of the document that needs relabeling.
+        carries the index of the document that needs relabeling.  Returns
+        the per-document SC record counts of the rebuilt tables (what each
+        ``OrderedDocument.compact`` reported; previously discarded).
         """
+        record_counts: List[int] = []
         for doc, ordered in enumerate(self._ordered):
             with self._capacity_context(doc):
-                ordered.compact()
+                record_counts.append(ordered.compact())
         self._invalidate()
+        return record_counts
 
     def check(self) -> bool:
         """Verify every document's SC-derived order."""

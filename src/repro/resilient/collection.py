@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.durable.collection import DurableCollection
 from repro.durable.faults import FaultInjector, InjectedCrash
@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.obs import metrics
 from repro.order.document import OrderedUpdateReport
+from repro.query.live import BatchOp, BatchReport
 from repro.query.store import ElementRow
 from repro.resilient.breaker import CLOSED, CircuitBreaker
 from repro.resilient.policy import (
@@ -435,13 +436,52 @@ class ResilientCollection:
             lambda: self.durable.live.add_document(root),
         )
 
-    def compact(self) -> None:
-        """Guarded SC-table compaction across every document."""
+    def compact(self) -> List[int]:
+        """Guarded SC-table compaction; returns per-document record counts."""
         return self._mutate(
             "compact",
             lambda: self.durable.compact(),
             lambda: self.durable.live.compact(),
         )
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> BatchReport:
+        """Guarded atomic batch: retried, buffered, or rejected as one unit.
+
+        The batch is encoded to ``(document, preorder position)`` addresses
+        once, up front — a failed attempt rolls the durable collection's
+        in-memory state back to the last durable state (making the retry
+        apply exactly once), which invalidates node references but not
+        addresses.  Every retry, and the degraded fallback, re-resolves the
+        same addressed batch against the state it is about to mutate.
+
+        Degraded semantics match single ops, per whole batch: ``buffer``
+        applies the batch in memory only (one buffer entry; note a buffered
+        batch that fails mid-way has no durable state to roll back to, so
+        only the normal path is all-or-nothing), ``fail_fast`` rejects it
+        outright.
+        """
+        encoded = self.durable.encode_batch(list(ops))
+        if not encoded:
+            return BatchReport()
+        return self._mutate(
+            f"batch[{len(encoded)}]",
+            lambda: self.durable.apply_batch_addressed(encoded),
+            lambda: self.durable.live.apply_batch(
+                self.durable.resolve_batch(encoded)
+            ),
+        )
+
+    def bulk_insert(
+        self, inserts: Sequence[Tuple[XmlElement, int, str]]
+    ) -> BatchReport:
+        """Guarded batched insertions from (parent, index, tag) triples."""
+        return self.apply_batch(
+            [BatchOp.insert_child(parent, index, tag) for parent, index, tag in inserts]
+        )
+
+    def bulk_delete(self, nodes: Sequence[XmlElement]) -> BatchReport:
+        """Guarded batched deletion of ``nodes`` (each with its subtree)."""
+        return self.apply_batch([BatchOp.delete(node) for node in nodes])
 
     def checkpoint(self) -> int:
         """Guarded snapshot checkpoint; no degraded fallback exists.

@@ -141,3 +141,111 @@ class TestCongruenceSystem:
 
     def test_empty_value_zero(self):
         assert CongruenceSystem().value == 0
+
+
+class TestIncrementalMaintenance:
+    """The incremental shortcuts against the from-scratch oracle.
+
+    ``set_residues`` (CRT-basis delta), ``remove`` (modulo-reduction), and
+    deferred mode all promise the same value a fresh ``solve_congruences``
+    would produce; ``check()`` is the paper's own verification predicate.
+    """
+
+    PRIMES = (2, 3, 5, 7, 11, 13, 17, 19)
+
+    def test_randomized_mutation_sequence_matches_oracle(self):
+        import random
+
+        rng = random.Random(42)
+        for _round in range(20):
+            moduli = list(rng.sample(self.PRIMES, rng.randint(2, 6)))
+            system = CongruenceSystem(
+                moduli, [rng.randrange(m) for m in moduli]
+            )
+            system.value  # force the cache so every mutation is incremental
+            for _step in range(15):
+                roll = rng.random()
+                if roll < 0.5 and len(system) > 1:
+                    chosen = rng.sample(
+                        system.moduli, rng.randint(1, len(system) - 1)
+                    )
+                    system.set_residues(
+                        {m: rng.randrange(m) for m in chosen}
+                    )
+                elif roll < 0.75 and len(system) > 1:
+                    system.remove(rng.choice(system.moduli))
+                else:
+                    absent = [p for p in self.PRIMES if p not in system]
+                    if absent:
+                        m = rng.choice(absent)
+                        system.append(m, rng.randrange(m))
+                assert system.check()
+                assert system.value == solve_congruences(
+                    list(system.moduli),
+                    [system.residue(m) for m in system.moduli],
+                )
+
+    def test_set_residues_is_delta_based_not_resolve(self, monkeypatch):
+        import repro.primes.crt as crt
+
+        system = CongruenceSystem([3, 5, 7], [1, 2, 3])
+        system.value  # cache
+        calls = []
+
+        def counting_solve(moduli, residues):
+            calls.append(tuple(moduli))
+            return solve_congruences(moduli, residues)
+
+        monkeypatch.setattr(crt, "solve_congruences", counting_solve)
+        system.set_residues({3: 2, 7: 6})
+        assert system.value % 3 == 2 and system.value % 7 == 6
+        assert calls == []  # maintained by CRT-basis delta, never re-solved
+
+    def test_remove_is_modulo_reduction_not_resolve(self, monkeypatch):
+        import repro.primes.crt as crt
+
+        system = CongruenceSystem([3, 5, 7], [2, 4, 3])
+        expected_value = system.value
+        monkeypatch.setattr(
+            crt,
+            "solve_congruences",
+            lambda *a: pytest.fail("remove must not re-solve"),
+        )
+        system.remove(5)
+        assert system.value == expected_value % (3 * 7)
+        assert system.value % 3 == 2 and system.value % 7 == 3
+
+    def test_deferred_mode_solves_once_at_exit(self, monkeypatch):
+        import repro.primes.crt as crt
+
+        system = CongruenceSystem([3, 5], [1, 2])
+        system.value
+        calls = []
+
+        def counting_solve(moduli, residues):
+            calls.append(tuple(moduli))
+            return solve_congruences(moduli, residues)
+
+        monkeypatch.setattr(crt, "solve_congruences", counting_solve)
+        system.begin_deferred()
+        assert system.deferred
+        system.append(7, 4)
+        system.set_residues({3: 0, 5: 3})
+        system.remove(5)
+        assert calls == []  # mutations were dictionary-only
+        system.end_deferred()
+        assert not system.deferred
+        assert system.value % 3 == 0 and system.value % 7 == 4
+        assert len(calls) == 1  # exactly one solve paid for the whole batch
+        assert system.check()
+
+    def test_deferred_mid_batch_read_still_correct(self):
+        system = CongruenceSystem([3, 5], [1, 2])
+        system.begin_deferred()
+        system.set_residues({3: 2})
+        # Reading mid-batch lazily solves; the next mutation re-invalidates.
+        assert system.value % 3 == 2 and system.value % 5 == 2
+        system.set_residues({5: 4})
+        system.end_deferred()
+        assert system.value % 3 == 2 and system.value % 5 == 4
+        assert system.check()
