@@ -1,0 +1,55 @@
+"""repro.analysis — AST-level invariant linter for the update protocol.
+
+The paper's guarantees (Property 3 ancestor test, CRT-based SC order
+decode) and the systems layers built on them (durability, resilience,
+batching) are correct only while a handful of *update-protocol
+disciplines* hold: labels change only through ``_set_label``, SC residue
+state mutates only inside the SC layer, core layers never import service
+layers, replayed paths stay deterministic, and so on.  This package
+machine-checks those disciplines over plain Python ASTs — stdlib only,
+no third-party dependencies:
+
+* :mod:`repro.analysis.engine` — rule registry, file walker, inline
+  ``# repro: ignore[RULE] -- justification`` suppressions,
+* :mod:`repro.analysis.rules` — the project rules R1–R10,
+* :mod:`repro.analysis.baseline` — committed grandfather list with
+  stale-entry expiry,
+* :mod:`repro.analysis.reporters` — text, JSON, and SARIF 2.1.0 output,
+* :mod:`repro.analysis.cli` — the ``python -m repro lint`` verb.
+
+The rule catalog with full rationale and the suppression policy live in
+``docs/ANALYSIS.md``; CI runs the linter (plus the mypy strict gate) in
+the ``lint-invariants`` job and fails on any new finding.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.context import FileContext, Suppression, context_from_source
+from repro.analysis.engine import (
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_sarif, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "context_from_source",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

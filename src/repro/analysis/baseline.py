@@ -1,0 +1,118 @@
+"""Committed baselines: grandfathered findings that must not grow.
+
+A baseline is a JSON file of finding fingerprints (rule + path +
+message, deliberately line-free) committed alongside the code.  The
+linter subtracts baselined findings from the active set, so a rule can
+be introduced before the tree is fully clean without drowning CI — but
+any *new* finding still fails, and entries whose finding has been fixed
+are reported as *stale* so the file shrinks monotonically.
+
+Format (version 1)::
+
+    {"version": 1,
+     "findings": [{"rule": "R8", "path": "src/repro/...", "message": "..."},
+                  ...]}
+
+Duplicate fingerprints are legal and counted: a baseline entry absorbs
+exactly one live finding, so two identical violations need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["Baseline", "BaselineError"]
+
+_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Raised for an unreadable or structurally invalid baseline file."""
+
+
+def _fingerprint(entry: Dict[str, str]) -> str:
+    return f"{entry['rule']}::{entry['path']}::{entry['message']}"
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise BaselineError(f"cannot read baseline {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise BaselineError(
+                f"baseline {path} is not a version-{_VERSION} baseline file"
+            )
+        findings = payload.get("findings")
+        if not isinstance(findings, list):
+            raise BaselineError(f"baseline {path} has no 'findings' list")
+        baseline = cls()
+        for entry in findings:
+            try:
+                baseline.entries[_fingerprint(entry)] += 1
+            except (TypeError, KeyError) as error:
+                raise BaselineError(
+                    f"baseline {path}: malformed entry {entry!r}"
+                ) from error
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline absorbing exactly the given findings."""
+        baseline = cls()
+        for finding in findings:
+            baseline.entries[finding.fingerprint] += 1
+        return baseline
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file (sorted, one entry per occurrence)."""
+        findings = []
+        for fingerprint in sorted(self.entries.elements()):
+            rule, file_path, message = fingerprint.split("::", 2)
+            findings.append({"rule": rule, "path": file_path, "message": message})
+        payload = {"version": _VERSION, "findings": findings}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition findings against the baseline.
+
+        Returns ``(active, baselined, stale)``: findings not covered,
+        findings absorbed by an entry, and fingerprints of entries whose
+        finding no longer exists (fixed — remove them from the file).
+        """
+        budget = Counter(self.entries)
+        active: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                grandfathered.append(finding.into_baseline())
+            else:
+                active.append(finding)
+        stale = sorted(budget.elements())
+        return active, grandfathered, stale

@@ -1,0 +1,186 @@
+"""Per-file analysis context: parsed AST, package facts, suppressions.
+
+Rules never touch the filesystem; they receive a :class:`FileContext`
+that carries the parsed tree plus everything location-dependent a rule
+needs to decide whether it even applies:
+
+* ``rel`` — repo-relative posix path (``src/repro/order/sc_table.py``),
+* ``module`` — the dotted module name (``repro.order.sc_table``),
+* ``package`` — the first package segment under ``repro`` (``"order"``,
+  or ``""`` for top-level modules like ``repro.cli``),
+* parsed inline suppression directives.
+
+Suppression syntax (checked by the engine, documented in
+``docs/ANALYSIS.md``)::
+
+    x = 1  # repro: ignore[R4] -- exhibit timing is wall-clock on purpose
+    # repro: ignore[R8, R9] -- free-standing: covers the next code line
+
+A directive with no ``-- justification`` text is *invalid*: the finding
+stays active and the engine raises an extra ``SUP`` finding pointing at
+the naked directive, so "silently waved through" is not a state the
+codebase can be in.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Suppression", "FileContext", "context_from_source", "context_from_file"]
+
+#: ``# repro: ignore[R1,R2] -- reason`` (reason optional at parse time,
+#: required for the directive to be honoured).
+_DIRECTIVE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` directive."""
+
+    line: int  # line the directive appears on (1-based)
+    rules: Tuple[str, ...]
+    justification: Optional[str]
+    own_line: bool  # True when the line holds only the comment
+    #: The code line the directive covers: its own line for a trailing
+    #: directive, else the next non-blank non-comment line (so wrapped
+    #: justification comments don't break the association).
+    target: int = 0
+
+    @property
+    def valid(self) -> bool:
+        """Directives must carry a ``-- justification`` to be honoured."""
+        return bool(self.justification)
+
+    def covers(self, rule: str, line: int) -> bool:
+        """Whether this directive applies to ``rule`` at ``line``."""
+        if rule not in self.rules:
+            return False
+        return line == self.line or line == self.target
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may ask about one source file."""
+
+    rel: str  # repo-relative posix path, e.g. "src/repro/durable/wal.py"
+    module: str  # dotted module name, e.g. "repro.durable.wal"
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        """First package segment under ``repro`` (``""`` for top level)."""
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 2 else ""
+
+    @property
+    def basename(self) -> str:
+        """File name only, e.g. ``wal.py``."""
+        return PurePosixPath(self.rel).name
+
+    def in_package(self, *names: str) -> bool:
+        """Whether the file lives directly under one of the packages."""
+        return self.package in names
+
+    def is_module(self, *dotted: str) -> bool:
+        """Whether the file is exactly one of the dotted module names."""
+        return self.module in dotted
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        """The first directive covering ``rule`` at ``line``, if any."""
+        for directive in self.suppressions:
+            if directive.covers(rule, line):
+                return directive
+        return None
+
+
+def _next_code_line(lines: List[str], after: int) -> int:
+    """1-based number of the first code line after index ``after`` (0-based)."""
+    for offset in range(after, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return 0
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    lines = source.splitlines()
+    directives: List[Suppression] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(text)
+        if not match:
+            continue
+        rules = tuple(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        reason = match.group("reason")
+        own_line = text[: match.start()].strip() == ""
+        directives.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justification=reason.strip() if reason else None,
+                own_line=own_line,
+                target=_next_code_line(lines, lineno) if own_line else lineno,
+            )
+        )
+    return directives
+
+
+def _module_name(rel: str) -> str:
+    """Dotted module name for a repo-relative path (best effort)."""
+    pure = PurePosixPath(rel)
+    parts = list(pure.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def context_from_source(source: str, rel: str) -> FileContext:
+    """Build a :class:`FileContext` from source text and a virtual path.
+
+    This is how both the real file walker and the rule-fixture tests
+    construct contexts — rules behave identically on synthetic snippets
+    given a path like ``src/repro/durable/example.py``.
+    """
+    rel = str(PurePosixPath(rel))
+    return FileContext(
+        rel=rel,
+        module=_module_name(rel),
+        source=source,
+        tree=ast.parse(source, filename=rel),
+        suppressions=_parse_suppressions(source),
+    )
+
+
+def context_from_file(path: Path, root: Path) -> FileContext:
+    """Read and parse ``path``, with ``rel`` computed against ``root``.
+
+    A path outside ``root`` (linting a scratch file) is anchored at its
+    last ``src`` component when present, so package-scoped rules still
+    see the intended virtual location; otherwise the bare name is used.
+    """
+    source = path.read_text(encoding="utf-8")
+    resolved = path.resolve()
+    try:
+        rel = resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        parts = resolved.parts
+        if "src" in parts:
+            anchor = len(parts) - 1 - tuple(reversed(parts)).index("src")
+            rel = "/".join(parts[anchor:])
+        else:
+            rel = resolved.name
+    return context_from_source(source, rel)

@@ -1,0 +1,92 @@
+"""Finding and severity model for the static-analysis framework.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number so
+that committed baselines (see :mod:`repro.analysis.baseline`) survive
+unrelated edits that merely shift code up or down — the same philosophy
+as ``ruff``'s and ``bandit``'s baseline formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How bad a finding is; maps onto SARIF's ``level`` vocabulary."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def sarif_level(self) -> str:
+        """The SARIF ``level`` string for this severity."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repo-relative with forward slashes (``src/repro/...``) so
+    fingerprints and reports are stable across machines and platforms.
+    ``suppressed``/``justification`` are populated when an inline
+    ``# repro: ignore[RULE] -- reason`` directive covers the finding;
+    ``baselined`` when a committed baseline entry grandfathers it.
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    severity: Severity = Severity.ERROR
+    suppressed: bool = False
+    justification: Optional[str] = None
+    baselined: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    @property
+    def active(self) -> bool:
+        """Whether the finding still counts against the exit code."""
+        return not (self.suppressed or self.baselined)
+
+    def suppress(self, justification: Optional[str]) -> "Finding":
+        """A copy marked as inline-suppressed with its justification."""
+        return replace(self, suppressed=True, justification=justification)
+
+    def into_baseline(self) -> "Finding":
+        """A copy marked as grandfathered by the committed baseline."""
+        return replace(self, baselined=True)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the JSON reporter)."""
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.suppressed:
+            payload["suppressed"] = True
+            payload["justification"] = self.justification
+        if self.baselined:
+            payload["baselined"] = True
+        return payload
+
+    def render(self) -> str:
+        """The canonical one-line ``path:line:col: RULE severity: msg`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.rule} {self.severity.value}: {self.message}"
+        )

@@ -1,0 +1,155 @@
+"""Render a :class:`~repro.analysis.engine.LintReport` as text/JSON/SARIF.
+
+Every reporter is a pure function from report to string; printing (and
+choosing a destination file) is the CLI's job, which keeps this module
+compliant with the linter's own no-print rule (R9).
+
+The SARIF output targets SARIF 2.1.0 with the subset GitHub code
+scanning ingests: one run, a ``tool.driver`` carrying the rule catalog
+(id, short/full description, default level), and one ``result`` per
+finding.  Suppressed and baselined findings are emitted with SARIF's
+native ``suppressions`` property instead of being dropped, so the
+artifact is a complete record of the run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.engine import LintReport, Rule, all_rules
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-oriented rendering: one line per finding plus a summary."""
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if verbose:
+        for finding in report.suppressed:
+            lines.append(f"{finding.render()} [suppressed: {finding.justification}]")
+        for finding in report.baselined:
+            lines.append(f"{finding.render()} [baselined]")
+    for fingerprint in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry (finding fixed — remove it): {fingerprint}"
+        )
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} "
+        f"suppressed, {len(report.baselined)} baselined, "
+        f"{len(report.stale_baseline)} stale baseline entr(ies) across "
+        f"{report.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-oriented JSON: full buckets plus a summary object."""
+    payload: Dict[str, Any] = {
+        "tool": TOOL_NAME,
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "stale_baseline": list(report.stale_baseline),
+        "summary": {
+            "files_checked": report.files_checked,
+            "active": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "baselined": len(report.baselined),
+            "stale_baseline": len(report.stale_baseline),
+            "exit_code": report.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules(rules: Sequence[Rule]) -> List[Dict[str, Any]]:
+    catalog = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": rule.severity.sarif_level()},
+        }
+        for rule in rules
+    ]
+    catalog.append(
+        {
+            "id": "SUP",
+            "name": "SuppressionJustification",
+            "shortDescription": {"text": "suppression without justification"},
+            "fullDescription": {
+                "text": "Every # repro: ignore[...] directive must carry a "
+                "'-- justification' explaining why the finding is acceptable."
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return catalog
+
+
+def _sarif_result(finding: Finding) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": finding.severity.sarif_level(),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.justification or "",
+            }
+        ]
+    elif finding.baselined:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "committed baseline"}
+        ]
+    return result
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 rendering (rule catalog + every finding bucket)."""
+    results = [
+        _sarif_result(finding)
+        for finding in (*report.findings, *report.suppressed, *report.baselined)
+    ]
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": _sarif_rules(all_rules()),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True)

@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     python -m repro load state/ --query '//act'
     python -m repro recover state/
     python -m repro health state/ [--json]
+    python -m repro lint [paths ...] [--format text|json|sarif]
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
@@ -42,6 +43,12 @@ collection.  Both honour the ``REPRO_CHAOS`` environment variable
 (``"rate=0.05,seed=7,..."``, see
 :meth:`repro.resilient.ChaosInjector.from_spec`), which arms transient
 fault injection on the write path — how CI soaks the CLI round trip.
+
+``lint`` runs the :mod:`repro.analysis` invariant linter (rules
+R1–R10: label-write discipline, layering, determinism, fsync
+containment, ...) over the tree, honouring inline suppressions and the
+committed ``analysis-baseline.json``; ``--format sarif`` is what CI's
+``lint-invariants`` job archives.  See ``docs/ANALYSIS.md``.
 
 Exit codes are part of the contract: 0 success, 1 any other library
 error (:class:`repro.errors.ReproError`), 2 missing file, 3 malformed
@@ -510,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--no-verify", action="store_true",
                         help="skip the post-replay invariant audit")
     health.set_defaults(handler=cmd_health)
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(commands)
 
     return parser
 

@@ -188,5 +188,8 @@ def truncate_file(path: str | Path, size: int) -> None:
     """Cut the file at ``path`` down to ``size`` bytes (lost tail)."""
     with open(path, "r+b") as handle:
         handle.truncate(size)
+        # repro: ignore[R10] -- crash-simulation harness: the torn tail must
+        # really reach the disk or the simulated power cut proves nothing
         handle.flush()
+        # repro: ignore[R10] -- same crash-simulation requirement as above
         os.fsync(handle.fileno())

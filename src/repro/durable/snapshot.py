@@ -203,7 +203,11 @@ def write_snapshot(
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as handle:
             handle.write(blob)
+            # repro: ignore[R10] -- atomic-rename protocol: the temp file
+            # must be durable before os.replace or a crash could retain a
+            # snapshot pointer to unwritten bytes; no fsync policy applies
             handle.flush()
+            # repro: ignore[R10] -- second half of the atomic-rename fsync
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         metrics.incr("snapshot.writes")

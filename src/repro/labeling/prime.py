@@ -95,7 +95,7 @@ class PrimeScheme(LabelingScheme):
         reserved_primes: int = DEFAULT_RESERVED_PRIMES,
         power2_leaves: bool = True,
         leaf_threshold_bits: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__()
         if leaf_threshold_bits is not None and leaf_threshold_bits < 2:
             raise ValueError(

@@ -9,7 +9,7 @@ computes, for any labeled scheme:
   paper's Figure 14 charges),
 * the exact variable-length cost, and the varint-encoded on-disk cost,
 
-and renders them as a :class:`~repro.bench.harness.ResultTable` for easy
+and renders them as a :class:`~repro.tables.ResultTable` for easy
 printing alongside the paper's exhibits.
 """
 
@@ -18,9 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.bench.harness import ResultTable
 from repro.labeling.base import LabelingScheme
 from repro.labeling.codec import VarintCodec
+from repro.tables import ResultTable
 
 __all__ = ["LabelSpaceReport", "label_space_report", "compare_space"]
 

@@ -30,7 +30,7 @@ __all__ = ["OrderedAxes"]
 class OrderedAxes:
     """Order-sensitive axes over an :class:`OrderedDocument`."""
 
-    def __init__(self, document: OrderedDocument):
+    def __init__(self, document: OrderedDocument) -> None:
         self.document = document
 
     # ------------------------------------------------------------------

@@ -69,7 +69,7 @@ class OrderedDocument:
         root: XmlElement,
         group_size: int | None = 5,
         scheme: Optional[PrimeScheme] = None,
-    ):
+    ) -> None:
         if scheme is None:
             scheme = PrimeScheme(reserved_primes=0, power2_leaves=False)
         if scheme.power2_leaves:

@@ -98,7 +98,7 @@ class SCTable:
         single-SC-value presentation of Figure 9.
     """
 
-    def __init__(self, group_size: int | None = 5):
+    def __init__(self, group_size: int | None = 5) -> None:
         if group_size is not None and group_size < 1:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         self.group_size = group_size

@@ -125,7 +125,9 @@ class CongruenceSystem:
     for the whole run of mutations.
     """
 
-    def __init__(self, moduli: Iterable[int] = (), residues: Iterable[int] = ()):
+    def __init__(
+        self, moduli: Iterable[int] = (), residues: Iterable[int] = ()
+    ) -> None:
         self._congruences: Dict[int, int] = {}
         for modulus, residue in zip(list(moduli), list(residues)):
             self._check_new_modulus(modulus)

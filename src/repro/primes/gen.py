@@ -42,7 +42,7 @@ class PrimeGenerator:
     ``reserved`` hand out identical sequences.
     """
 
-    def __init__(self, reserved: int = 0):
+    def __init__(self, reserved: int = 0) -> None:
         if reserved < 0:
             raise ValueError(f"reserved must be >= 0, got {reserved}")
         self._cache: List[int] = primes_first_n(max(_BOOTSTRAP_COUNT, reserved))

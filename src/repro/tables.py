@@ -1,0 +1,115 @@
+"""Result tables: titled rows with text and bar-chart rendering.
+
+This is the neutral home of :class:`ResultTable`, the tabular value
+object every layer is allowed to produce — benchmark exhibits
+(:mod:`repro.bench`), but also core-layer reports like the label-space
+comparison in :mod:`repro.labeling.stats`.  It lives outside
+``repro.bench`` on purpose: the core layers (``primes``, ``labeling``,
+``order``, ``xmlkit``) must not import the benchmark harness (layering
+rule R3 in ``docs/ANALYSIS.md``), yet they legitimately render tables.
+This module imports nothing from ``repro``, so anyone may depend on it.
+
+``repro.bench.harness`` re-exports :class:`ResultTable` for backwards
+compatibility and keeps the metrics-capture wrapper that *does* belong
+to the benchmark layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ResultTable"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    ``columns`` names the series; each row is keyed by the first column.
+    Renders to aligned monospaced text (:meth:`to_text`) and, for numeric
+    series, a crude inline bar chart (:meth:`to_chart`) so running a
+    benchmark shows the figure's *shape* in the terminal.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    note: Optional[str] = None
+    #: Observability snapshot captured while building the exhibit (see
+    #: :func:`repro.bench.harness.capture_metrics`); exported to JSON,
+    #: ignored by the text render.
+    metrics: Optional[Dict[str, Any]] = None
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells; table {self.title!r} "
+                f"has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Values of the named column, top to bottom."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in table {self.title!r}") from None
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column-keyed dictionaries."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned monospaced text."""
+        header = [str(column) for column in self.columns]
+        body = [[_format_cell(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(header, widths)))
+        for row in body:
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def to_chart(self, width: int = 40) -> str:
+        """Render numeric columns as horizontal bars (one block per row)."""
+        numeric_columns = [
+            index
+            for index in range(1, len(self.columns))
+            if all(isinstance(row[index], (int, float)) for row in self.rows)
+        ]
+        if not numeric_columns or not self.rows:
+            return self.to_text()
+        peak = max(
+            max(abs(float(row[index])) for index in numeric_columns) for row in self.rows
+        )
+        scale = width / peak if peak else 0.0
+        lines = [self.title, "-" * len(self.title)]
+        label_width = max(len(str(row[0])) for row in self.rows)
+        series_width = max(len(str(self.columns[i])) for i in numeric_columns)
+        for row in self.rows:
+            for index in numeric_columns:
+                value = float(row[index])
+                bar = "#" * max(int(value * scale), 0)
+                lines.append(
+                    f"{str(row[0]).rjust(label_width)} "
+                    f"{str(self.columns[index]).ljust(series_width)} "
+                    f"|{bar} {_format_cell(row[index])}"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -59,7 +59,7 @@ class XmlElement:
         tag: str,
         attributes: Optional[Dict[str, str]] = None,
         text: str = "",
-    ):
+    ) -> None:
         if not tag:
             raise ValueError("element tag must be a non-empty string")
         self.tag = tag
