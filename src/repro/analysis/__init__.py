@@ -11,7 +11,7 @@ no third-party dependencies:
 
 * :mod:`repro.analysis.engine` — rule registry, file walker, inline
   ``# repro: ignore[RULE] -- justification`` suppressions,
-* :mod:`repro.analysis.rules` — the project rules R1–R10,
+* :mod:`repro.analysis.rules` — the project rules R1–R11,
 * :mod:`repro.analysis.baseline` — committed grandfather list with
   stale-entry expiry,
 * :mod:`repro.analysis.reporters` — text, JSON, and SARIF 2.1.0 output,

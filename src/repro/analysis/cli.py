@@ -95,7 +95,7 @@ def add_lint_parser(commands: "argparse._SubParsersAction") -> None:
     """Register the ``lint`` subparser on the main CLI's subcommands."""
     lint = commands.add_parser(
         "lint",
-        help="run the AST invariant linter (rules R1-R10, docs/ANALYSIS.md)",
+        help="run the AST invariant linter (rules R1-R11, docs/ANALYSIS.md)",
     )
     lint.add_argument(
         "paths",

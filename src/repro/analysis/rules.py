@@ -1,4 +1,4 @@
-"""The project-specific invariant rules R1–R10.
+"""The project-specific invariant rules R1–R11.
 
 Each rule machine-checks one update-protocol discipline the paper's
 guarantees rest on (Property 3 ancestor test, CRT-based SC ordering) or
@@ -555,3 +555,93 @@ class FsyncContainmentRule(Rule):
                     node,
                     f"{name}() outside durable/wal.py's policy layer",
                 )
+
+
+@register
+class WindowMaintenanceRule(Rule):
+    """R11 — window-index maintenance stays in the store/live layer."""
+
+    id = "R11"
+    title = "window-index maintenance outside the store/live layer"
+    severity = Severity.ERROR
+    rationale = (
+        "The pre/post/level/size columns are trusted by the window "
+        "strategy and the planner only because every mutation flows "
+        "through LabelStore's row mutators (which keep rows, tag buckets, "
+        "and the WindowIndex in lockstep) and LiveCollection's patch "
+        "hooks; a bench or service module touching the maintenance API "
+        "directly would desynchronize the columns from the tree."
+    )
+
+    #: Modules allowed to import the column machinery at all (readers of
+    #: the entry types included: the engine binary-searches them).
+    _IMPORT_SCOPE = "query"
+    #: WindowIndex mutators — callable only where the index is owned.
+    _INDEX_MUTATORS = {"apply_insert", "apply_delete"}
+    _INDEX_CALLERS = ("repro.query.store", "repro.query.window")
+    #: LabelStore row mutators — callable only from the live patch hooks
+    #: (and the store itself).
+    _STORE_MUTATORS = {"insert_row", "delete_subtree", "refresh_labels"}
+    _STORE_CALLERS = ("repro.query.store", "repro.query.live")
+    _STORE_SEGMENTS = {"store", "_store"}
+
+    def _imports_window(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.query.window" or alias.name.startswith(
+                    "repro.query.window."
+                ):
+                    return alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            if node.module == "repro.query.window":
+                return node.module
+            if node.module == "repro.query" and any(
+                alias.name == "window" for alias in node.names
+            ):
+                return "repro.query.window"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_query = ctx.in_package(self._IMPORT_SCOPE)
+        for node in ast.walk(ctx.tree):
+            if not in_query:
+                offender = self._imports_window(node)
+                if offender is not None:
+                    yield self.emit(
+                        ctx,
+                        node,
+                        f"import of {offender} outside repro.query; the "
+                        "window columns are an internal accelerator "
+                        "structure — query through QueryEngine instead",
+                    )
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method in self._INDEX_MUTATORS and not ctx.is_module(
+                *self._INDEX_CALLERS
+            ):
+                receiver = dotted_name(node.func.value) or "<expr>"
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"{receiver}.{method}() mutates a WindowIndex outside "
+                    "repro.query.store; route mutations through "
+                    "LabelStore.insert_row/delete_subtree",
+                )
+            elif method in self._STORE_MUTATORS and not ctx.is_module(
+                *self._STORE_CALLERS
+            ):
+                receiver = dotted_name(node.func.value)
+                if receiver is None:
+                    continue
+                segments = receiver.split(".")
+                if any(segment in self._STORE_SEGMENTS for segment in segments):
+                    yield self.emit(
+                        ctx,
+                        node,
+                        f"{receiver}.{method}() patches store rows outside "
+                        "repro.query.{store,live}; mutate through "
+                        "LiveCollection so columns stay consistent",
+                    )

@@ -1,0 +1,95 @@
+"""Planner exhibit: fixed strategies vs the cost-based pick, per query.
+
+Times every Table 2 query under each fixed engine strategy (scan, merge,
+window, twig) and under ``auto`` on the same prime-scheme store, all at
+the response benchmark's corpus scale.  Two claims are on trial:
+
+* the window strategy's range evaluation should beat the paper's
+  relational scans by an order of magnitude on the heavy queries, and
+* ``auto`` should track the best fixed choice per query — the cost model
+  is only useful if its picks don't lose to a strategy a user could have
+  pinned by hand.
+
+The rendered table reports seconds per (query, strategy), the winner, the
+``auto``/best ratio, and the strategies ``auto`` actually picked (from
+the engine's recorded plan).  ``repro bench planner --json`` emits the
+same rows for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import ResultTable
+from repro.bench.response import PAPER_QUERIES, build_query_corpus
+from repro.query.engine import QueryEngine
+from repro.query.store import LabelStore
+from repro.xmlkit.tree import XmlElement
+
+__all__ = ["PLANNER_STRATEGIES", "planner_table"]
+
+#: Every fixed strategy plus the cost-based pick, in display order.
+PLANNER_STRATEGIES: Tuple[str, ...] = ("scan", "merge", "window", "twig", "auto")
+
+
+def planner_table(
+    corpus: Sequence[XmlElement] | None = None, repeats: int = 3
+) -> ResultTable:
+    """Per-query response time under each strategy, plus auto's verdict.
+
+    One prime store serves every engine so the comparison isolates the
+    evaluation strategy; each (query, strategy) cell keeps the best of
+    ``repeats`` runs.
+    """
+    documents = list(corpus) if corpus is not None else build_query_corpus()
+    store = LabelStore.build(documents, scheme="prime")
+    engines: Dict[str, QueryEngine] = {
+        strategy: QueryEngine(store, strategy=strategy)
+        for strategy in PLANNER_STRATEGIES
+    }
+    table = ResultTable(
+        title="Planner: response time per strategy (seconds)",
+        columns=(
+            "query",
+            *PLANNER_STRATEGIES,
+            "best",
+            "auto/best",
+            "auto picks",
+        ),
+    )
+    for name, text in PAPER_QUERIES:
+        timings: Dict[str, float] = {}
+        for strategy in PLANNER_STRATEGIES:
+            engine = engines[strategy]
+            timings[strategy] = min(
+                _time_once(engine, text) for _ in range(max(repeats, 1))
+            )
+        fixed = {s: t for s, t in timings.items() if s != "auto"}
+        best = min(fixed, key=lambda s: fixed[s])
+        ratio = timings["auto"] / max(fixed[best], 1e-9)
+        table.add_row(
+            name,
+            *(timings[strategy] for strategy in PLANNER_STRATEGIES),
+            best,
+            round(ratio, 2),
+            _picks_of(engines["auto"]),
+        )
+    return table
+
+
+def _picks_of(engine: QueryEngine) -> str:
+    """Compact rendering of the strategies auto chose on its last run."""
+    plan = engine.last_plan
+    if plan is None:
+        return "-"
+    if plan.twig is not None:
+        return "twig"
+    picks = [choice.strategy for choice in plan.steps]
+    return "+".join(picks) if picks else "seed-only"
+
+
+def _time_once(engine: QueryEngine, text: str) -> float:
+    started = time.perf_counter()
+    engine.evaluate(text)
+    return time.perf_counter() - started

@@ -17,8 +17,14 @@ Usage (also via ``python -m repro``)::
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
 their corpora on demand), plus the systems exhibits ``durability``,
-``resilience`` and ``throughput`` (sequential vs batched update
-pipeline); ``--csv``/``--json`` export any of them.
+``resilience``, ``throughput`` (sequential vs batched update pipeline)
+and ``planner`` (fixed strategies vs the cost-based pick on the Table 2
+workload); ``--csv``/``--json`` export any of them.
+
+``query`` evaluates with the cost-based planner by default;
+``--strategy`` pins one of scan/merge/window/twig and ``--explain``
+prints the chosen plan (per-step strategy and cost estimates).  See
+``docs/QUERYING.md``.
 
 ``stats`` also runs each document through an instrumented prime
 pipeline (label + SC table + a ``//*`` query) and prints the
@@ -45,7 +51,7 @@ collection.  Both honour the ``REPRO_CHAOS`` environment variable
 fault injection on the write path — how CI soaks the CLI round trip.
 
 ``lint`` runs the :mod:`repro.analysis` invariant linter (rules
-R1–R10: label-write discipline, layering, determinism, fsync
+R1–R11: label-write discipline, layering, determinism, fsync
 containment, ...) over the tree, honouring inline suppressions and the
 committed ``analysis-baseline.json``; ``--format sarif`` is what CI's
 ``lint-invariants`` job archives.  See ``docs/ANALYSIS.md``.
@@ -249,11 +255,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     documents = _read_documents(args.files)
     store = LabelStore.build(documents, scheme=args.scheme)
-    engine = QueryEngine(store)
+    engine = QueryEngine(store, strategy=getattr(args, "strategy", "auto"))
     rows = engine.evaluate(args.query)
     for row in rows:
         print(f"doc {row.doc_id}: {row.node.path()}")
     print(f"-- {len(rows)} node(s) retrieved with the {args.scheme} store")
+    if getattr(args, "explain", False) and engine.last_plan is not None:
+        print("-- plan --")
+        print(engine.last_plan.describe())
     if getattr(args, "audit", False) and _audit_store(store, indent=""):
         return 1
     return 0
@@ -269,6 +278,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.response import figure15_table, table2_table
 
     exhibits: Dict[str, Callable[[], object]] = {
+        "planner": bench.planner_table,
         "fig3": bench.figure3_table,
         "fig4": bench.figure4_table,
         "fig5": bench.figure5_table,
@@ -453,6 +463,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query")
     query.add_argument("files", nargs="+")
     query.add_argument("--scheme", choices=STORE_SCHEMES, default="prime")
+    query.add_argument(
+        "--strategy",
+        choices=("scan", "merge", "window", "twig", "auto"),
+        default="auto",
+        help="evaluation strategy (default: auto, the cost-based planner)",
+    )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen plan (per-step strategy + cost estimates)",
+    )
     query.add_argument("--audit", action="store_true", help=audit_help)
     query.set_defaults(handler=cmd_query)
 

@@ -12,45 +12,68 @@ how the paper's own SQL translation behaves):
 * ``Following``/``Preceding`` are scoped to the context node's document and
   exclude descendants/ancestors respectively, per the paper's definitions.
 
-Every predicate is a label comparison through the store's
-:class:`~repro.query.store.StoreOps`; the engine never touches the XML
-tree.
+Every predicate of the label-comparison strategies goes through the
+store's :class:`~repro.query.store.StoreOps`; the ``window`` strategy
+instead reads the store's pre/post accelerator columns
+(:mod:`repro.query.window`) and the ``twig`` strategy hands eligible
+queries whole to the tree-pattern matcher (:mod:`repro.query.twig`).
+All strategies return identical rows in identical order; ``auto`` lets
+the cost model (:mod:`repro.query.planner`) pick per step.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import QueryEvaluationError
 from repro.obs import metrics
 from repro.query.ast import Axis, Query, Step
+from repro.query.planner import Planner, QueryPlan, StepChoice
 from repro.query.store import ElementRow, LabelStore
+from repro.query.window import DocWindow, WindowEntry
 from repro.query.xpath import parse_query
 
 __all__ = ["QueryEngine"]
+
+_STRATEGIES = ("scan", "merge", "window", "twig", "auto")
 
 
 class QueryEngine:
     """Evaluates parsed queries (or query text) against one label store.
 
-    ``strategy`` selects how structural (child/descendant) steps execute:
+    ``strategy`` selects how structural steps execute:
 
-    * ``"scan"`` (default) — per-context tag-index scans, one label test
-      per (context, candidate) pair; robust, O(|ctx| · |cand|).
+    * ``"scan"`` — per-context tag-index scans, one label test per
+      (context, candidate) pair; the paper's relational evaluation,
+      robust, O(|ctx| · |cand|).
     * ``"merge"`` — a stack-based sort-merge over both sides in document
       order (the Stack-Tree join generalized over any scheme's ancestor
       test), O(|ctx| + |cand| + |out|) per document.  Steps the merge
       cannot handle (order axes, positional predicates) fall back to the
       scan path, so results are always identical.
+    * ``"window"`` — binary-searched pre/post range windows over the
+      store's accelerator columns; every axis, O(|ctx| · log |cand| +
+      |out|), no order-key computation.  Falls back to scan when the
+      store has no window index.
+    * ``"twig"`` — pure structural chains are handed whole to the
+      tree-pattern matcher; anything else falls back to scan.
+    * ``"auto"`` (default) — the cost model picks among the above per
+      step from store statistics and the live context size.
+
+    After each :meth:`evaluate` the chosen route is readable from
+    :attr:`last_plan` (the CLI's ``--explain`` prints it) and counted in
+    the ``planner.pick.<strategy>`` metrics.
     """
 
-    def __init__(self, store: LabelStore, strategy: str = "scan"):
-        if strategy not in ("scan", "merge"):
+    def __init__(self, store: LabelStore, strategy: str = "auto"):
+        if strategy not in _STRATEGIES:
             raise QueryEvaluationError(
-                f"unknown strategy {strategy!r}; choose 'scan' or 'merge'"
+                f"unknown strategy {strategy!r}; choose from {', '.join(_STRATEGIES)}"
             )
         self.store = store
         self.strategy = strategy
+        self.planner = Planner()
+        self.last_plan: Optional[QueryPlan] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -68,10 +91,21 @@ class QueryEngine:
             query = parse_query(query)
         if not query.steps:
             raise QueryEvaluationError("query has no steps")
+        # Normalize once: membership below is per-document, and callers
+        # may hand us a large list (the DataGuide pre-filter does).
+        if doc_ids is not None and not isinstance(doc_ids, (set, frozenset)):
+            doc_ids = set(doc_ids)
+        plan = QueryPlan(strategy=self.strategy)
+        self.last_plan = plan
         with metrics.timed("query.evaluate"):
-            context = self._seed_context(query.steps[0], doc_ids)
-            for step in query.steps[1:]:
-                context = self._apply_step(context, step)
+            context = self._maybe_evaluate_twig(query, doc_ids, plan)
+            if context is None:
+                context = self._seed_context(query.steps[0], doc_ids)
+                for step in query.steps[1:]:
+                    choice = self._choose_step_strategy(step, len(context))
+                    plan.record(choice)
+                    metrics.incr(f"planner.pick.{choice.strategy}")
+                    context = self._apply_step(context, step, choice.strategy)
             metrics.incr("query.evaluations")
             metrics.incr("query.rows_returned", len(context))
         return context
@@ -80,27 +114,158 @@ class QueryEngine:
         """Number of nodes retrieved — the metric of Table 2."""
         return len(self.evaluate(query))
 
+    def explain(self, query: Query | str) -> str:
+        """Evaluate ``query`` and render the route it took (``--explain``)."""
+        self.evaluate(query)
+        assert self.last_plan is not None
+        return self.last_plan.describe()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _choose_step_strategy(self, step: Step, context_size: int) -> StepChoice:
+        """Resolve one step's physical operator under the engine strategy.
+
+        Fixed strategies degrade to ``scan`` where they do not apply
+        (merge on order axes or positions, window without the index), so
+        every strategy answers every query identically.
+        """
+        windows_ok = self.store.windows is not None
+        if self.strategy == "auto" and windows_ok:
+            return self.planner.plan_step(self.store.statistics(), step, context_size)
+        if self.strategy == "merge" and (
+            step.axis in (Axis.CHILD, Axis.DESCENDANT) and step.position is None
+        ):
+            picked = "merge"
+        elif self.strategy == "window" and windows_ok:
+            picked = "window"
+        elif self.strategy == "auto":
+            # No window index: the label strategies are all that is left,
+            # and the planner's estimates still arbitrate scan vs merge.
+            choice = self.planner.plan_step(self.store.statistics(), step, context_size)
+            picked = choice.strategy
+        else:
+            picked = "scan"
+        return StepChoice(
+            axis=step.axis.value,
+            tag=step.tag,
+            strategy=picked,
+            context_size=context_size,
+        )
+
+    def _maybe_evaluate_twig(
+        self,
+        query: Query,
+        doc_ids: "set[int] | None",
+        plan: QueryPlan,
+    ) -> Optional[List[ElementRow]]:
+        """Run the whole-query twig route when chosen; None = step route.
+
+        The twig matcher needs real labeled tree nodes plus each
+        document's scheme, so stores loaded from disk (placeholder nodes,
+        SC-table-only order holders) return None and take the step route.
+        """
+        if not self.planner.twig_eligible(query) or len(query.steps) < 2:
+            return None
+        if self.strategy == "auto":
+            stats = self.store.statistics()
+            if self.planner.twig_cost(stats, query) >= self.planner.chain_cost(
+                stats, query
+            ):
+                return None
+        elif self.strategy != "twig":
+            return None
+        result = self._evaluate_twig(query, doc_ids)
+        if result is not None:
+            plan.twig = "//".join(step.tag for step in query.steps)
+            metrics.incr("planner.pick.twig")
+        return result
+
+    def _evaluate_twig(
+        self, query: Query, doc_ids: "set[int] | None"
+    ) -> Optional[List[ElementRow]]:
+        """One bottom-up tree-pattern pass per document (or None if the
+        store cannot support it)."""
+        from repro.query.twig import TwigNode, TwigPattern, match_twig
+
+        root = TwigNode(tag=query.steps[0].tag, edge="descendant")
+        tail = root
+        for step in query.steps[1:]:
+            tail = tail.add(
+                TwigNode(
+                    tag=step.tag,
+                    edge="child" if step.axis is Axis.CHILD else "descendant",
+                )
+            )
+        pattern = TwigPattern(root=root, output=tail)
+        ordered = self.store.ordered_documents()
+        selected = [
+            doc_id
+            for doc_id in self.store.doc_ids
+            if doc_ids is None or doc_id in doc_ids
+        ]
+        results: List[ElementRow] = []
+        with metrics.timed("query.op.twig"):
+            for doc_id in selected:
+                scheme = getattr(ordered.get(doc_id), "scheme", None)
+                if scheme is None:
+                    return None
+                rows = self.store.rows_in_doc(doc_id)
+                metrics.incr("query.nodes_scanned", len(rows))
+                matched = match_twig(scheme, [row.node for row in rows], pattern)
+                doc_rows = []
+                for node in matched:
+                    row = self.store.row_of(node)
+                    if row is None:
+                        return None  # labels and table disagree; be safe
+                    doc_rows.append(row)
+                results.extend(self._sorted_in_doc_order(doc_rows))
+            metrics.incr("query.nodes_emitted", len(results))
+        return results
+
+    def _sorted_in_doc_order(self, rows: List[ElementRow]) -> List[ElementRow]:
+        """Rows sorted into document order, via pre ranks when available."""
+        windows = self.store.windows
+        if windows is not None:
+            return sorted(rows, key=lambda row: windows.entry_of(row).pre)
+        ops = self.store.ops
+        return sorted(rows, key=ops.order_key)
+
     # ------------------------------------------------------------------
     # Step machinery
     # ------------------------------------------------------------------
 
     def _seed_context(
-        self, step: Step, doc_ids: "list[int] | set[int] | None" = None
+        self, step: Step, doc_ids: "set[int] | None" = None
     ) -> List[ElementRow]:
         if step.axis not in (Axis.CHILD, Axis.DESCENDANT):
             raise QueryEvaluationError(
                 f"a query cannot start with the {step.axis.value} axis"
             )
+        if doc_ids is not None and not isinstance(doc_ids, (set, frozenset)):
+            doc_ids = set(doc_ids)
         ops = self.store.ops
         results: List[ElementRow] = []
         selected = self.store.doc_ids if doc_ids is None else [
             doc_id for doc_id in self.store.doc_ids if doc_id in doc_ids
         ]
+        # The window index's per-tag lists are already in document order;
+        # the label strategies instead pay the scheme's order-key sort
+        # (for prime: the paper's SC-table overhead).
+        use_windows = (
+            self.store.windows is not None and self.strategy in ("window", "auto")
+        )
         with metrics.timed("query.op.seed"):
             for doc_id in selected:
-                candidates = self.store.rows_with_tag(doc_id, step.tag)
-                metrics.incr("query.nodes_scanned", len(candidates))
-                matches = sorted(candidates, key=ops.order_key)
+                if use_windows:
+                    doc = self.store.windows.doc(doc_id)
+                    entries = doc.tag_entries(step.tag) if doc is not None else []
+                    matches = [entry.row for entry in entries]
+                else:
+                    candidates = self.store.rows_with_tag(doc_id, step.tag)
+                    matches = sorted(candidates, key=ops.order_key)
+                metrics.incr("query.nodes_scanned", len(matches))
                 if step.position is not None:
                     matches = (
                         [matches[step.position - 1]] if len(matches) >= step.position else []
@@ -121,13 +286,15 @@ class QueryEngine:
         Axis.PRECEDING_SIBLING,
     )
 
-    def _apply_step(self, context: List[ElementRow], step: Step) -> List[ElementRow]:
-        if (
-            self.strategy == "merge"
-            and step.axis in (Axis.CHILD, Axis.DESCENDANT)
-            and step.position is None
-        ):
+    def _apply_step(
+        self, context: List[ElementRow], step: Step, picked: Optional[str] = None
+    ) -> List[ElementRow]:
+        if picked is None:
+            picked = self._choose_step_strategy(step, len(context)).strategy
+        if picked == "merge":
             return self._apply_structural_merge(context, step)
+        if picked == "window" and self.store.windows is not None:
+            return self._apply_window_step(context, step)
         ops = self.store.ops
         expanded = step.from_descendants and step.axis in self._ORDER_AXES
         predicate = None if expanded else self._axis_predicate(step.axis)
@@ -156,6 +323,156 @@ class QueryEngine:
             collected.sort(key=lambda row: (row.doc_id, ops.order_key(row)))
             metrics.incr("query.nodes_emitted", len(collected))
         return collected
+
+    # ------------------------------------------------------------------
+    # Window strategy: binary-searched pre/post range windows
+    # ------------------------------------------------------------------
+
+    def _apply_window_step(
+        self, context: List[ElementRow], step: Step
+    ) -> List[ElementRow]:
+        """One step through the accelerator columns.
+
+        Each context row's matches come out of a bisected slice of the
+        per-(doc, tag) pre-sorted list — already in document order, so no
+        order keys are ever computed; the final cross-context sort uses
+        the ``(doc_id, pre)`` pair, which realizes the same document
+        order as the schemes' order keys.
+        """
+        windows = self.store.windows
+        assert windows is not None
+        collected: List[ElementRow] = []
+        seen: set[int] = set()
+        with metrics.timed(f"query.op.window.{step.axis.value}"):
+            for context_row in context:
+                doc = windows.doc(context_row.doc_id)
+                if doc is None:
+                    continue
+                entries = self._window_axis_entries(doc, context_row, step)
+                metrics.incr("query.nodes_scanned", len(entries))
+                if step.position is not None:
+                    entries = (
+                        [entries[step.position - 1]]
+                        if len(entries) >= step.position
+                        else []
+                    )
+                matches = [entry.row for entry in entries]
+                # After position, matching the paper's `author[2]/"John"`.
+                if step.text is not None:
+                    matches = [row for row in matches if row.text == step.text]
+                for row in matches:
+                    if row.element_id not in seen:
+                        seen.add(row.element_id)
+                        collected.append(row)
+            collected.sort(
+                key=lambda row: (row.doc_id, windows.entry_of(row).pre)
+            )
+            metrics.incr("query.nodes_emitted", len(collected))
+        return collected
+
+    def _window_axis_entries(
+        self, doc: DocWindow, context_row: ElementRow, step: Step
+    ) -> List[WindowEntry]:
+        """The axis window for one context row, sorted by ``pre``.
+
+        Range bounds per axis (0-based dense pre ranks; ``end`` is the
+        last pre of a subtree):
+
+        * descendant: ``(pre, end]`` of the context;
+        * child: the same window, filtered one level down;
+        * following: suffix from ``end + 1`` (expanded: after the
+          leftmost-spine leaf — "following of any descendant-or-self");
+        * preceding: prefix before ``pre`` minus ancestors (expanded:
+          before ``end`` minus ancestors and the rightmost spine);
+        * siblings: the parent's window, filtered by ``parent_id``
+          (expanded: per-parent extreme pre over the whole subtree);
+        * parent/ancestor: ``parent_id`` chain walks, O(depth).
+        """
+        entry = doc.entry(context_row.element_id)
+        tag_list = doc.tag_entries(step.tag)
+        last_pre = len(doc.by_pre) - 1
+        axis = step.axis
+        expanded = step.from_descendants and axis in self._ORDER_AXES
+
+        if axis is Axis.DESCENDANT:
+            return doc.range_in(tag_list, entry.pre + 1, entry.end)
+        if axis is Axis.CHILD:
+            window = doc.range_in(tag_list, entry.pre + 1, entry.end)
+            return [e for e in window if e.level == entry.level + 1]
+        if axis is Axis.PARENT:
+            if context_row.parent_id is None:
+                return []
+            parent = doc.entry(context_row.parent_id)
+            wanted = step.tag == "*" or parent.row.tag == step.tag
+            return [parent] if wanted else []
+        if axis is Axis.ANCESTOR:
+            chain: List[WindowEntry] = []
+            parent_id = context_row.parent_id
+            while parent_id is not None:
+                ancestor = doc.entry(parent_id)
+                if step.tag == "*" or ancestor.row.tag == step.tag:
+                    chain.append(ancestor)
+                parent_id = ancestor.row.parent_id
+            chain.reverse()  # collected leaf-ward; document order is root-ward
+            return chain
+        if axis is Axis.FOLLOWING:
+            if expanded:
+                spine = entry  # descend first children to the leftmost leaf
+                while spine.size > 1:
+                    spine = doc.by_pre[spine.pre + 1]
+                return doc.range_in(tag_list, spine.pre + 1, last_pre)
+            return doc.range_in(tag_list, entry.pre + entry.size, last_pre)
+        if axis is Axis.PRECEDING:
+            if expanded:
+                prefix = doc.range_in(tag_list, 0, entry.end - 1)
+                return [
+                    e
+                    for e in prefix
+                    # not on the subtree's rightmost spine ...
+                    if not (e.pre >= entry.pre and e.end == entry.end)
+                    # ... and not a proper ancestor of the context
+                    and not (e.pre < entry.pre <= e.end)
+                ]
+            prefix = doc.range_in(tag_list, 0, entry.pre - 1)
+            return [e for e in prefix if e.end < entry.pre]
+        # Sibling axes.
+        if expanded:
+            extreme: Dict[int, int] = {}
+            want_min = axis is Axis.FOLLOWING_SIBLING
+            for member in doc.by_pre[entry.pre : entry.end + 1]:
+                parent_id = member.row.parent_id
+                if parent_id is None:
+                    continue  # a document root has no siblings
+                best = extreme.get(parent_id)
+                if best is None or (
+                    member.pre < best if want_min else member.pre > best
+                ):
+                    extreme[parent_id] = member.pre
+            if context_row.parent_id is not None:
+                parent = doc.entry(context_row.parent_id)
+                lo, hi = parent.pre + 1, parent.end
+            else:
+                lo, hi = entry.pre + 1, entry.end
+            window = doc.range_in(tag_list, lo, hi)
+            if want_min:
+                return [
+                    e
+                    for e in window
+                    if e.row.parent_id in extreme and e.pre > extreme[e.row.parent_id]
+                ]
+            return [
+                e
+                for e in window
+                if e.row.parent_id in extreme and e.pre < extreme[e.row.parent_id]
+            ]
+        if context_row.parent_id is None:
+            return []
+        parent = doc.entry(context_row.parent_id)
+        if axis is Axis.FOLLOWING_SIBLING:
+            window = doc.range_in(tag_list, entry.end + 1, parent.end)
+        else:
+            window = doc.range_in(tag_list, parent.pre + 1, entry.pre - 1)
+        return [e for e in window if e.row.parent_id == context_row.parent_id]
 
     # ------------------------------------------------------------------
     # Merge strategy: stack-based structural join per document

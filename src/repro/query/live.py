@@ -6,10 +6,16 @@ one :class:`~repro.order.document.OrderedDocument` per document, applies
 order-sensitive updates through them (charging the paper's costs), and
 exposes an always-consistent query engine over the prime label store.
 
-The store is rebuilt lazily after mutations (dirty tracking); queries
-between mutations reuse the cached store.  Rebuilding keeps correctness
-trivially — the per-update *cost model* still comes from the ordered
-documents' reports, so experiments are unaffected by the engineering
+Queries between mutations reuse the cached store; single-node inserts and
+subtree deletes *patch* that store (rows, tag buckets, and the pre/post
+window columns of :mod:`repro.query.window`) in place instead of
+invalidating it, so the mutation hot path never pays a full rebuild —
+``live.engine_rebuilds`` stays flat under update load while
+``live.store_patches`` counts the incremental maintenance.  Structural
+wholesale changes (``add_document``, ``compact``) still invalidate, and
+any patching error falls back to invalidation: a rebuild is always
+correct.  The per-update *cost model* comes from the ordered documents'
+reports either way, so experiments are unaffected by the engineering
 choice.
 
 Batched mutations: :meth:`LiveCollection.apply_batch` (and the
@@ -66,8 +72,16 @@ class BatchOp:
             raise QueryEvaluationError(
                 f"unknown batch op kind {self.kind!r}; expected one of {self.KINDS}"
             )
-        if self.kind == "insert_child" and self.index is None:
-            raise QueryEvaluationError("insert_child batch ops need an index")
+        if self.kind == "insert_child":
+            if self.index is None:
+                raise QueryEvaluationError("insert_child batch ops need an index")
+            if self.index < 0:
+                # list.insert would silently clamp this and the op would
+                # land at the wrong position (or die deep in the SC table);
+                # reject at construction, before the batch ever runs.
+                raise QueryEvaluationError(
+                    f"insert_child index {self.index} is negative"
+                )
 
     @classmethod
     def insert_child(cls, parent: XmlElement, index: int, tag: str = "new") -> "BatchOp":
@@ -127,7 +141,7 @@ class LiveCollection:
         self,
         documents: Sequence[XmlElement],
         group_size: int | None = 5,
-        strategy: str = "scan",
+        strategy: str = "auto",
     ):
         if not documents:
             raise QueryEvaluationError("a collection needs at least one document")
@@ -149,7 +163,7 @@ class LiveCollection:
         cls,
         ordered: Sequence[OrderedDocument],
         group_size: int | None = 5,
-        strategy: str = "scan",
+        strategy: str = "auto",
         total_update_cost: int = 0,
     ) -> "LiveCollection":
         """Assemble a collection around existing ordered documents.
@@ -230,8 +244,56 @@ class LiveCollection:
                 doc_id, document.root, document.scheme.label_of, next_id
             )
             rows.extend(doc_rows)
+        # PrimeOps resolves each comparison through the *owning* document's
+        # scheme (they are per-document instances and can diverge after
+        # updates); the first scheme is only the fallback for order holders
+        # without one.
         store = LabelStore(rows, PrimeOps(self._ordered[0].scheme, ordered_by_doc))
         return QueryEngine(store, strategy=self.strategy)
+
+    # ------------------------------------------------------------------
+    # Incremental store maintenance (no rebuild on the mutation hot path)
+    # ------------------------------------------------------------------
+
+    def _patch_insert(self, doc: int, report: OrderedUpdateReport) -> None:
+        """Patch the cached engine's store after one leaf insertion.
+
+        Relabeled rows (residue-overflow cascades) re-read their labels,
+        then the new node gets a fresh row with incrementally maintained
+        window columns.  Any surprise degrades to plain invalidation —
+        the rebuild path is always correct.
+        """
+        engine = self._engine
+        if engine is None:
+            return
+        try:
+            node = report.new_node
+            if node is None:
+                self._invalidate()
+                return
+            scheme = self._ordered[doc].scheme
+            if report.relabeled_nodes:
+                engine.store.refresh_labels(report.relabeled_nodes, scheme.label_of)
+            engine.store.insert_row(doc, node, scheme.label_of(node))
+            metrics.incr("live.store_patches")
+        except Exception:
+            metrics.incr("live.store_patch_failures")
+            self._invalidate()
+
+    def _patch_delete(self, doc: int, node: XmlElement, report: OrderedUpdateReport) -> None:
+        """Patch the cached engine's store after one subtree deletion."""
+        engine = self._engine
+        if engine is None:
+            return
+        try:
+            if report.relabeled_nodes:
+                scheme = self._ordered[doc].scheme
+                engine.store.refresh_labels(report.relabeled_nodes, scheme.label_of)
+            engine.store.delete_subtree(node)
+            metrics.incr("live.store_patches")
+        except Exception:
+            metrics.incr("live.store_patch_failures")
+            self._invalidate()
 
     @property
     def engine(self) -> QueryEngine:
@@ -282,7 +344,7 @@ class LiveCollection:
         with self._capacity_context(doc):
             report = self._ordered[doc].insert_child(parent, index, tag=tag)
         self.total_update_cost += report.total_cost
-        self._invalidate()
+        self._patch_insert(doc, report)
         return report
 
     def insert_before(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
@@ -291,7 +353,7 @@ class LiveCollection:
         with self._capacity_context(doc):
             report = self._ordered[doc].insert_before(reference, tag=tag)
         self.total_update_cost += report.total_cost
-        self._invalidate()
+        self._patch_insert(doc, report)
         return report
 
     def insert_after(self, reference: XmlElement, tag: str = "new") -> OrderedUpdateReport:
@@ -300,7 +362,7 @@ class LiveCollection:
         with self._capacity_context(doc):
             report = self._ordered[doc].insert_after(reference, tag=tag)
         self.total_update_cost += report.total_cost
-        self._invalidate()
+        self._patch_insert(doc, report)
         return report
 
     def delete(self, node: XmlElement) -> OrderedUpdateReport:
@@ -316,7 +378,7 @@ class LiveCollection:
         with self._capacity_context(doc):
             report = self._ordered[doc].delete(node)
         self.total_update_cost += report.total_cost
-        self._invalidate()
+        self._patch_delete(doc, node, report)
         return report
 
     def apply_batch(
@@ -341,7 +403,9 @@ class LiveCollection:
         prefix's costs are charged and every SC table leaves batch mode
         (no system stays deferred); this layer does *not* undo the prefix —
         atomic all-or-nothing batches are the durable layer's contract,
-        which rolls back by reloading the last durable state.
+        which rolls back by reloading the last durable state.  The cached
+        engine is patched per applied op (like the single-op methods) and
+        only invalidated when the batch fails partway.
         """
         ops = list(ops)
         batch = BatchReport()
@@ -359,17 +423,32 @@ class LiveCollection:
                     if before_op is not None:
                         before_op(position, op)
                     with self._capacity_context(doc):
-                        batch.reports.append(self._apply_one(doc, op))
-        finally:
+                        report = self._apply_one(doc, op, position)
+                    batch.reports.append(report)
+                    if op.kind == "delete":
+                        self._patch_delete(doc, op.node, report)
+                    else:
+                        self._patch_insert(doc, report)
+        except BaseException:
             self.total_update_cost += batch.total_cost
             self._invalidate()
+            raise
+        self.total_update_cost += batch.total_cost
         metrics.incr("live.batch_ops", len(ops))
         return batch
 
-    def _apply_one(self, doc: int, op: BatchOp) -> OrderedUpdateReport:
+    def _apply_one(self, doc: int, op: BatchOp, position: int = 0) -> OrderedUpdateReport:
         document = self._ordered[doc]
         if op.kind == "insert_child":
             assert op.index is not None
+            if op.index > len(op.node.children):
+                # list.insert would clamp this to an append and the op
+                # would silently land at the wrong position; name the op
+                # so a failed batch is debuggable.
+                raise QueryEvaluationError(
+                    f"batch op {position}: insert_child index {op.index} is "
+                    f"past the end (parent has {len(op.node.children)} children)"
+                )
             return document.insert_child(op.node, op.index, tag=op.tag)
         if op.kind == "insert_before":
             return document.insert_before(op.node, tag=op.tag)

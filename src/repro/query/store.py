@@ -26,8 +26,8 @@ The scheme-specific comparison logic lives in :class:`StoreOps` objects:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import QueryEvaluationError
 from repro.labeling.base import LabelingScheme
@@ -35,9 +35,16 @@ from repro.labeling.interval import XissIntervalScheme
 from repro.labeling.prefix import Bits, Prefix2Scheme
 from repro.labeling.prime import PrimeScheme
 from repro.order.document import OrderedDocument
+from repro.query.window import WindowIndex
 from repro.xmlkit.tree import XmlElement
 
-__all__ = ["ElementRow", "StoreOps", "LabelStore", "check_prefix"]
+__all__ = [
+    "ElementRow",
+    "StoreOps",
+    "StoreStatistics",
+    "LabelStore",
+    "check_prefix",
+]
 
 
 @dataclass
@@ -103,7 +110,14 @@ class StoreOps:
 
 
 class PrimeOps(StoreOps):
-    """Prime labels: modulo tests plus SC-table order."""
+    """Prime labels: modulo tests plus SC-table order.
+
+    Each document is labeled by its *own* scheme instance (multi-document
+    repository), so comparisons resolve the owning document's scheme per
+    call rather than trusting one shared instance whose configuration may
+    have diverged after updates.  ``scheme`` remains as the fallback for
+    stores loaded from disk, whose order holders carry only an SC table.
+    """
 
     name = "prime"
 
@@ -116,8 +130,19 @@ class PrimeOps(StoreOps):
         """The per-doc ordered documents backing the SC order lookups."""
         return dict(self._ordered)
 
+    def scheme_for(self, doc_id: int) -> PrimeScheme:
+        """The scheme that labeled ``doc_id``'s rows (fallback: shared)."""
+        document = self._ordered.get(doc_id)
+        scheme = getattr(document, "scheme", None) if document is not None else None
+        return scheme if scheme is not None else self._scheme
+
     def is_ancestor(self, ancestor: ElementRow, descendant: ElementRow) -> bool:
-        return self._scheme.is_ancestor_label(ancestor.label, descendant.label)
+        # Resolve through the descendant's document: the engine only ever
+        # compares rows of the same document, and the descendant row is the
+        # one whose leaf/internal encoding the test inspects.
+        return self.scheme_for(descendant.doc_id).is_ancestor_label(
+            ancestor.label, descendant.label
+        )
 
     def is_parent(self, parent: ElementRow, child: ElementRow) -> bool:
         # the root's parent-label equals its own label (both 1); identity
@@ -182,6 +207,35 @@ class PrefixOps(StoreOps):
         return str(row.label)
 
 
+@dataclass(frozen=True)
+class StoreStatistics:
+    """Summary statistics the cost-based planner reads off the store.
+
+    Kept deliberately coarse — counts a DBMS catalog would maintain
+    anyway — so the planner's estimates stay cheap to refresh after
+    mutations (the store recomputes them lazily on first use).
+    """
+
+    doc_count: int
+    row_count: int
+    tag_totals: Mapping[str, int] = field(default_factory=dict)
+    has_windows: bool = False
+    ops_name: str = ""  # the StoreOps flavor (order-key cost differs)
+
+    def candidates_per_doc(self, tag: str) -> float:
+        """Average per-document candidate count for one tag test."""
+        docs = max(1, self.doc_count)
+        if tag == "*":
+            return self.row_count / docs
+        return self.tag_totals.get(tag, 0) / docs
+
+    def total_candidates(self, tag: str) -> int:
+        """Collection-wide candidate count for one tag test."""
+        if tag == "*":
+            return self.row_count
+        return self.tag_totals.get(tag, 0)
+
+
 class LabelStore:
     """The in-memory element table for a document collection."""
 
@@ -191,12 +245,22 @@ class LabelStore:
         self._by_doc_tag: Dict[Tuple[int, str], List[ElementRow]] = {}
         self._by_doc: Dict[int, List[ElementRow]] = {}
         self._doc_ids: List[int] = []
+        self._row_by_id: Dict[int, ElementRow] = {}
+        self._row_by_node: Dict[int, ElementRow] = {}
         for row in rows:
             self._by_doc_tag.setdefault((row.doc_id, row.tag), []).append(row)
             if row.doc_id not in self._by_doc:
                 self._by_doc[row.doc_id] = []
                 self._doc_ids.append(row.doc_id)
             self._by_doc[row.doc_id].append(row)
+            self._row_by_id[row.element_id] = row
+            self._row_by_node[id(row.node)] = row
+        self._next_id = max(self._row_by_id, default=-1) + 1
+        # The accelerator columns; None when the row stream is not a clean
+        # preorder (hand-assembled stores) — the engine then falls back to
+        # label comparisons.
+        self.windows: Optional[WindowIndex] = WindowIndex.build(rows)
+        self._statistics: Optional[StoreStatistics] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -316,6 +380,128 @@ class LabelStore:
         if isinstance(self.ops, PrimeOps):
             return self.ops.ordered_documents
         return {}
+
+    def row_of(self, node: XmlElement) -> Optional[ElementRow]:
+        """The row backing one tree node (None if the node is unknown)."""
+        return self._row_by_node.get(id(node))
+
+    def statistics(self) -> StoreStatistics:
+        """Planner statistics, recomputed lazily after mutations."""
+        if self._statistics is None:
+            tag_totals: Dict[str, int] = {}
+            for (_, tag), bucket in self._by_doc_tag.items():
+                tag_totals[tag] = tag_totals.get(tag, 0) + len(bucket)
+            self._statistics = StoreStatistics(
+                doc_count=len(self._doc_ids),
+                row_count=len(self.rows),
+                tag_totals=tag_totals,
+                has_windows=self.windows is not None,
+                ops_name=self.ops.name,
+            )
+        return self._statistics
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (called by the live layer — rule R11)
+    # ------------------------------------------------------------------
+
+    def insert_row(self, doc_id: int, node: XmlElement, label: Any) -> ElementRow:
+        """Register one freshly inserted *leaf* element.
+
+        The node must already be attached to its (indexed) parent; its row
+        is appended to the table and the window columns are patched
+        incrementally — no rebuild.
+        """
+        parent = node.parent
+        if parent is None:
+            raise QueryEvaluationError("cannot insert a detached root into the store")
+        parent_row = self._row_by_node.get(id(parent))
+        if parent_row is None:
+            raise QueryEvaluationError("insert parent is not part of this store")
+        element_id = self._next_id
+        self._next_id += 1
+        row = ElementRow(
+            doc_id=doc_id,
+            element_id=element_id,
+            tag=node.tag,
+            label=label,
+            depth=parent_row.depth + 1,
+            parent_id=parent_row.element_id,
+            node=node,
+            text=node.text,
+        )
+        self.rows.append(row)
+        self._by_doc_tag.setdefault((doc_id, row.tag), []).append(row)
+        self._by_doc.setdefault(doc_id, []).append(row)
+        if doc_id not in self._doc_ids:
+            self._doc_ids.append(doc_id)
+        self._row_by_id[element_id] = row
+        self._row_by_node[id(node)] = row
+        if self.windows is not None:
+            index = node.child_index
+            previous = parent.children[index - 1] if index > 0 else None
+            previous_row = (
+                self._row_by_node.get(id(previous)) if previous is not None else None
+            )
+            self.windows.apply_insert(row, parent_row, previous_row)
+        self._statistics = None
+        return row
+
+    def delete_subtree(self, node: XmlElement) -> List[ElementRow]:
+        """Drop ``node`` and its whole subtree from the table and indexes.
+
+        Works on the already-detached subtree (detached trees stay
+        iterable); returns the removed rows in document order.
+        """
+        row = self._row_by_node.get(id(node))
+        if row is None:
+            raise QueryEvaluationError("deleted node is not part of this store")
+        if self.windows is not None:
+            removed = [entry.row for entry in self.windows.apply_delete(row)]
+        else:
+            removed = []
+            for descendant in node.iter_preorder():
+                gone = self._row_by_node.get(id(descendant))
+                if gone is not None:
+                    removed.append(gone)
+        removed_ids = {gone.element_id for gone in removed}
+        for gone in removed:
+            del self._row_by_id[gone.element_id]
+            del self._row_by_node[id(gone.node)]
+        self.rows = [r for r in self.rows if r.element_id not in removed_ids]
+        doc_id = row.doc_id
+        self._by_doc[doc_id] = [
+            r for r in self._by_doc.get(doc_id, []) if r.element_id not in removed_ids
+        ]
+        for tag in {gone.tag for gone in removed}:
+            key = (doc_id, tag)
+            bucket = [
+                r for r in self._by_doc_tag.get(key, ())
+                if r.element_id not in removed_ids
+            ]
+            if bucket:
+                self._by_doc_tag[key] = bucket
+            else:
+                self._by_doc_tag.pop(key, None)
+        self._statistics = None
+        return removed
+
+    def refresh_labels(
+        self, nodes: Sequence[XmlElement], label_of: Callable[[XmlElement], Any]
+    ) -> int:
+        """Re-read the labels of ``nodes`` after a relabeling cascade.
+
+        Returns how many rows were refreshed; nodes the store does not
+        know (e.g. already deleted) are skipped.
+        """
+        refreshed = 0
+        for node in nodes:
+            target = self._row_by_node.get(id(node))
+            if target is not None:
+                # The row's label *column* mirrors the scheme's label; the
+                # scheme already relabeled the node through its own API.
+                target.label = label_of(node)  # repro: ignore[R1] -- table column refresh, not a tree relabel
+                refreshed += 1
+        return refreshed
 
     def __len__(self) -> int:
         return len(self.rows)

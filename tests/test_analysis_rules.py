@@ -1,4 +1,4 @@
-"""Fixture tests for rules R1–R10: each must trigger and suppress.
+"""Fixture tests for rules R1–R11: each must trigger and suppress.
 
 Every fixture is an in-memory snippet linted under a *virtual* repo path
 (rules decide applicability from the path), with a ``{S}`` placeholder
@@ -107,6 +107,23 @@ TRIGGERS = [
         "src/repro/resilient/bad.py",
         "def persist(handle):\n    handle.flush(){S}\n",
     ),
+    (
+        "R11",
+        "src/repro/bench/bad.py",
+        "from repro.query.window import WindowIndex{S}\n",
+    ),
+    (
+        "R11",
+        "src/repro/bench/bad2.py",
+        "def sneak(self, row):\n"
+        "    self.windows.apply_insert(row, None, None){S}\n",
+    ),
+    (
+        "R11",
+        "src/repro/resilient/bad.py",
+        "def sneak(self, doc, node, label):\n"
+        "    self.engine.store.insert_row(doc, node, label){S}\n",
+    ),
 ]
 
 IDS = [f"{rule}-{path.rsplit('/', 2)[-2]}" for rule, path, _ in TRIGGERS]
@@ -194,6 +211,21 @@ CLEAN = [
         "import os\n\ndef ok(handle):\n    handle.flush()\n"
         "    os.fsync(handle.fileno())\n",
     ),
+    # R11: the store owns the WindowIndex; live owns the patch hooks; the
+    # engine may import the entry types it binary-searches.
+    (
+        "src/repro/query/store.py",
+        "def ok(self, row, parent, prev):\n"
+        "    self.windows.apply_insert(row, parent, prev)\n",
+    ),
+    (
+        "src/repro/query/live.py",
+        "def ok(self, doc, node, label):\n"
+        "    self.engine.store.insert_row(doc, node, label)\n",
+    ),
+    ("src/repro/query/engine.py", "from repro.query.window import WindowEntry\n"),
+    # R11 matches store-ish receivers only: an unrelated table is fine.
+    ("src/repro/resilient/good2.py", "def ok(self, row):\n    self.table.insert_row(row)\n"),
 ]
 
 

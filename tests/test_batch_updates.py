@@ -348,11 +348,11 @@ def test_failed_batch_rolls_back_and_addressed_retry_applies_once(tmp_path):
     boom = {"armed": True}
     original = LiveCollection._apply_one
 
-    def flaky_apply(self, doc, op):
+    def flaky_apply(self, doc, op, position=0):
         if boom["armed"] and op.tag == "b2":  # fail after a real prefix
             boom["armed"] = False
             raise OSError("injected mid-batch failure")
-        return original(self, doc, op)
+        return original(self, doc, op, position)
 
     LiveCollection._apply_one = flaky_apply
     try:

@@ -65,8 +65,11 @@ class TestUpdates:
         first = collection.engine
         collection.count("/book/title")
         assert collection.engine is first
+        # Inserts patch the cached engine in place — no rebuild, and the
+        # new node is immediately visible.
         collection.insert_child(collection.documents[1], 0, tag="isbn")
-        assert collection.engine is not first
+        assert collection.engine is first
+        assert collection.count("/book/isbn") == 1
 
     def test_compact_preserves_results(self, collection):
         play = collection.documents[0]
@@ -151,8 +154,8 @@ class TestAddDocumentValidation:
         assert collection.check()
 
 
-class TestEngineCacheInvalidation:
-    """Every mutation kind must drop the cached engine (satellite 4)."""
+class TestEngineCacheMaintenance:
+    """Node mutations patch the cached engine; wholesale changes rebuild."""
 
     def mutate_insert_child(self, collection):
         collection.insert_child(collection.documents[0], 0)
@@ -174,20 +177,28 @@ class TestEngineCacheInvalidation:
 
     @pytest.mark.parametrize(
         "mutation",
-        [
-            "insert_child",
-            "insert_before",
-            "insert_after",
-            "delete",
-            "add_document",
-            "compact",
-        ],
+        ["insert_child", "insert_before", "insert_after", "delete"],
     )
-    def test_mutation_invalidates_cached_engine(self, collection, mutation):
+    def test_node_mutations_patch_in_place(self, collection, mutation):
+        from repro.obs import metrics
+
+        cached = collection.engine
+        with metrics.collecting() as collected:
+            getattr(self, f"mutate_{mutation}")(collection)
+        # no rebuild on the mutation hot path ...
+        assert collection.engine is cached
+        assert collected.counter_value("live.engine_rebuilds") == 0
+        assert collected.counter_value("live.store_patches") == 1
+        # ... and the patched engine answers correctly
+        assert collection.count("//*") == sum(
+            root.stats().node_count for root in collection.documents
+        )
+
+    @pytest.mark.parametrize("mutation", ["add_document", "compact"])
+    def test_wholesale_mutations_invalidate(self, collection, mutation):
         cached = collection.engine
         getattr(self, f"mutate_{mutation}")(collection)
         assert collection.engine is not cached
-        # and the rebuilt engine answers correctly
         assert collection.count("//*") == sum(
             root.stats().node_count for root in collection.documents
         )

@@ -1,0 +1,178 @@
+"""Unit tests for the cost-based step planner over synthetic statistics.
+
+The planner is pure arithmetic over a :class:`StoreStatistics` snapshot,
+so every decision boundary can be pinned with hand-built statistics —
+no corpus, no timing.  The engine-facing surface (``--explain`` text,
+``planner.pick.*`` metrics, plan recording) is covered at the bottom.
+"""
+
+import pytest
+
+from repro.obs import metrics
+from repro.query.ast import Axis, Query, Step
+from repro.query.engine import QueryEngine
+from repro.query.planner import Planner, QueryPlan, StepChoice
+from repro.query.store import LabelStore, StoreStatistics
+from repro.query.xpath import parse_query
+from repro.xmlkit.parser import parse_document
+
+
+def stats(
+    doc_count=10,
+    row_count=10_000,
+    tag_totals=None,
+    has_windows=True,
+    ops_name="interval",
+):
+    return StoreStatistics(
+        doc_count=doc_count,
+        row_count=row_count,
+        tag_totals=dict(tag_totals or {"line": 5_000, "act": 50}),
+        has_windows=has_windows,
+        ops_name=ops_name,
+    )
+
+
+class TestStepChoices:
+    def setup_method(self):
+        self.planner = Planner()
+
+    def test_window_wins_on_heavy_descendant_steps(self):
+        # Small context, huge candidate bucket: log-probe windows crush
+        # the O(|ctx| x |cand|) scan and the sort-everything merge.
+        step = Step(axis=Axis.DESCENDANT, tag="line")
+        choice = self.planner.plan_step(stats(), step, context_size=5)
+        assert choice.strategy == "window"
+        assert choice.costs["window"] < choice.costs["scan"]
+        assert choice.costs["window"] < choice.costs["merge"]
+
+    def test_scan_wins_without_windows_on_tiny_contexts(self):
+        step = Step(axis=Axis.DESCENDANT, tag="act")
+        choice = self.planner.plan_step(
+            stats(has_windows=False), step, context_size=1
+        )
+        assert choice.strategy == "scan"
+        assert "window" not in choice.costs
+
+    def test_merge_wins_on_large_contexts_without_windows(self):
+        # |ctx| x |cand| scan cost explodes; merge stays linear.
+        step = Step(axis=Axis.DESCENDANT, tag="line")
+        choice = self.planner.plan_step(
+            stats(has_windows=False), step, context_size=4_000
+        )
+        assert choice.strategy == "merge"
+
+    def test_merge_never_priced_for_order_axes_or_positions(self):
+        for step in (
+            Step(axis=Axis.FOLLOWING, tag="line"),
+            Step(axis=Axis.PARENT, tag="act"),
+            Step(axis=Axis.DESCENDANT, tag="line", position=2),
+        ):
+            costs = self.planner.step_costs(stats(), step, context_size=100)
+            assert "merge" not in costs, step
+
+    def test_prime_order_key_penalty_steers_away_from_merge(self):
+        # Same shape, but prime-scheme order keys cost an SC lookup:
+        # merge (which sorts both sides) loses ground against windows.
+        step = Step(axis=Axis.DESCENDANT, tag="line")
+        plain = self.planner.step_costs(stats(), step, 200)
+        prime = self.planner.step_costs(stats(ops_name="prime"), step, 200)
+        assert prime["merge"] > plain["merge"]
+        assert prime["window"] == plain["window"]  # windows skip order keys
+
+    def test_context_size_changes_the_pick(self):
+        # The planner runs per step at evaluation time: a selective early
+        # step should flip later steps toward window probes.
+        step = Step(axis=Axis.CHILD, tag="line")
+        small = self.planner.plan_step(stats(), step, context_size=2)
+        large = self.planner.plan_step(stats(has_windows=False), step, 5_000)
+        assert small.strategy == "window"
+        assert large.strategy == "merge"
+
+
+class TestTwigRoute:
+    def setup_method(self):
+        self.planner = Planner()
+
+    def test_eligibility(self):
+        assert Planner.twig_eligible(parse_query("/a//b/c"))
+        assert not Planner.twig_eligible(parse_query("/a//b[2]"))
+        assert not Planner.twig_eligible(parse_query("/a//b[.='x']"))
+        assert not Planner.twig_eligible(parse_query("/a/Following::b"))
+        assert not Planner.twig_eligible(parse_query("/a/Parent::b"))
+
+    def test_twig_cheaper_than_chain_on_long_selective_chains(self):
+        # Prime-scheme order keys make every per-step sort expensive;
+        # the one-pass twig semi-join never touches them.
+        snapshot = stats(
+            row_count=100_000,
+            tag_totals={"a": 40_000, "b": 40_000, "c": 40_000},
+            has_windows=False,
+            ops_name="prime",
+        )
+        query = parse_query("/a//b//c")
+        assert self.planner.twig_cost(snapshot, query) < self.planner.chain_cost(
+            snapshot, query
+        )
+
+    def test_chain_cheaper_on_short_queries(self):
+        snapshot = stats()
+        query = parse_query("/act//line")
+        assert self.planner.chain_cost(snapshot, query) < self.planner.twig_cost(
+            snapshot, query
+        )
+
+
+class TestPlanSurface:
+    DOC = "<play><act><line/><line/></act><act><line/></act></play>"
+
+    def make(self, strategy="auto"):
+        store = LabelStore.build([parse_document(self.DOC)], scheme="interval")
+        return QueryEngine(store, strategy=strategy)
+
+    def test_describe_lists_every_priced_alternative(self):
+        choice = StepChoice(
+            axis="descendant",
+            tag="line",
+            strategy="window",
+            context_size=3,
+            costs={"scan": 18.0, "window": 4.0, "merge": 28.0},
+        )
+        text = choice.describe()
+        assert text.startswith("descendant::line -> window (")
+        assert "merge=28" in text and "scan=18" in text and "window=4" in text
+
+    def test_engine_records_plan_and_metrics(self):
+        engine = self.make()
+        with metrics.collecting() as collected:
+            engine.evaluate("/play/act/line")
+        plan = engine.last_plan
+        assert plan is not None and plan.strategy == "auto"
+        assert plan.twig is None or len(plan.steps) == 0
+        picks = sum(
+            collected.counter_value(f"planner.pick.{name}")
+            for name in ("scan", "merge", "window", "twig")
+        )
+        assert picks >= 1
+
+    def test_explain_output_shape(self):
+        engine = self.make()
+        text = engine.explain("/play//line[.='missing']")
+        assert text.splitlines()[0] == "strategy: auto"
+        assert "step 0:" in text
+
+    def test_fixed_strategy_plans_record_their_degradations(self):
+        # A merge engine on an order axis must report the scan fallback.
+        engine = self.make(strategy="merge")
+        engine.evaluate("/act/Following::line")
+        assert [c.strategy for c in engine.last_plan.steps] == ["scan"]
+
+    def test_statistics_snapshot_matches_store(self):
+        engine = self.make()
+        snapshot = engine.store.statistics()
+        assert snapshot.doc_count == 1
+        assert snapshot.row_count == 6
+        assert snapshot.tag_totals["line"] == 3
+        assert snapshot.has_windows
+        assert snapshot.candidates_per_doc("line") == pytest.approx(3.0)
+        assert snapshot.total_candidates("nothing") == 0
