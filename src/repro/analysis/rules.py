@@ -1,4 +1,4 @@
-"""The project-specific invariant rules R1–R11.
+"""The project-specific invariant rules R1–R12.
 
 Each rule machine-checks one update-protocol discipline the paper's
 guarantees rest on (Property 3 ancestor test, CRT-based SC ordering) or
@@ -302,7 +302,7 @@ class SwallowedExceptionRule(Rule):
         "metric, or flag a report."
     )
 
-    _SCOPES = ("durable", "resilient")
+    _SCOPES = ("durable", "resilient", "replica")
     _SIGNAL_CALLS = re.compile(
         r"(^|\.)(incr|gauge|timed|flag|warning|error|exception|critical)$"
     )
@@ -645,3 +645,53 @@ class WindowMaintenanceRule(Rule):
                         "repro.query.{store,live}; mutate through "
                         "LiveCollection so columns stay consistent",
                     )
+
+
+@register
+class ThreadingContainmentRule(Rule):
+    """R12 — threading primitives stay in the replication layer."""
+
+    id = "R12"
+    title = "threading primitives outside the replication layer"
+    severity = Severity.ERROR
+    rationale = (
+        "The concurrency story is single-writer / many-readers over "
+        "immutable published versions: repro.replica owns every thread "
+        "(tailers, ship servers, reader pools) and repro.query.live owns "
+        "the one publication lock.  A thread or lock anywhere else would "
+        "create a second, unreviewed synchronization discipline — and the "
+        "paper-core layers must stay deterministic and thread-free."
+    )
+
+    _ALLOWED_PACKAGES = ("replica",)
+    _ALLOWED_MODULES = ("repro.query.live",)
+    _BANNED_ROOTS = {"threading", "_thread", "multiprocessing", "concurrent"}
+
+    def _offending(self, module: str) -> Optional[str]:
+        root = module.split(".")[0]
+        return module if root in self._BANNED_ROOTS else None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package(*self._ALLOWED_PACKAGES) or ctx.is_module(
+            *self._ALLOWED_MODULES
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            offenders: List[str] = []
+            if isinstance(node, ast.Import):
+                offenders = [
+                    alias.name
+                    for alias in node.names
+                    if self._offending(alias.name) is not None
+                ]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if self._offending(node.module) is not None:
+                    offenders = [node.module]
+            for offender in offenders:
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"import of {offender} outside repro.replica / "
+                    "repro.query.live; threads and locks are confined to "
+                    "the replication layer (single-writer MVCC discipline)",
+                )

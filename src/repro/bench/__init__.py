@@ -11,6 +11,7 @@ from repro.bench.durability import durability_table
 from repro.bench.harness import ResultTable
 from repro.bench.models import figure3_table, figure4_table, figure5_table
 from repro.bench.planner import planner_table
+from repro.bench.replication import replication_table
 from repro.bench.resilience import resilience_table
 from repro.bench.response import figure15_table, table2_table
 from repro.bench.spaces import figure13_table, figure14_table, table1_table
@@ -21,6 +22,7 @@ __all__ = [
     "ResultTable",
     "durability_table",
     "planner_table",
+    "replication_table",
     "resilience_table",
     "throughput_table",
     "figure3_table",

@@ -1,0 +1,174 @@
+"""Replication exhibit: lag, follower-read staleness, read throughput.
+
+Not a paper figure — the paper stops at single-process labeling — but the
+natural systems question once the store ships its WAL: what do follower
+reads cost, and how stale are they?  The workload runs a primary
+:class:`~repro.durable.collection.DurableCollection` through a randomized
+mutation stream (Figure 18-style order-sensitive insertions, deletions,
+and group-commit batches) while a :class:`~repro.replica.ReplicaCollection`
+tails the log on a :class:`~repro.replica.TailerThread` and a
+:class:`~repro.replica.ReaderPool` of N threads hammers the replica's
+published MVCC views with the paper's nine Table 2 queries.
+
+Per reader count the table reports:
+
+* aggregate follower reads and reads/sec (the MVCC payoff: readers never
+  block the tail, so throughput should scale with the pool),
+* follower-read staleness (primary seq minus the view's applied seq) at
+  its max and mean, sampled per read,
+* replication lag in records, sampled primary-side during the stream,
+* whether the replica converged byte-identical to the primary
+  (:func:`~repro.durable.snapshot.collection_fingerprint`) with a clean
+  view audit — a throughput number for a wrong answer is not a data point.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from random import Random
+from typing import Optional, Sequence
+
+from repro.bench.harness import ResultTable
+from repro.bench.response import PAPER_QUERIES
+
+__all__ = ["replication_table"]
+
+#: Reader-pool sizes reported by the exhibit.
+READER_COUNTS = (1, 2, 4)
+
+
+def replication_table(
+    operations: int = 200,
+    reader_counts: Sequence[int] = READER_COUNTS,
+    node_budget: int = 700,
+    batch_every: int = 10,
+    seed: int = 23,
+    fsync: str = "never",
+) -> ResultTable:
+    """Measure replication lag and follower-read throughput.
+
+    Each row is an independent run: a fresh primary, a replica tailing it
+    from bootstrap, and ``readers`` threads reading published views while
+    ``operations`` randomized mutations (every ``batch_every``-th op a
+    group-commit batch) land on the primary.  ``fsync`` defaults to
+    ``"never"`` so the exhibit measures replication, not the disk.
+    """
+    # Lazy imports: repro.durable reaches back into repro.obs.audit, the
+    # same init-order concern as the durability/resilience exhibits.
+    from repro.datasets.shakespeare import play
+    from repro.durable import DurableCollection, collection_fingerprint
+    from repro.query.live import BatchOp
+    from repro.replica import ReaderPool, ReplicaCollection, TailerThread
+
+    queries = [text for _, text in PAPER_QUERIES]
+
+    def mutate(collection: DurableCollection, rng: Random, step: int) -> None:
+        """One randomized primary mutation (single op or a small batch)."""
+        root = collection.documents[0]
+        position = rng.randrange(max(1, len(root.children)))
+        if batch_every and step % batch_every == batch_every - 1:
+            collection.bulk_insert(
+                [(root, position, "SPEECH")] * rng.randint(2, 5)
+            )
+            return
+        roll = rng.random()
+        if roll < 0.15 and len(root.children) > 3:
+            victim = root.children[rng.randrange(len(root.children))]
+            if victim.tag in ("SPEECH", "churn"):
+                collection.delete(victim)
+                return
+        collection.insert_child(root, position, tag="SPEECH")
+
+    def run(readers: int):
+        """One full primary/replica/readers run for one pool size."""
+        workdir = Path(tempfile.mkdtemp(prefix="repro-replication-"))
+        try:
+            primary = DurableCollection.create(
+                workdir / "col",
+                [play(seed=seed, acts=3, node_budget=node_budget)],
+                fsync=fsync,
+            )
+            replica = ReplicaCollection(workdir / "col")
+            tailer = TailerThread(replica).start()
+            pool = ReaderPool(
+                replica.live.latest_view,
+                queries,
+                threads=readers,
+                current_seq=lambda: primary.last_seq,
+            ).start()
+            rng = Random(seed)
+            lag_samples = []
+            started = time.perf_counter()
+            for step in range(operations):
+                mutate(primary, rng, step)
+                lag_samples.append(max(0, primary.last_seq - replica.applied_seq))
+            stream_elapsed = time.perf_counter() - started
+            # Let the replica drain, then stop the harnesses (stop() re-raises
+            # any error a thread captured).
+            deadline = time.monotonic() + 30.0
+            while (
+                replica.applied_seq < primary.last_seq
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            report = pool.stop()
+            tailer.stop()
+            view = replica.read_view()
+            identical = collection_fingerprint(
+                replica.live
+            ) == collection_fingerprint(primary.live)
+            audit_ok = view.audit() == []
+            converged = replica.applied_seq == primary.last_seq
+            primary.close()
+            replica.close()
+            return {
+                "report": report,
+                "lag_samples": lag_samples,
+                "stream_elapsed": stream_elapsed,
+                "identical": identical,
+                "audit_ok": audit_ok,
+                "converged": converged,
+                "resyncs": replica.resyncs,
+            }
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    table = ResultTable(
+        title=(
+            f"Replication: {operations} mixed mutations (batch every "
+            f"{batch_every}th) vs follower reads of the Table 2 queries"
+        ),
+        columns=[
+            "readers", "reads", "reads/sec", "stale max", "stale mean",
+            "lag max", "lag mean", "converged", "identical", "audit",
+        ],
+        note=(
+            "staleness = primary seq minus the read view's applied seq, "
+            "sampled per read; lag sampled primary-side per mutation; "
+            "'identical' fingerprints the converged replica against the "
+            "primary."
+        ),
+    )
+    for readers in reader_counts:
+        outcome = run(readers)
+        report = outcome["report"]
+        lag_samples = outcome["lag_samples"]
+        lag_mean = (
+            sum(lag_samples) / len(lag_samples) if lag_samples else 0.0
+        )
+        table.add_row(
+            readers,
+            report.reads,
+            round(report.reads_per_second, 1),
+            report.max_staleness,
+            round(report.mean_staleness, 2),
+            max(lag_samples, default=0),
+            round(lag_mean, 2),
+            "yes" if outcome["converged"] else "NO",
+            "yes" if outcome["identical"] else "NO",
+            "clean" if outcome["audit_ok"] and not report.errors else "VIOLATED",
+        )
+    return table

@@ -12,14 +12,18 @@ Usage (also via ``python -m repro``)::
     python -m repro load state/ --query '//act'
     python -m repro recover state/
     python -m repro health state/ [--json]
+    python -m repro serve state/ [--host H --port P] [--duration S]
+    python -m repro replicate state/ [--connect H:P] [--state rep.json]
+    python -m repro lag state/ [--state rep.json] [--json] [--max-bytes N]
     python -m repro lint [paths ...] [--format text|json|sarif]
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
 fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
 their corpora on demand), plus the systems exhibits ``durability``,
 ``resilience``, ``throughput`` (sequential vs batched update pipeline)
-and ``planner`` (fixed strategies vs the cost-based pick on the Table 2
-workload); ``--csv``/``--json`` export any of them.
+``planner`` (fixed strategies vs the cost-based pick on the Table 2
+workload) and ``replication`` (lag + follower-read staleness/throughput
+vs reader count); ``--csv``/``--json`` export any of them.
 
 ``query`` evaluates with the cost-based planner by default;
 ``--strategy`` pins one of scan/merge/window/twig and ``--explain``
@@ -50,17 +54,30 @@ collection.  Both honour the ``REPRO_CHAOS`` environment variable
 :meth:`repro.resilient.ChaosInjector.from_spec`), which arms transient
 fault injection on the write path — how CI soaks the CLI round trip.
 
+``serve``/``replicate``/``lag`` drive the replication subsystem
+(:mod:`repro.replica`): ``serve`` runs a WAL shipping endpoint over a
+collection directory, ``replicate`` bootstraps a replica from the
+latest snapshot and tails the log to convergence (``--connect`` ships
+over TCP instead of the filesystem; ``--state`` records the replica's
+position for a later ``lag``), and ``lag`` reports applied-LSN,
+primary-LSN and byte lag as text or JSON — ``--max-bytes`` turns it
+into a monitoring check that exits 5 when the replica is too far
+behind.  See ``docs/REPLICATION.md``.
+
 ``lint`` runs the :mod:`repro.analysis` invariant linter (rules
-R1–R11: label-write discipline, layering, determinism, fsync
-containment, ...) over the tree, honouring inline suppressions and the
-committed ``analysis-baseline.json``; ``--format sarif`` is what CI's
-``lint-invariants`` job archives.  See ``docs/ANALYSIS.md``.
+R1–R12: label-write discipline, layering, determinism, fsync and
+threading containment, ...) over the tree, honouring inline
+suppressions and the committed ``analysis-baseline.json``; ``--format
+sarif`` is what CI's ``lint-invariants`` job archives.  See
+``docs/ANALYSIS.md``.
 
 Exit codes are part of the contract: 0 success, 1 any other library
 error (:class:`repro.errors.ReproError`), 2 missing file, 3 malformed
 XML (:class:`repro.errors.XmlSyntaxError`), 4 durability failure
 (:class:`repro.errors.DurabilityError` — corrupt WAL/snapshot,
-unrecoverable directory, ...).
+unrecoverable directory, ...), 5 replication failure
+(:class:`repro.errors.ReplicationError` — broken stream, failed
+re-bootstrap, or a ``lag --max-bytes`` bound exceeded).
 """
 
 from __future__ import annotations
@@ -70,7 +87,12 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import DurabilityError, ReproError, XmlSyntaxError
+from repro.errors import (
+    DurabilityError,
+    ReplicationError,
+    ReproError,
+    XmlSyntaxError,
+)
 from repro.labeling.base import LabelingScheme
 from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
@@ -293,6 +315,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "durability": bench.durability_table,
         "resilience": bench.resilience_table,
         "throughput": bench.throughput_table,
+        "replication": bench.replication_table,
     }
     builder = exhibits.get(args.exhibit)
     if builder is None:
@@ -414,6 +437,148 @@ def cmd_health(args: argparse.Namespace) -> int:
     return 0 if ordered_ok and report["state"] == "ok" else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a WAL shipping endpoint over a durable collection directory."""
+    import time
+
+    from repro.durable.recovery import WAL_NAME
+    from repro.replica import WalShipServer
+
+    wal_path = os.path.join(args.dir, WAL_NAME)
+    if not os.path.isdir(args.dir):
+        raise FileNotFoundError(f"no such collection directory: {args.dir}")
+    server = WalShipServer(wal_path, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"shipping {wal_path} on {host}:{port}")
+    try:
+        if args.duration > 0:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("ship server stopped")
+    return 0
+
+
+def _replica_transport(args: argparse.Namespace):
+    """Build the transport ``replicate`` was asked for (file or socket)."""
+    if not args.connect:
+        return None  # ReplicaCollection defaults to FileTransport
+    from repro.replica import SocketTransport
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReplicationError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    return SocketTransport(host, int(port))
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """Bootstrap a replica and tail the primary's WAL to convergence."""
+    import json
+
+    from repro.replica import ReplicaCollection
+
+    with metrics.collecting() as registry:
+        replica = ReplicaCollection(args.dir, transport=_replica_transport(args))
+        applied = replica.catch_up()
+        lag = replica.lag()
+        rows = replica.query(args.query) if args.query else None
+        replica.close()
+        snapshot = registry.snapshot()
+    print(
+        f"replica of {args.dir}: bootstrapped at seq "
+        f"{replica.applied_seq - applied}, applied {applied} record(s), "
+        f"now at seq {replica.applied_seq}"
+        + (f", {replica.resyncs} resync(s)" if replica.resyncs else "")
+    )
+    if rows is not None:
+        for row in rows:
+            print(f"doc {row.doc_id}: {row.node.path()}")
+        print(f"-- {len(rows)} node(s) retrieved from the published view")
+    if args.state:
+        state = {
+            "applied_seq": replica.applied_seq,
+            "offset": replica.tailer.offset,
+            "resyncs": replica.resyncs,
+        }
+        with open(args.state, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=2, sort_keys=True)
+        print(f"wrote replica state to {args.state}")
+    _print_snapshot(snapshot)
+    if lag.record_lag:
+        # The primary moved while we were converging; report, don't fail.
+        print(f"note: primary advanced to seq {lag.primary_seq} meanwhile")
+    return 0
+
+
+def cmd_lag(args: argparse.Namespace) -> int:
+    """Report replica lag against a primary's directory."""
+    import json
+
+    from repro.durable import WalReader, read_pointer
+    from repro.durable.recovery import WAL_NAME
+    from repro.durable.wal import WAL_HEADER
+
+    wal_path = os.path.join(args.dir, WAL_NAME)
+    reader = WalReader(wal_path)
+    primary_seq = reader.last_lsn()
+    try:
+        primary_bytes = os.path.getsize(wal_path)
+    except OSError:
+        primary_bytes = 0
+    applied_seq = 0
+    offset = None
+    source = "none"
+    if args.state:
+        with open(args.state, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        applied_seq = int(state.get("applied_seq", 0))
+        offset = state.get("offset")
+        source = args.state
+    else:
+        pointer = read_pointer(args.dir)
+        if pointer is not None:
+            applied_seq = int(pointer["last_seq"])
+            source = "CURRENT pointer"
+    if offset is None:
+        # Without a replica position, a fresh bootstrapper would replay
+        # every record currently in the log: count those bytes as lag.
+        offset = min(primary_bytes, len(WAL_HEADER))
+    byte_lag = max(0, primary_bytes - int(offset))
+    record_lag = max(0, primary_seq - applied_seq)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "applied_seq": applied_seq,
+                    "primary_seq": primary_seq,
+                    "record_lag": record_lag,
+                    "byte_lag": byte_lag,
+                    "source": source,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"applied seq {applied_seq} (from {source}) | "
+            f"primary seq {primary_seq} | "
+            f"lag: {record_lag} record(s), {byte_lag} byte(s)"
+        )
+    if args.max_bytes is not None and byte_lag > args.max_bytes:
+        raise ReplicationError(
+            f"byte lag {byte_lag} exceeds --max-bytes {args.max_bytes}"
+        )
+    return 0
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     from repro.durable import recover
 
@@ -528,6 +693,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the post-replay invariant audit")
     recover.set_defaults(handler=cmd_recover)
 
+    serve = commands.add_parser(
+        "serve", help="ship a collection's WAL to replicas over TCP"
+    )
+    serve.add_argument("dir")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral, printed on start)")
+    serve.add_argument("--duration", type=float, default=0.0, metavar="S",
+                       help="serve for S seconds then exit (default: forever)")
+    serve.set_defaults(handler=cmd_serve)
+
+    replicate = commands.add_parser(
+        "replicate", help="bootstrap a replica and tail the WAL to convergence"
+    )
+    replicate.add_argument("dir",
+                           help="primary directory (snapshots; WAL too unless --connect)")
+    replicate.add_argument("--connect", metavar="HOST:PORT",
+                           help="ship the WAL from a `repro serve` endpoint "
+                                "instead of the filesystem")
+    replicate.add_argument("--query",
+                           help="XPath-subset query to run against the "
+                                "published view after convergence")
+    replicate.add_argument("--state", metavar="OUT.json",
+                           help="record the replica's position for `repro lag`")
+    replicate.set_defaults(handler=cmd_replicate)
+
+    lag = commands.add_parser(
+        "lag", help="report replica lag (applied/primary LSN, byte lag)"
+    )
+    lag.add_argument("dir", help="primary directory")
+    lag.add_argument("--state", metavar="REP.json",
+                     help="replica state written by `repro replicate --state`")
+    lag.add_argument("--json", action="store_true",
+                     help="emit the lag report as JSON")
+    lag.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                     help="exit 5 if byte lag exceeds N")
+    lag.set_defaults(handler=cmd_lag)
+
     health = commands.add_parser(
         "health", help="recover through the resilient layer and report health"
     )
@@ -558,6 +761,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except XmlSyntaxError as error:
         print(f"error: malformed XML: {error}", file=sys.stderr)
         return 3
+    except ReplicationError as error:
+        # Subclasses DurabilityError; must be caught first to keep its
+        # own exit code.
+        print(f"error: replication failure: {error}", file=sys.stderr)
+        return 5
     except DurabilityError as error:
         print(f"error: durability failure: {error}", file=sys.stderr)
         return 4

@@ -29,7 +29,15 @@ from repro.durable.faults import (
     flip_bit,
     truncate_file,
 )
-from repro.durable.recovery import RecoveredState, RecoveryInfo, recover
+from repro.durable.recovery import (
+    BootstrapPoint,
+    RecoveredState,
+    RecoveryInfo,
+    read_pointer,
+    recover,
+    resolve_bootstrap,
+    write_pointer,
+)
 from repro.durable.snapshot import (
     SnapshotState,
     collection_fingerprint,
@@ -39,14 +47,17 @@ from repro.durable.snapshot import (
 )
 from repro.durable.wal import (
     FsyncPolicy,
+    WalReader,
     WalRecord,
     WalScan,
     WriteAheadLog,
     batch_record,
     scan_wal,
+    scan_wal_from,
 )
 
 __all__ = [
+    "BootstrapPoint",
     "DurableCollection",
     "FaultInjector",
     "InjectedCrash",
@@ -58,16 +69,21 @@ __all__ = [
     "truncate_file",
     "RecoveredState",
     "RecoveryInfo",
+    "read_pointer",
     "recover",
+    "resolve_bootstrap",
+    "write_pointer",
     "SnapshotState",
     "collection_fingerprint",
     "read_snapshot",
     "restore_collection",
     "write_snapshot",
     "FsyncPolicy",
+    "WalReader",
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
     "batch_record",
     "scan_wal",
+    "scan_wal_from",
 ]

@@ -53,6 +53,7 @@ from repro.durable.recovery import (
     list_generations,
     recover,
     snapshot_path,
+    write_pointer,
 )
 from repro.durable.snapshot import read_snapshot, write_snapshot
 from repro.durable.wal import FsyncPolicy, WriteAheadLog, batch_record
@@ -126,6 +127,7 @@ class DurableCollection:
             )
         live = LiveCollection(documents, group_size=group_size, strategy=strategy)
         write_snapshot(live, snapshot_path(directory, 1), last_seq=0, faults=faults)
+        write_pointer(directory, generation=1, last_seq=0)
         wal = WriteAheadLog(directory / WAL_NAME, fsync=fsync, faults=faults)
         return cls(directory, live, wal, last_seq=0, faults=faults)
 
@@ -510,6 +512,10 @@ class DurableCollection:
                 last_seq=self.last_seq,
                 faults=self.faults,
             )
+            # Publish the pointer before deleting stale generations, so an
+            # external bootstrapper that reads it never chases a file this
+            # same checkpoint is about to unlink.
+            write_pointer(self.directory, generation=generation, last_seq=self.last_seq)
             retained = (generations + [generation])[-RETAINED_GENERATIONS:]
             for stale in generations:
                 if stale not in retained:

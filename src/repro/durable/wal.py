@@ -66,11 +66,15 @@ from repro.obs import metrics
 
 __all__ = [
     "FsyncPolicy",
+    "WAL_HEADER",
+    "WalReader",
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
     "batch_record",
+    "scan_records",
     "scan_wal",
+    "scan_wal_from",
 ]
 
 
@@ -87,6 +91,10 @@ def batch_record(ops: List[Dict[str, Any]]) -> Dict[str, Any]:
 _MAGIC = b"RPWL"
 _VERSION = 1
 _HEADER_LEN = 5
+#: The exact 5 header bytes every log starts with — public so transports
+#: that ship raw WAL bytes (``repro.replica``) can validate a stream
+#: without importing scanner internals.
+WAL_HEADER = _MAGIC + bytes([_VERSION])
 _RECORD_HEADER = struct.Struct(">QII")  # seq, payload length, crc32
 #: Upper bound on one payload — anything larger is treated as corruption
 #: (a flipped length byte must not make the scanner swallow the file).
@@ -147,11 +155,19 @@ class WalRecord:
 
 @dataclass
 class WalScan:
-    """Result of scanning a log file: the valid prefix plus tail damage."""
+    """Result of scanning a log file: the valid prefix plus tail damage.
+
+    ``stop_reason`` says *why* the scan stopped, which is what lets a
+    live tailer tell a half-written record racing the writer (``"short"``
+    — come back later) apart from real damage (``"crc"``, ``"chain"``,
+    ``"decode"``, ``"oversize"``).  ``"clean"`` means the scan consumed
+    the file exactly to its last byte.
+    """
 
     records: List[WalRecord]
     valid_bytes: int  # offset of the first byte the scanner distrusts
     total_bytes: int
+    stop_reason: str = "clean"
 
     @property
     def torn_bytes(self) -> int:
@@ -170,6 +186,69 @@ def _encode_payload(op: Dict[str, Any]) -> bytes:
     return json.dumps(op, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
+def _scan_suffix(
+    buffer: bytes, base: int, total: int, expected_seq: Optional[int]
+) -> WalScan:
+    """Decode records from ``buffer``, whose first byte sits at file
+    offset ``base``; ``total`` is the file's full size.  Shared by the
+    whole-file :func:`scan_wal` and the incremental :func:`scan_wal_from`.
+    """
+    records: List[WalRecord] = []
+    pos = 0
+    reason = "clean"
+    while True:
+        if pos + _RECORD_HEADER.size > len(buffer):
+            if pos < len(buffer):
+                reason = "short"  # partial record header at the tail
+            break
+        seq, length, crc = _RECORD_HEADER.unpack_from(buffer, pos)
+        payload_start = pos + _RECORD_HEADER.size
+        if length > _MAX_PAYLOAD:
+            reason = "oversize"  # flipped length byte, not a torn write
+            break
+        if payload_start + length > len(buffer):
+            reason = "short"  # payload not fully on disk (yet)
+            break
+        payload = buffer[payload_start : payload_start + length]
+        if zlib.crc32(buffer[pos : pos + 12] + payload) != crc:
+            reason = "crc"
+            break
+        if expected_seq is not None and seq != expected_seq:
+            reason = "chain"
+            break
+        try:
+            op = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            reason = "decode"
+            break
+        if not isinstance(op, dict) or "op" not in op:
+            reason = "decode"
+            break
+        pos = payload_start + length
+        records.append(WalRecord(seq=seq, op=op, end_offset=base + pos))
+        expected_seq = seq + 1
+    return WalScan(
+        records=records,
+        valid_bytes=base + pos,
+        total_bytes=total,
+        stop_reason=reason,
+    )
+
+
+def scan_records(
+    buffer: bytes, base: int, total: int, expected_seq: Optional[int] = None
+) -> WalScan:
+    """Decode shipped WAL bytes that are *not* on a local filesystem.
+
+    The replication tailer receives raw byte ranges over a transport;
+    this applies the exact same record validation as :func:`scan_wal`
+    (CRC, chain, torn-tail rules) to an in-memory buffer whose first byte
+    sits at file offset ``base``.  ``total`` is the primary's file size
+    as reported alongside the bytes.
+    """
+    return _scan_suffix(buffer, base, total, expected_seq)
+
+
 def scan_wal(path: str | Path) -> WalScan:
     """Read every trustworthy record of the log at ``path``.
 
@@ -185,34 +264,55 @@ def scan_wal(path: str | Path) -> WalScan:
     if len(blob) < _HEADER_LEN:
         # A crash while creating the log can leave a short header; there
         # are no records to lose, so treat it as empty-and-repairable.
-        return WalScan(records=[], valid_bytes=0, total_bytes=len(blob))
+        return WalScan(
+            records=[],
+            valid_bytes=0,
+            total_bytes=len(blob),
+            stop_reason="short" if blob else "clean",
+        )
     if blob[:4] != _MAGIC:
         raise WalCorruptError(f"{path} is not a write-ahead log")
     if blob[4] != _VERSION:
         raise WalCorruptError(f"unsupported WAL version {blob[4]} in {path}")
-    records: List[WalRecord] = []
-    offset = _HEADER_LEN
-    expected_seq: Optional[int] = None
-    while offset + _RECORD_HEADER.size <= len(blob):
-        seq, length, crc = _RECORD_HEADER.unpack_from(blob, offset)
-        payload_start = offset + _RECORD_HEADER.size
-        if length > _MAX_PAYLOAD or payload_start + length > len(blob):
-            break  # torn or length-corrupt tail
-        payload = blob[payload_start : payload_start + length]
-        if zlib.crc32(blob[offset : offset + 12] + payload) != crc:
-            break  # checksum failure: first corrupt record, stop here
-        if expected_seq is not None and seq != expected_seq:
-            break  # broken sequence chain — do not trust what follows
-        try:
-            op = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            break
-        if not isinstance(op, dict) or "op" not in op:
-            break
-        offset = payload_start + length
-        records.append(WalRecord(seq=seq, op=op, end_offset=offset))
-        expected_seq = seq + 1
-    return WalScan(records=records, valid_bytes=offset, total_bytes=len(blob))
+    return _scan_suffix(blob[_HEADER_LEN:], _HEADER_LEN, len(blob), None)
+
+
+def scan_wal_from(
+    path: str | Path, offset: int, expected_seq: Optional[int] = None
+) -> WalScan:
+    """Scan only the records at file offsets ``>= offset``.
+
+    The incremental half of the scanner: a tailer that has already
+    consumed the prefix passes the ``valid_bytes`` of its previous scan
+    (and the next sequence number it expects) and pays only for the
+    unread suffix.  ``offset`` below the header length degrades to a
+    full :func:`scan_wal` (which also validates the header).  ``offset``
+    beyond the end of the file scans as empty with ``stop_reason``
+    ``"clean"`` — the caller detects shrinkage by comparing sizes.
+    """
+    path = Path(path)
+    if offset < _HEADER_LEN:
+        scan = scan_wal(path)
+        if expected_seq is not None and scan.records:
+            if scan.records[0].seq != expected_seq:
+                return WalScan(
+                    records=[],
+                    valid_bytes=_HEADER_LEN,
+                    total_bytes=scan.total_bytes,
+                    stop_reason="chain",
+                )
+        return scan
+    if not path.exists():
+        return WalScan(records=[], valid_bytes=offset, total_bytes=0)
+    with open(path, "rb") as handle:
+        size = handle.seek(0, os.SEEK_END)
+        if offset >= size:
+            # Nothing new — or the file shrank under us (reset/prune
+            # rewrote it); ``total_bytes < offset`` signals the latter.
+            return WalScan(records=[], valid_bytes=offset, total_bytes=size)
+        handle.seek(offset)
+        suffix = handle.read()
+    return _scan_suffix(suffix, offset, offset + len(suffix), expected_seq)
 
 
 class WriteAheadLog:
@@ -494,6 +594,80 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+class WalReader:
+    """Incremental, read-only cursor over a WAL file.
+
+    The replication tailer polls the primary's log many times per second;
+    re-reading the whole file each poll would make shipping cost quadratic
+    in history length.  A reader remembers the offset and sequence number
+    of the last record it trusted and each :meth:`poll` (or
+    :meth:`last_lsn`) scans only the unread suffix.  It also notices when
+    the file shrank — :meth:`WriteAheadLog.reset` and
+    :meth:`WriteAheadLog.prune` rewrite the log in place — and restarts
+    from the header so the caller sees a coherent stream again.
+
+    Readers never write: repair of a torn tail is the owner's job
+    (:meth:`WriteAheadLog.reopen`); a reader merely refuses to trust the
+    bytes, reporting *why* via :attr:`last_stop_reason` so a live tailer
+    can tell "writer mid-append, try again" (``"short"``) from damage.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._offset = 0  # 0 = header not yet validated
+        self._last_seq = 0
+        self._last_stop_reason = "clean"
+
+    @property
+    def offset(self) -> int:
+        """File offset one past the last record this reader trusted."""
+        return self._offset
+
+    @property
+    def last_stop_reason(self) -> str:
+        """``stop_reason`` of the most recent scan (``"clean"`` initially)."""
+        return self._last_stop_reason
+
+    def read_from(self, offset: int, expected_seq: Optional[int] = None) -> WalScan:
+        """One-shot scan from ``offset`` without touching the cursor.
+
+        For callers that manage their own position (the tailer keeps its
+        applied-LSN durable elsewhere); :meth:`poll` is the cursor-ful
+        variant.
+        """
+        return scan_wal_from(self.path, offset, expected_seq)
+
+    def poll(self) -> WalScan:
+        """Scan the unread suffix and advance the cursor past it.
+
+        Returns only the *new* records since the previous poll.  When the
+        file shrank (the owner reset or pruned it) the cursor rewinds to
+        the header and the scan restarts from the first surviving record,
+        so the same poll can return records whose sequence numbers the
+        caller has already applied — callers filter by their applied LSN.
+        """
+        size = os.path.getsize(self.path) if self.path.exists() else 0
+        if size < self._offset:
+            metrics.incr("wal.reader_rewinds")
+            self._offset = 0
+            self._last_seq = 0
+        expected = self._last_seq + 1 if self._offset > 0 and self._last_seq else None
+        scan = scan_wal_from(self.path, self._offset, expected)
+        self._last_stop_reason = scan.stop_reason
+        if scan.records:
+            self._offset = scan.valid_bytes
+            self._last_seq = scan.records[-1].seq
+        elif self._offset == 0 and scan.valid_bytes >= _HEADER_LEN:
+            self._offset = scan.valid_bytes
+        return scan
+
+    def last_lsn(self) -> int:
+        """Sequence number of the last valid record, scanning only the
+        suffix appended since this reader last looked (0 for empty)."""
+        self.poll()
+        return self._last_seq
 
 
 def header_prefix(seq: int, payload: bytes) -> bytes:

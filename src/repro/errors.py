@@ -22,6 +22,7 @@ __all__ = [
     "WalCorruptError",
     "SnapshotCorruptError",
     "RecoveryError",
+    "ReplicationError",
     "ResilienceError",
     "DegradedModeError",
     "DeadlineExceededError",
@@ -144,6 +145,19 @@ class SnapshotCorruptError(DurabilityError):
 class RecoveryError(DurabilityError):
     """Raised when no snapshot generation yields a valid, audit-clean
     collection — durable state is unrecoverable without operator help."""
+
+
+class ReplicationError(DurabilityError):
+    """The replication stream or a replica's state is unusable.
+
+    Raised by :mod:`repro.replica` when the shipped WAL stream carries a
+    sequence gap (the primary pruned past the replica's position), when
+    mid-stream bytes fail validation with trustworthy bytes after them
+    (real corruption, not a torn tail), or when a replica cannot
+    re-bootstrap.  A :class:`DurabilityError` subclass so existing
+    durability handlers still catch it; the CLI maps it to its own exit
+    code (5) ahead of the generic durability code (4).
+    """
 
 
 class ResilienceError(ReproError):

@@ -19,10 +19,10 @@ from repro.query.ast import Axis, Query, Step
 from repro.query.dataguide import DataGuide, GuidedQueryEngine
 from repro.query.engine import QueryEngine
 from repro.query.join import nested_loop_join, prime_merge_join, stack_tree_join
-from repro.query.live import BatchOp, BatchReport, LiveCollection
+from repro.query.live import BatchOp, BatchReport, LiveCollection, ReadView
 from repro.query.persist import load_store, save_store
 from repro.query.sql import to_sql
-from repro.query.store import ElementRow, LabelStore
+from repro.query.store import ElementRow, FrozenPrimeOps, LabelStore
 from repro.query.twig import TwigNode, TwigPattern, match_twig
 from repro.query.xpath import parse_query
 
@@ -40,8 +40,10 @@ __all__ = [
     "BatchOp",
     "BatchReport",
     "ElementRow",
+    "FrozenPrimeOps",
     "LabelStore",
     "LiveCollection",
+    "ReadView",
     "load_store",
     "save_store",
     "TwigNode",

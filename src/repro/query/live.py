@@ -30,6 +30,7 @@ See ``docs/BATCHING.md``.
 
 from __future__ import annotations
 
+import threading
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -41,7 +42,7 @@ from repro.query.engine import QueryEngine
 from repro.query.store import ElementRow, LabelStore, PrimeOps
 from repro.xmlkit.tree import XmlElement
 
-__all__ = ["BatchOp", "BatchReport", "LiveCollection"]
+__all__ = ["BatchOp", "BatchReport", "LiveCollection", "ReadView"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +135,95 @@ class BatchReport:
         return sum(report.total_cost for report in self.reports)
 
 
+@dataclass(frozen=True)
+class ReadView:
+    """One published, immutable version of the collection's element table.
+
+    The MVCC read unit: a frozen store copy behind its own query engine,
+    stamped with the monotonically increasing publish ``version`` and the
+    WAL sequence number (``applied_seq``) whose effects it contains.
+    Views are safe to query from many threads concurrently — nothing in
+    them mutates after publication — and stay valid (merely stale) for as
+    long as a reader holds them, no matter what the writer does next.
+    """
+
+    version: int
+    applied_seq: int
+    engine: QueryEngine
+    row_count: int
+    fingerprint: Optional[str] = None
+
+    def query(self, text: str) -> List[ElementRow]:
+        """Evaluate an XPath-subset query against this frozen version."""
+        return self.engine.evaluate(text)
+
+    def count(self, text: str) -> int:
+        """Number of nodes the query retrieves in this version."""
+        return len(self.query(text))
+
+    def audit(self) -> List[str]:
+        """Internal-consistency check; returns violations (empty = clean).
+
+        Validates the frozen table against the paper's structural
+        invariants without touching any live state: every non-root row's
+        parent exists, parent-labels link (``child.label.parent_value ==
+        parent.label.value`` for prime labels), depths chain by one,
+        per-document order keys are distinct, and sorting each document
+        by order key yields a valid preorder of the ``parent_id`` tree
+        (parents always open before their children, DFS-contiguously).
+        """
+        violations: List[str] = []
+        store = self.engine.store
+        ops = store.ops
+        by_id = {row.element_id: row for row in store.rows}
+        for row in store.rows:
+            if row.parent_id is None:
+                continue
+            parent = by_id.get(row.parent_id)
+            if parent is None:
+                violations.append(
+                    f"row {row.element_id}: parent {row.parent_id} missing"
+                )
+                continue
+            if row.depth != parent.depth + 1:
+                violations.append(
+                    f"row {row.element_id}: depth {row.depth} != "
+                    f"parent depth {parent.depth} + 1"
+                )
+            if ops.parent_key(row) != ops.node_key(parent):
+                violations.append(
+                    f"row {row.element_id}: parent-label link broken "
+                    f"({ops.parent_key(row)!r} != {ops.node_key(parent)!r})"
+                )
+        for doc_id in store.doc_ids:
+            doc_rows = store.rows_in_doc(doc_id)
+            keys = [ops.order_key(row) for row in doc_rows]
+            if len(set(keys)) != len(keys):
+                violations.append(f"doc {doc_id}: duplicate order keys")
+                continue
+            ordered = [row for _, row in sorted(zip(keys, doc_rows))]
+            stack: List[int] = []
+            for row in ordered:
+                if row.parent_id is None:
+                    if stack:
+                        violations.append(
+                            f"doc {doc_id}: root row {row.element_id} "
+                            "appears mid-sequence"
+                        )
+                        break
+                else:
+                    while stack and stack[-1] != row.parent_id:
+                        stack.pop()
+                    if not stack:
+                        violations.append(
+                            f"doc {doc_id}: row {row.element_id} opens "
+                            f"before its parent {row.parent_id} in SC order"
+                        )
+                        break
+                stack.append(row.element_id)
+        return violations
+
+
 class LiveCollection:
     """Ordered, queryable, updatable collection of XML documents."""
 
@@ -157,6 +247,9 @@ class LiveCollection:
         }
         if len(self._index_by_root) != len(self._ordered):
             raise QueryEvaluationError("the same document appears twice")
+        self._publish_lock = threading.Lock()
+        self._latest_view: Optional[ReadView] = None
+        self._version = 0
 
     @classmethod
     def from_ordered(
@@ -198,6 +291,9 @@ class LiveCollection:
         }
         if len(collection._index_by_root) != len(collection._ordered):
             raise QueryEvaluationError("the same document appears twice")
+        collection._publish_lock = threading.Lock()
+        collection._latest_view = None
+        collection._version = 0
         return collection
 
     # ------------------------------------------------------------------
@@ -301,6 +397,75 @@ class LiveCollection:
         if self._engine is None:
             self._engine = self._build_engine()
         return self._engine
+
+    # ------------------------------------------------------------------
+    # MVCC publication (single writer, many concurrent readers)
+    # ------------------------------------------------------------------
+
+    def publish_view(
+        self, applied_seq: int = 0, fingerprint: bool = False
+    ) -> ReadView:
+        """Publish the current state as an immutable :class:`ReadView`.
+
+        Copy-on-publish: the writer's own store keeps being patched in
+        place (the PR 6 hot path); publication takes a frozen copy of it
+        (copied rows, materialized order keys — see
+        :meth:`repro.query.store.LabelStore.frozen_copy`), wraps it in a
+        fresh engine, and atomically swaps it in as :meth:`latest_view`.
+        Reference swaps are GIL-atomic, so readers on other threads pick
+        up either the old version or the new one — never a torn mix —
+        without taking any lock on their query path.
+
+        ``applied_seq`` stamps the view with the WAL sequence number its
+        state reflects (the replica's applied LSN; 0 when the caller does
+        not track one).  ``fingerprint=True`` additionally stamps the
+        canonical :func:`~repro.durable.snapshot.collection_fingerprint`
+        — the byte-identity oracle — which costs a full snapshot encode
+        and is meant for tests and audits, not the hot path.
+
+        Only the single designated writer thread may call this (it is
+        serialized by a lock regardless, as is :meth:`read_view`'s
+        publish-on-first-read).
+        """
+        with self._publish_lock:
+            with metrics.timed("mvcc.publish"):
+                digest: Optional[str] = None
+                if fingerprint:
+                    # Imported lazily: repro.durable imports this module.
+                    from repro.durable.snapshot import collection_fingerprint
+
+                    digest = collection_fingerprint(self)
+                store = self.engine.store.frozen_copy()
+                engine = QueryEngine(store, strategy=self.strategy)
+                self._version += 1
+                view = ReadView(
+                    version=self._version,
+                    applied_seq=applied_seq,
+                    engine=engine,
+                    row_count=len(store.rows),
+                    fingerprint=digest,
+                )
+                self._latest_view = view
+            metrics.incr("mvcc.publishes")
+            metrics.gauge("mvcc.published_version", view.version)
+            metrics.gauge("mvcc.published_seq", applied_seq)
+        return view
+
+    def latest_view(self) -> Optional[ReadView]:
+        """The most recently published view (``None`` before any publish).
+
+        Safe from any thread: reading one attribute is atomic under the
+        GIL and the returned object is immutable.
+        """
+        return self._latest_view
+
+    def read_view(self) -> ReadView:
+        """A view to read from: the latest published one, or — before the
+        first publication — a fresh publish of the current state."""
+        view = self._latest_view
+        if view is None:
+            view = self.publish_view()
+        return view
 
     # ------------------------------------------------------------------
     # Queries

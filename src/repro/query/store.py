@@ -26,7 +26,7 @@ The scheme-specific comparison logic lives in :class:`StoreOps` objects:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import QueryEvaluationError
@@ -40,6 +40,7 @@ from repro.xmlkit.tree import XmlElement
 
 __all__ = [
     "ElementRow",
+    "FrozenPrimeOps",
     "StoreOps",
     "StoreStatistics",
     "LabelStore",
@@ -174,6 +175,37 @@ class PrimeOps(StoreOps):
 
     def node_key(self, row: ElementRow) -> int:
         return row.label.value
+
+
+class FrozenPrimeOps(PrimeOps):
+    """Prime operators for a *published* (immutable) store version.
+
+    :meth:`PrimeOps.order_key` reads the live SC table on every access —
+    correct for the writer's own store, but a published MVCC view must
+    keep answering with the order that held at publish time even while
+    the writer rewrites SC records underneath.  The order of every row is
+    therefore materialized into a plain dict at publish time; ancestor /
+    parent / sibling tests stay pure label arithmetic and are shared with
+    the base class.  ``name`` stays ``"prime"`` so the planner's cost
+    model treats frozen and live stores identically.
+    """
+
+    def __init__(
+        self,
+        scheme: PrimeScheme,
+        ordered: Dict[int, OrderedDocument],
+        orders: Dict[int, int],
+    ):
+        super().__init__(scheme, ordered)
+        self._orders = orders
+
+    def order_key(self, row: ElementRow) -> int:
+        try:
+            return self._orders[row.element_id]
+        except KeyError:
+            raise QueryEvaluationError(
+                f"row {row.element_id} is not part of this published version"
+            ) from None
 
 
 class IntervalOps(StoreOps):
@@ -354,6 +386,25 @@ class LabelStore:
         if not rows:
             raise QueryEvaluationError("cannot build a store over zero documents")
         return cls(rows, ops)
+
+    def frozen_copy(self) -> "LabelStore":
+        """An independent copy of the table for MVCC publication.
+
+        Rows are copied (the writer's relabel cascades rebind ``label``
+        *in place* on its own rows — see :meth:`refresh_labels` — and a
+        published version must not see that), label objects are shared
+        (they are immutable values), and prime order keys are materialized
+        into a :class:`FrozenPrimeOps` so the copy never consults the
+        writer's live SC tables.  The copy rebuilds its own indexes and
+        window columns from the copied rows, so subsequent writer-side
+        ``insert_row`` / ``delete_subtree`` patches cannot reach it.
+        """
+        rows = [replace(row) for row in self.rows]
+        ops: StoreOps = self.ops
+        if isinstance(ops, PrimeOps):
+            orders = {row.element_id: ops.order_key(row) for row in self.rows}
+            ops = FrozenPrimeOps(ops._scheme, ops._ordered, orders)
+        return LabelStore(rows, ops)
 
     # ------------------------------------------------------------------
     # Access paths

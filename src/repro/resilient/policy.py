@@ -41,6 +41,7 @@ from typing import Optional
 from repro.errors import (
     CapacityError,
     DurabilityError,
+    ReplicationError,
     ReproError,
     SnapshotCorruptError,
     WalCorruptError,
@@ -73,7 +74,10 @@ def classify_fault(error: BaseException) -> FaultDomain:
     """
     if isinstance(error, CapacityError):
         return FaultDomain.CAPACITY
-    if isinstance(error, (WalCorruptError, SnapshotCorruptError)):
+    if isinstance(error, (WalCorruptError, SnapshotCorruptError, ReplicationError)):
+        # A broken replication stream (sequence gap, mid-stream damage) is
+        # corruption of the shipped history: retrying the same bytes cannot
+        # help, but re-bootstrapping from a snapshot can.
         return FaultDomain.CORRUPTION
     if isinstance(error, (OSError, TimeoutError)):
         return FaultDomain.TRANSIENT

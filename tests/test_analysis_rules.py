@@ -1,4 +1,4 @@
-"""Fixture tests for rules R1–R11: each must trigger and suppress.
+"""Fixture tests for rules R1–R12: each must trigger and suppress.
 
 Every fixture is an in-memory snippet linted under a *virtual* repo path
 (rules decide applicability from the path), with a ``{S}`` placeholder
@@ -124,6 +124,16 @@ TRIGGERS = [
         "def sneak(self, doc, node, label):\n"
         "    self.engine.store.insert_row(doc, node, label){S}\n",
     ),
+    (
+        "R12",
+        "src/repro/durable/bad.py",
+        "import threading{S}\n",
+    ),
+    (
+        "R12",
+        "src/repro/query/bad.py",
+        "from concurrent.futures import ThreadPoolExecutor{S}\n",
+    ),
 ]
 
 IDS = [f"{rule}-{path.rsplit('/', 2)[-2]}" for rule, path, _ in TRIGGERS]
@@ -226,6 +236,10 @@ CLEAN = [
     ("src/repro/query/engine.py", "from repro.query.window import WindowEntry\n"),
     # R11 matches store-ish receivers only: an unrelated table is fine.
     ("src/repro/resilient/good2.py", "def ok(self, row):\n    self.table.insert_row(row)\n"),
+    # R12: the replication layer and the MVCC publish path own threading.
+    ("src/repro/replica/runtime.py", "import threading\n"),
+    ("src/repro/replica/good.py", "from concurrent.futures import ThreadPoolExecutor\n"),
+    ("src/repro/query/live.py", "import threading\n"),
 ]
 
 

@@ -247,8 +247,75 @@ class TestChaosEnv:
             main(["dump", str(tmp_path / "state"), xml_file])
 
 
+class TestReplicationVerbs:
+    @pytest.fixture
+    def state_dir(self, tmp_path, play_file):
+        directory = tmp_path / "state"
+        assert main(["dump", str(directory), play_file, "--churn", "5"]) == 0
+        return str(directory)
+
+    def test_replicate_converges_and_queries(self, state_dir, capsys):
+        assert main(["replicate", state_dir, "--query", "//ACT"]) == 0
+        out = capsys.readouterr().out
+        assert "replica of" in out and "node(s) retrieved" in out
+
+    def test_replicate_writes_state_for_lag(self, state_dir, tmp_path, capsys):
+        state = tmp_path / "rep.json"
+        assert main(["replicate", state_dir, "--state", str(state)]) == 0
+        capsys.readouterr()
+        assert main(["lag", state_dir, "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "lag: 0 record(s), 0 byte(s)" in out
+
+    def test_lag_json_fields(self, state_dir, capsys):
+        assert main(["lag", state_dir, "--json"]) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert {"applied_seq", "primary_seq", "record_lag", "byte_lag"} <= set(report)
+
+    def test_lag_max_bytes_exceeded_is_five(self, state_dir, tmp_path, capsys):
+        # Make the replica stale: record its position, then let the
+        # primary keep writing.
+        state = tmp_path / "rep.json"
+        assert main(["replicate", state_dir, "--state", str(state)]) == 0
+        from repro.durable import DurableCollection
+
+        col = DurableCollection.open(state_dir)
+        col.insert_child(col.documents[0], 0, tag="late")
+        col.close()
+        capsys.readouterr()
+        assert main(["lag", state_dir, "--state", str(state), "--max-bytes", "0"]) == 5
+        assert "replication failure" in capsys.readouterr().err
+
+    def test_replicate_bad_connect_is_five(self, state_dir, capsys):
+        assert main(["replicate", state_dir, "--connect", "nonsense"]) == 5
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_serve_then_replicate_over_tcp(self, state_dir, capsys):
+        from repro.durable.recovery import WAL_NAME
+        from repro.replica import WalShipServer
+
+        server = WalShipServer(f"{state_dir}/{WAL_NAME}")
+        host, port = server.start()
+        try:
+            assert main(["replicate", state_dir, "--connect", f"{host}:{port}"]) == 0
+            assert "replica of" in capsys.readouterr().out
+        finally:
+            server.stop()
+
+    def test_serve_duration_exits_clean(self, state_dir, capsys):
+        assert main(["serve", state_dir, "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "shipping" in out and "stopped" in out
+
+    def test_serve_missing_directory_is_two(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope"), "--duration", "0.1"]) == 2
+
+
 class TestExitCodeContract:
-    """Exit codes are API: 1 generic, 2 missing file, 3 bad XML, 4 durability."""
+    """Exit codes are API: 1 generic, 2 missing file, 3 bad XML,
+    4 durability, 5 replication."""
 
     def test_generic_repro_error_is_one(self, play_file):
         assert main(["query", "PLAY//", play_file]) == 1
@@ -265,6 +332,13 @@ class TestExitCodeContract:
         wal = tmp_path / "wal.log"
         wal.write_bytes(b"not a wal at all")
         assert main(["load", str(tmp_path)]) == 4
+
+    def test_replication_error_is_five_not_four(self, tmp_path, play_file):
+        # ReplicationError subclasses DurabilityError; the CLI must map it
+        # to 5, not fall through to the generic durability code.
+        directory = tmp_path / "state"
+        assert main(["dump", str(directory), play_file]) == 0
+        assert main(["replicate", str(directory), "--connect", "bad"]) == 5
 
 
 class TestBenchDurability:

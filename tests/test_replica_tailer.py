@@ -1,0 +1,190 @@
+"""WalReader incremental scans and WalTailer stream semantics."""
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.durable.wal import (
+    WAL_HEADER,
+    WalReader,
+    WriteAheadLog,
+    scan_wal,
+    scan_wal_from,
+)
+from repro.errors import ReplicationError
+from repro.replica import FileTransport, WalTailer
+
+_HEADER = struct.Struct(">QII")
+
+
+def _append(wal, count, start=0):
+    for i in range(count):
+        wal.append({"op": "noop", "i": start + i})
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+class TestWalReader:
+    def test_read_from_resumes_at_an_offset(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 5)
+        full = scan_wal(wal_path)
+        mid = full.records[2].end_offset
+        scan = scan_wal_from(wal_path, mid, expected_seq=4)
+        assert [r.seq for r in scan.records] == [4, 5]
+        assert scan.stop_reason == "clean"
+        wal.close()
+
+    def test_read_from_past_eof_reports_current_size(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 1)
+        size = os.path.getsize(wal_path)
+        scan = scan_wal_from(wal_path, size)
+        assert scan.records == [] and scan.total_bytes == size
+        # A shrink is visible as total_bytes < offset.
+        shrink = scan_wal_from(wal_path, size + 100)
+        assert shrink.total_bytes == size < size + 100
+        wal.close()
+
+    def test_last_lsn_advances_without_rescanning(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        reader = WalReader(wal_path)
+        assert reader.last_lsn() == 0
+        _append(wal, 3)
+        assert reader.last_lsn() == 3
+        checkpoint = reader.offset
+        _append(wal, 2)
+        assert reader.last_lsn() == 5
+        # The cursor moved strictly forward: the second poll started where
+        # the first stopped.
+        assert reader.offset > checkpoint
+        wal.close()
+
+    def test_reader_rewinds_after_reset(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 4)
+        reader = WalReader(wal_path)
+        assert reader.last_lsn() == 4
+        wal.reset(next_seq=10)
+        _append(wal, 1, start=9)
+        assert reader.last_lsn() == 10
+        wal.close()
+
+    def test_torn_tail_reports_short_not_corruption(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 2)
+        wal.close()
+        with open(wal_path, "ab") as handle:
+            handle.write(_HEADER.pack(3, 100, 0))  # length promises more
+        reader = WalReader(wal_path)
+        assert reader.last_lsn() == 2
+        assert reader.last_stop_reason == "short"
+
+
+class TestWalTailer:
+    def _tailer(self, path, **kwargs):
+        return WalTailer(FileTransport(path), **kwargs)
+
+    def test_incremental_polls_return_only_new_records(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        tailer = self._tailer(wal_path)
+        assert tailer.poll() == []
+        _append(wal, 3)
+        first = tailer.poll()
+        assert [r.seq for r in first] == [1, 2, 3]
+        assert tailer.poll() == []
+        _append(wal, 2)
+        assert [r.seq for r in tailer.poll()] == [4, 5]
+        wal.close()
+
+    def test_small_chunks_drain_the_whole_log(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 20)
+        tailer = self._tailer(wal_path, chunk_bytes=64)
+        assert [r.seq for r in tailer.poll()] == list(range(1, 21))
+        wal.close()
+
+    def test_torn_tail_is_pending_then_consumed(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 2)
+        tailer = self._tailer(wal_path)
+        tailer.poll()
+        # Simulate the primary mid-append: header promising 50 bytes, only
+        # part of the payload on disk.
+        payload = b'{"op": "noop", "i": 99}' + b" " * 27
+        crc = zlib.crc32(struct.pack(">QI", 3, 50) + payload)
+        frame = _HEADER.pack(3, 50, crc) + payload
+        with open(wal_path, "ab") as handle:
+            handle.write(frame[:30])
+        assert tailer.poll() == []  # pending, not an error
+        with open(wal_path, "ab") as handle:
+            handle.write(frame[30:])
+        assert [r.seq for r in tailer.poll()] == [3]
+        wal.close()
+
+    def test_crc_damage_confirmed_by_growth_raises(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 2)
+        tailer = self._tailer(wal_path)
+        tailer.poll()
+        payload = b'{"op": "noop", "i": 99}'
+        frame = _HEADER.pack(3, len(payload), 12345) + payload  # bad CRC
+        with open(wal_path, "ab") as handle:
+            handle.write(frame)
+        # First sighting: could still be a torn write racing us.
+        assert tailer.poll() == []
+        with open(wal_path, "ab") as handle:
+            handle.write(b"newer bytes beyond the damage")
+        with pytest.raises(ReplicationError):
+            tailer.poll()
+        wal.close()
+
+    def test_authentic_damage_raises_immediately(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 2)
+        tailer = self._tailer(wal_path)
+        tailer.poll()
+        # A CRC-valid record with a broken chain (seq 7 after 2) cannot be
+        # a torn write: the bytes are authentic and authentically wrong.
+        payload = b'{"op": "noop"}'
+        crc = zlib.crc32(struct.pack(">QI", 7, len(payload)) + payload)
+        with open(wal_path, "ab") as handle:
+            handle.write(_HEADER.pack(7, len(payload), crc) + payload)
+        with pytest.raises(ReplicationError):
+            tailer.poll()
+        wal.close()
+
+    def test_rewind_across_reset_rereads_new_generation(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="never")
+        _append(wal, 5)
+        tailer = self._tailer(wal_path)
+        assert len(tailer.poll()) == 5
+        # reset() rewrites the file shorter; the tailer must rewind and
+        # pick up the new generation from its header.
+        wal.reset(next_seq=6)
+        _append(wal, 2, start=5)
+        records = tailer.poll()
+        assert [r.seq for r in records] == [6, 7]
+        wal.close()
+
+    def test_foreign_file_is_rejected(self, tmp_path):
+        bogus = tmp_path / "not-a-wal.log"
+        bogus.write_bytes(b"XXXXX" + b"garbage" * 10)
+        tailer = self._tailer(bogus)
+        with pytest.raises(ReplicationError):
+            tailer.poll()
+
+    def test_header_only_then_records(self, wal_path):
+        # A freshly created WAL is just the 5-byte header.
+        wal = WriteAheadLog(wal_path, fsync="never")
+        tailer = self._tailer(wal_path)
+        assert tailer.poll() == []
+        assert tailer.offset == len(WAL_HEADER)
+        _append(wal, 1)
+        assert [r.seq for r in tailer.poll()] == [1]
+        wal.close()
