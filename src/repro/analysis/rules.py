@@ -1,4 +1,4 @@
-"""The project-specific invariant rules R1–R12.
+"""The project-specific invariant rules R1–R13.
 
 Each rule machine-checks one update-protocol discipline the paper's
 guarantees rest on (Property 3 ancestor test, CRT-based SC ordering) or
@@ -302,7 +302,7 @@ class SwallowedExceptionRule(Rule):
         "metric, or flag a report."
     )
 
-    _SCOPES = ("durable", "resilient", "replica")
+    _SCOPES = ("durable", "resilient", "replica", "shard")
     _SIGNAL_CALLS = re.compile(
         r"(^|\.)(incr|gauge|timed|flag|warning|error|exception|critical)$"
     )
@@ -665,7 +665,7 @@ class ThreadingContainmentRule(Rule):
 
     _ALLOWED_PACKAGES = ("replica",)
     _ALLOWED_MODULES = ("repro.query.live",)
-    _BANNED_ROOTS = {"threading", "_thread", "multiprocessing", "concurrent"}
+    _BANNED_ROOTS = {"threading", "_thread", "concurrent"}
 
     def _offending(self, module: str) -> Optional[str]:
         root = module.split(".")[0]
@@ -695,3 +695,67 @@ class ThreadingContainmentRule(Rule):
                     "repro.query.live; threads and locks are confined to "
                     "the replication layer (single-writer MVCC discipline)",
                 )
+
+
+@register
+class ProcessContainmentRule(Rule):
+    """R13 — process spawning stays in the sharding layer."""
+
+    id = "R13"
+    title = "process spawning outside the sharding layer"
+    severity = Severity.ERROR
+    rationale = (
+        "repro.shard is the one fault-isolation boundary: its supervisor "
+        "owns every child process, restart, and kill, so crash recovery "
+        "and quarantine accounting stay provable.  A multiprocessing or "
+        "subprocess import anywhere else would create worker lifetimes no "
+        "supervisor tracks — orphans on crash, unbounded restarts, and a "
+        "second unreviewed IPC discipline."
+    )
+
+    _ALLOWED_PACKAGES = ("shard",)
+    _BANNED_ROOTS = {"multiprocessing", "subprocess"}
+    _SPAWN_CALLS = {
+        "os.fork",
+        "os.forkpty",
+        "os.system",
+        "os.popen",
+        "os.posix_spawn",
+        "os.posix_spawnp",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_package(*self._ALLOWED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            offenders: List[str] = []
+            if isinstance(node, ast.Import):
+                offenders = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name.split(".")[0] in self._BANNED_ROOTS
+                ]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                if node.module.split(".")[0] in self._BANNED_ROOTS:
+                    offenders = [node.module]
+            for offender in offenders:
+                yield self.emit(
+                    ctx,
+                    node,
+                    f"import of {offender} outside repro.shard; worker "
+                    "processes are spawned and supervised only by the "
+                    "sharding layer (fault-isolation discipline)",
+                )
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and (
+                    name in self._SPAWN_CALLS
+                    or name.startswith("os.spawn")
+                    or name.startswith("os.exec")
+                ):
+                    yield self.emit(
+                        ctx,
+                        node,
+                        f"{name}() spawns a process outside repro.shard; "
+                        "route worker lifecycles through ShardSupervisor",
+                    )

@@ -14,6 +14,7 @@ from repro.bench.planner import planner_table
 from repro.bench.replication import replication_table
 from repro.bench.resilience import resilience_table
 from repro.bench.response import figure15_table, table2_table
+from repro.bench.shard import shard_table
 from repro.bench.spaces import figure13_table, figure14_table, table1_table
 from repro.bench.throughput import throughput_table
 from repro.bench.updates import figure16_table, figure17_table, figure18_table
@@ -24,6 +25,7 @@ __all__ = [
     "planner_table",
     "replication_table",
     "resilience_table",
+    "shard_table",
     "throughput_table",
     "figure3_table",
     "figure4_table",

@@ -65,6 +65,7 @@ def exhibit_builders(include_slow: bool = True) -> Dict[str, Callable[[], Result
                 "fig17": bench.figure17_table,
                 "fig18": bench.figure18_table,
                 "throughput": bench.throughput_table,
+                "shard": bench.shard_table,
             }
         )
     return builders

@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``)::
     python -m repro serve state/ [--host H --port P] [--duration S]
     python -m repro replicate state/ [--connect H:P] [--state rep.json]
     python -m repro lag state/ [--state rep.json] [--json] [--max-bytes N]
+    python -m repro shard-serve root/ [doc.xml ...] [--shards N] [--churn N]
+    python -m repro shard-status root/ [--json]
     python -m repro lint [paths ...] [--format text|json|sarif]
 
 ``bench`` accepts any exhibit id from the paper: fig3 fig4 fig5 table1
@@ -22,8 +24,10 @@ fig13 fig14 table2 fig15 fig16 fig17 fig18 (the time-heavy ones build
 their corpora on demand), plus the systems exhibits ``durability``,
 ``resilience``, ``throughput`` (sequential vs batched update pipeline)
 ``planner`` (fixed strategies vs the cost-based pick on the Table 2
-workload) and ``replication`` (lag + follower-read staleness/throughput
-vs reader count); ``--csv``/``--json`` export any of them.
+workload), ``replication`` (lag + follower-read staleness/throughput
+vs reader count) and ``shard`` (routed throughput + query p99 vs worker
+count, plus kill-and-recover availability); ``--csv``/``--json`` export
+any of them.
 
 ``query`` evaluates with the cost-based planner by default;
 ``--strategy`` pins one of scan/merge/window/twig and ``--explain``
@@ -64,9 +68,19 @@ primary-LSN and byte lag as text or JSON — ``--max-bytes`` turns it
 into a monitoring check that exits 5 when the replica is too far
 behind.  See ``docs/REPLICATION.md``.
 
+``shard-serve``/``shard-status`` drive the sharded serving subsystem
+(:mod:`repro.shard`): ``shard-serve`` creates (when XML files are
+given) or opens a sharded collection root, runs its supervised worker
+fleet, optionally applies ``--churn N`` synthetic insertions through
+the router — ``--kill S`` SIGKILLs shard S's worker halfway through to
+exercise restart + redo replay — runs an optional ``--query``, and
+prints per-shard health lines; ``shard-status`` inspects a root
+*offline* (no workers): manifest, per-shard snapshot generation,
+pointer seq, and WAL last seq.  See ``docs/SHARDING.md``.
+
 ``lint`` runs the :mod:`repro.analysis` invariant linter (rules
-R1–R12: label-write discipline, layering, determinism, fsync and
-threading containment, ...) over the tree, honouring inline
+R1–R13: label-write discipline, layering, determinism, fsync,
+threading and process containment, ...) over the tree, honouring inline
 suppressions and the committed ``analysis-baseline.json``; ``--format
 sarif`` is what CI's ``lint-invariants`` job archives.  See
 ``docs/ANALYSIS.md``.
@@ -77,7 +91,10 @@ XML (:class:`repro.errors.XmlSyntaxError`), 4 durability failure
 (:class:`repro.errors.DurabilityError` — corrupt WAL/snapshot,
 unrecoverable directory, ...), 5 replication failure
 (:class:`repro.errors.ReplicationError` — broken stream, failed
-re-bootstrap, or a ``lag --max-bytes`` bound exceeded).
+re-bootstrap, or a ``lag --max-bytes`` bound exceeded), 6 sharding
+failure (:class:`repro.errors.ShardError` — missing/corrupt manifest,
+quarantined shard, or an unavailable worker in ``fail_fast``/``reject``
+mode).
 """
 
 from __future__ import annotations
@@ -91,6 +108,7 @@ from repro.errors import (
     DurabilityError,
     ReplicationError,
     ReproError,
+    ShardError,
     XmlSyntaxError,
 )
 from repro.labeling.base import LabelingScheme
@@ -316,6 +334,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "resilience": bench.resilience_table,
         "throughput": bench.throughput_table,
         "replication": bench.replication_table,
+        "shard": bench.shard_table,
     }
     builder = exhibits.get(args.exhibit)
     if builder is None:
@@ -579,6 +598,155 @@ def cmd_lag(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_serve(args: argparse.Namespace) -> int:
+    """Run (and optionally create + churn) a supervised sharded collection."""
+    import json
+
+    from repro.shard import MANIFEST_NAME, ShardedCollection
+
+    existing = os.path.isfile(os.path.join(args.dir, MANIFEST_NAME))
+    if existing and args.files:
+        raise ShardError(
+            f"{args.dir} already holds a sharded collection; "
+            "drop the XML file arguments to open it"
+        )
+    if not existing and not args.files:
+        raise ShardError(
+            f"{args.dir} is not a sharded collection root; "
+            "pass XML files to create one"
+        )
+    with metrics.collecting() as registry:
+        if existing:
+            service = ShardedCollection.open(args.dir, fsync=args.fsync)
+        else:
+            service = ShardedCollection.create(
+                args.dir,
+                _read_documents(args.files),
+                shards=args.shards,
+                fsync=args.fsync,
+            )
+        try:
+            for i in range(args.churn):
+                if args.kill is not None and i == args.churn // 2:
+                    service.kill_worker(args.kill)
+                service.insert_child(i % service.doc_count, 0, 0, tag=f"churn{i}")
+            settled = service.settle()
+            rows = missing = None
+            if args.query:
+                result = service.query(args.query)
+                rows, missing = len(result.rows), sorted(result.missing_shards)
+            violations = sum(len(v) for v in service.audit().values())
+            statuses = service.status()
+            if args.churn:
+                service.checkpoint()
+        finally:
+            service.close()
+        snapshot = registry.snapshot()
+    healthy = settled and violations == 0
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": args.dir,
+                    "shards": [
+                        {
+                            "shard": h.shard_id,
+                            "state": h.state.value,
+                            "last_seq": h.last_seq,
+                            "restarts": h.restarts,
+                            "buffered_ops": h.buffered_ops,
+                        }
+                        for h in statuses
+                    ],
+                    "settled": settled,
+                    "audit_violations": violations,
+                    "query_rows": rows,
+                    "missing_shards": missing,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        verb = "opened" if existing else "created"
+        print(
+            f"{verb} sharded collection in {args.dir}: "
+            f"{len(statuses)} shard(s), {service.doc_count} document(s)"
+            + (f", churn={args.churn}" if args.churn else "")
+        )
+        for health in statuses:
+            print("  " + health.summary())
+        if rows is not None:
+            line = f"-- {rows} node(s) retrieved"
+            if missing:
+                line += f" (PARTIAL: shard(s) {missing} missing)"
+            print(line)
+        print(
+            f"settled: {'yes' if settled else 'NO'} | "
+            f"audit violations: {violations}"
+        )
+        _print_snapshot(snapshot)
+    return 0 if healthy else 1
+
+
+def cmd_shard_status(args: argparse.Namespace) -> int:
+    """Inspect a sharded collection root offline (no workers started)."""
+    import json
+
+    from repro.durable import WalReader, read_pointer
+    from repro.durable.recovery import WAL_NAME, list_shard_directories
+    from repro.shard import read_manifest
+
+    manifest = read_manifest(args.dir)
+    shards = []
+    for shard_id, path in list_shard_directories(args.dir):
+        pointer = read_pointer(path)
+        wal_path = os.path.join(str(path), WAL_NAME)
+        try:
+            wal_seq = WalReader(wal_path).last_lsn()
+        except (OSError, DurabilityError):
+            wal_seq = 0
+        shards.append(
+            {
+                "shard": shard_id,
+                "generation": pointer["generation"] if pointer else None,
+                "pointer_seq": pointer["last_seq"] if pointer else None,
+                "wal_seq": wal_seq,
+            }
+        )
+    if len(shards) != manifest.shards:
+        raise ShardError(
+            f"{args.dir} holds {len(shards)} shard director(ies) but the "
+            f"manifest promises {manifest.shards}"
+        )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "root": args.dir,
+                    "shards": manifest.shards,
+                    "doc_count": manifest.doc_count,
+                    "fsync": manifest.fsync,
+                    "group_size": manifest.group_size,
+                    "shard_dirs": shards,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"{args.dir}: sharded collection, {manifest.shards} shard(s), "
+            f"{manifest.doc_count} document(s), fsync={manifest.fsync}"
+        )
+        for entry in shards:
+            print(
+                f"  shard {entry['shard']}: generation={entry['generation']} "
+                f"pointer_seq={entry['pointer_seq']} wal_seq={entry['wal_seq']}"
+            )
+    return 0
+
+
 def cmd_recover(args: argparse.Namespace) -> int:
     from repro.durable import recover
 
@@ -731,6 +899,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit 5 if byte lag exceeds N")
     lag.set_defaults(handler=cmd_lag)
 
+    shard_serve = commands.add_parser(
+        "shard-serve",
+        help="run a supervised sharded collection (create it from XML files)",
+    )
+    shard_serve.add_argument("dir", help="sharded collection root")
+    shard_serve.add_argument("files", nargs="*",
+                             help="XML files (create mode only)")
+    shard_serve.add_argument("--shards", type=int, default=2,
+                             help="worker count when creating (default 2)")
+    shard_serve.add_argument("--fsync", default=fsync_default, help=fsync_help)
+    shard_serve.add_argument("--churn", type=int, default=0, metavar="N",
+                             help="apply N synthetic insertions through "
+                                  "the router")
+    shard_serve.add_argument("--kill", type=int, default=None, metavar="S",
+                             help="SIGKILL shard S's worker halfway through "
+                                  "the churn (restart + replay exercise)")
+    shard_serve.add_argument("--query",
+                             help="XPath-subset query to scatter-gather "
+                                  "after the churn")
+    shard_serve.add_argument("--json", action="store_true",
+                             help="emit the shard report as JSON")
+    shard_serve.set_defaults(handler=cmd_shard_serve)
+
+    shard_status = commands.add_parser(
+        "shard-status",
+        help="inspect a sharded collection root offline (no workers)",
+    )
+    shard_status.add_argument("dir", help="sharded collection root")
+    shard_status.add_argument("--json", action="store_true",
+                              help="emit the status report as JSON")
+    shard_status.set_defaults(handler=cmd_shard_status)
+
     health = commands.add_parser(
         "health", help="recover through the resilient layer and report health"
     )
@@ -769,6 +969,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except DurabilityError as error:
         print(f"error: durability failure: {error}", file=sys.stderr)
         return 4
+    except ShardError as error:
+        # Subclasses ReproError directly; caught before the generic
+        # handler to keep its own exit code.
+        print(f"error: sharding failure: {error}", file=sys.stderr)
+        return 6
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -33,9 +33,12 @@ from repro.durable.recovery import (
     BootstrapPoint,
     RecoveredState,
     RecoveryInfo,
+    list_shard_directories,
     read_pointer,
     recover,
+    recover_shard,
     resolve_bootstrap,
+    shard_directory,
     write_pointer,
 )
 from repro.durable.snapshot import (
@@ -69,9 +72,12 @@ __all__ = [
     "truncate_file",
     "RecoveredState",
     "RecoveryInfo",
+    "list_shard_directories",
     "read_pointer",
     "recover",
+    "recover_shard",
     "resolve_bootstrap",
+    "shard_directory",
     "write_pointer",
     "SnapshotState",
     "collection_fingerprint",

@@ -52,14 +52,23 @@ __all__ = [
     "RecoveryInfo",
     "RecoveredState",
     "apply_operation",
+    "list_shard_directories",
     "read_pointer",
     "recover",
+    "recover_shard",
     "resolve_bootstrap",
+    "shard_directory",
     "write_pointer",
 ]
 
 WAL_NAME = "wal.log"
 SNAPSHOT_PATTERN = re.compile(r"^snap-(\d{8})\.rpsn$")
+#: Per-shard subdirectory naming under a sharded-collection root.  Each
+#: ``shard-NN/`` is a complete, self-contained durable directory (its own
+#: ``wal.log`` + snapshot generations + ``CURRENT``), so shard recovery
+#: is exactly single-collection recovery run against the subdirectory —
+#: one shard's corruption can never spill into a sibling's state.
+SHARD_DIR_PATTERN = re.compile(r"^shard-(\d{2,})$")
 #: Atomic manifest naming the latest complete snapshot generation.  An
 #: *external* reader (a replica bootstrapping over a shared filesystem)
 #: cannot safely race ``list_generations`` against the primary's
@@ -84,6 +93,43 @@ def list_generations(directory: Path) -> List[int]:
         if match:
             generations.append(int(match.group(1)))
     return sorted(generations)
+
+
+def shard_directory(root: str | Path, shard_id: int) -> Path:
+    """The canonical durable directory for ``shard_id`` under ``root``."""
+    if shard_id < 0:
+        raise DurabilityError(f"shard id must be non-negative, got {shard_id}")
+    return Path(root) / f"shard-{shard_id:02d}"
+
+
+def list_shard_directories(root: str | Path) -> List[Tuple[int, Path]]:
+    """``(shard id, directory)`` pairs present under ``root``, ascending.
+
+    Only names matching :data:`SHARD_DIR_PATTERN` count; anything else in
+    the root (the shard manifest, stray files) is ignored.
+    """
+    root = Path(root)
+    found: List[Tuple[int, Path]] = []
+    if not root.is_dir():
+        return found
+    for entry in root.iterdir():
+        match = SHARD_DIR_PATTERN.match(entry.name)
+        if match and entry.is_dir():
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def recover_shard(
+    root: str | Path, shard_id: int, verify: bool = True
+) -> RecoveredState:
+    """Recover one shard of a sharded collection root.
+
+    The per-shard recovery entry point: runs the full single-collection
+    protocol (:func:`recover`) against the shard's private subdirectory.
+    This is what a restarted shard worker executes before rejoining the
+    router, and what operators can run offline on a single sick shard.
+    """
+    return recover(shard_directory(root, shard_id), verify=verify)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,8 @@ __all__ = [
     "SnapshotCorruptError",
     "RecoveryError",
     "ReplicationError",
+    "ShardError",
+    "ShardUnavailableError",
     "ResilienceError",
     "DegradedModeError",
     "DeadlineExceededError",
@@ -158,6 +160,58 @@ class ReplicationError(DurabilityError):
     durability handlers still catch it; the CLI maps it to its own exit
     code (5) ahead of the generic durability code (4).
     """
+
+
+class ShardError(ReproError):
+    """Base class for the sharded serving layer (:mod:`repro.shard`).
+
+    Raised for shard-service misuse (bad manifest, unknown shard, router
+    protocol violations).  Deliberately *not* a :class:`DurabilityError`:
+    a shard-layer failure says nothing about the per-shard durable state,
+    which each worker recovers independently.  The CLI maps it to its own
+    exit code (6), ahead of the generic :class:`ReproError` code (1).
+    """
+
+
+class ShardUnavailableError(ShardError):
+    """An operation routed to a shard that cannot serve it right now.
+
+    Mirrors :class:`CapacityError`'s context-rich contract: the message
+    alone tells an operator which shard failed, why, and what the
+    supervisor's restart budget looked like when the request was refused.
+
+    * ``shard`` — the shard id the document hashed to,
+    * ``state`` — the shard's supervision state (``down`` / ``quarantined``),
+    * ``restarts`` — restarts the supervisor has already spent on it,
+    * ``budget`` — the total restart budget before quarantine,
+    * ``hint`` — the recovery action an operator should take.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        state: str | None = None,
+        restarts: int | None = None,
+        budget: int | None = None,
+        hint: str | None = None,
+    ):
+        detail = message
+        if shard is not None:
+            detail += f" [shard {shard}"
+            if state:
+                detail += f" {state}"
+            if restarts is not None and budget is not None:
+                detail += f", restart budget {restarts}/{budget} spent"
+            detail += "]"
+        if hint:
+            detail += f" (recovery hint: {hint})"
+        super().__init__(detail)
+        self.shard = shard
+        self.state = state
+        self.restarts = restarts
+        self.budget = budget
+        self.hint = hint
 
 
 class ResilienceError(ReproError):

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CapacityError, QueryEvaluationError
+from repro.labeling.prime import PrimeScheme
 from repro.obs import metrics
 from repro.order.document import OrderedDocument, OrderedUpdateReport
 from repro.query.engine import QueryEngine
@@ -233,8 +234,6 @@ class LiveCollection:
         group_size: int | None = 5,
         strategy: str = "auto",
     ):
-        if not documents:
-            raise QueryEvaluationError("a collection needs at least one document")
         self.group_size = group_size
         self.strategy = strategy
         self._ordered: List[OrderedDocument] = [
@@ -270,8 +269,6 @@ class LiveCollection:
         a snapshot assembled from mixed-policy documents must not sneak past
         that invariant just because it arrives pre-built.
         """
-        if not ordered:
-            raise QueryEvaluationError("a collection needs at least one document")
         for index, document in enumerate(ordered):
             if document.sc_table.group_size != group_size:
                 raise QueryEvaluationError(
@@ -343,8 +340,13 @@ class LiveCollection:
         # PrimeOps resolves each comparison through the *owning* document's
         # scheme (they are per-document instances and can diverge after
         # updates); the first scheme is only the fallback for order holders
-        # without one.
-        store = LabelStore(rows, PrimeOps(self._ordered[0].scheme, ordered_by_doc))
+        # without one.  An empty collection (a legal state: a freshly
+        # created shard whose documents have not arrived yet) gets a
+        # throwaway scheme — there are no rows to compare against it.
+        fallback = (
+            self._ordered[0].scheme if self._ordered else PrimeScheme()
+        )
+        store = LabelStore(rows, PrimeOps(fallback, ordered_by_doc))
         return QueryEngine(store, strategy=self.strategy)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""Shard supervision states, health policy, and per-shard health records.
+
+The supervision state machine (documented with its transitions in
+``docs/SHARDING.md``)::
+
+    UP ──(death / hang)──▶ DOWN ──(backoff elapsed)──▶ UP  (restart)
+    DOWN ──(restart budget exhausted)──▶ QUARANTINED
+    any ──(service close)──▶ STOPPED
+
+``UP`` is the only state that serves requests.  ``DOWN`` is transient:
+the supervisor owes the shard a restart once its backoff delay expires.
+``QUARANTINED`` is terminal until an operator intervenes — a shard that
+kept dying straight through its restart budget is assumed to have a
+deterministic poison (corrupt state, a fault spec, a bad op) that
+another restart will not fix, and re-spawning it forever would burn the
+host while flapping the router's routing table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.resilient.policy import RetryPolicy
+
+__all__ = ["HealthPolicy", "ShardHealth", "ShardState"]
+
+
+class ShardState(enum.Enum):
+    """Where one shard sits in the supervision state machine."""
+
+    UP = "up"
+    DOWN = "down"
+    QUARANTINED = "quarantined"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs for heartbeat, hang detection, restart, and quarantine.
+
+    Restart pacing reuses the resilient layer's :class:`RetryPolicy`
+    verbatim — a worker restart *is* a retry of the shard, so it gets the
+    same capped exponential backoff with seeded jitter, just across a
+    process boundary instead of around a WAL append.
+    """
+
+    #: Seconds between proactive heartbeat rounds in :meth:`tick`.
+    heartbeat_interval: float = 0.5
+    #: Per-ping deadline; a miss counts toward hang detection.
+    heartbeat_timeout: float = 1.0
+    #: Consecutive missed heartbeats before a worker is declared hung
+    #: (and killed: a wedged process is treated exactly like a dead one).
+    max_missed_heartbeats: int = 2
+    #: Consecutive crashes tolerated; the next one quarantines the shard.
+    restart_budget: int = 3
+    #: Backoff/jitter source for restart pacing.
+    restart: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=4, base_delay=0.05, max_delay=1.0, seed=0
+        )
+    )
+    #: Deadline for the post-(re)start handshake ping, which must wait
+    #: out interpreter start plus per-shard recovery.
+    handshake_timeout: float = 30.0
+
+
+@dataclass
+class ShardHealth:
+    """One shard's supervision status, as reported by ``status()``."""
+
+    shard_id: int
+    state: ShardState
+    pid: Optional[int] = None
+    #: Total restarts over the supervisor's lifetime.
+    restarts: int = 0
+    #: Crashes since the last successfully served request (the counter
+    #: the restart budget is charged against).
+    consecutive_failures: int = 0
+    missed_heartbeats: int = 0
+    #: Highest WAL sequence number the router has seen acked/recovered.
+    last_seq: int = 0
+    #: Mutations parked router-side while the shard is away.
+    buffered_ops: int = 0
+    quarantine_reason: Optional[str] = None
+
+    def summary(self) -> str:
+        """One status line, ``shard-status``-style."""
+        line = (
+            f"shard {self.shard_id}: {self.state.value} "
+            f"pid={self.pid or '-'} seq={self.last_seq} "
+            f"restarts={self.restarts}"
+        )
+        if self.buffered_ops:
+            line += f" buffered={self.buffered_ops}"
+        if self.quarantine_reason:
+            line += f" reason={self.quarantine_reason!r}"
+        return line

@@ -1,0 +1,77 @@
+"""Request/response framing for the router ⇄ worker control pipe.
+
+The RPC layer is deliberately thin: plain picklable dataclasses sent
+over a :class:`multiprocessing.connection.Connection`.  Three rules give
+it its timeout and crash semantics:
+
+* every request carries a per-shard monotonically increasing ``id``; a
+  response echoes the id of the request it answers,
+* the router may *abandon* a request (deadline expired) and move on; a
+  late response then sits in the pipe until the next receive, which
+  discards any response with ``id`` lower than the one it waits for,
+* a failed request travels back as data, not as a raised exception: the
+  worker catches its own errors, classifies them with the resilient
+  layer's fault domains, and ships ``(kind, message, domain)`` so the
+  router can rehydrate a *typed* error in its own process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Type
+
+from repro import errors as _errors
+from repro.errors import ReproError, ShardError
+from repro.resilient.policy import classify_fault
+
+__all__ = ["Request", "Response", "encode_error", "rehydrate_error"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One routed operation: ``kind`` selects the worker handler."""
+
+    id: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The worker's answer to the request with the same ``id``."""
+
+    id: int
+    ok: bool
+    value: Any = None
+    error: Optional[Dict[str, str]] = None
+
+
+def encode_error(error: BaseException) -> Dict[str, str]:
+    """Flatten an exception into a picklable ``(kind, message, domain)``.
+
+    The concrete class name (not the instance) crosses the pipe, so a
+    worker-side failure can never smuggle unpicklable state — or code —
+    into the router process.
+    """
+    return {
+        "kind": type(error).__name__,
+        "message": str(error),
+        "domain": classify_fault(error).name,
+    }
+
+
+def rehydrate_error(encoded: Dict[str, str], shard: int) -> ReproError:
+    """Rebuild a typed exception from a worker's encoded error.
+
+    Error kinds named in :mod:`repro.errors` come back as that type (so
+    ``except CapacityError`` works identically against a sharded or a
+    local collection); anything else — a worker-side ``KeyError``, say —
+    surfaces as a :class:`ShardError` carrying the original kind.
+    """
+    kind = encoded.get("kind", "ShardError")
+    message = encoded.get("message", "shard worker error")
+    candidate = getattr(_errors, kind, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        exc_type: Type[ReproError] = candidate
+        return exc_type(f"shard {shard}: {message}")
+    return ShardError(f"shard {shard} failed with {kind}: {message}")

@@ -1,4 +1,4 @@
-"""Fixture tests for rules R1–R12: each must trigger and suppress.
+"""Fixture tests for rules R1–R13: each must trigger and suppress.
 
 Every fixture is an in-memory snippet linted under a *virtual* repo path
 (rules decide applicability from the path), with a ``{S}`` placeholder
@@ -134,6 +134,21 @@ TRIGGERS = [
         "src/repro/query/bad.py",
         "from concurrent.futures import ThreadPoolExecutor{S}\n",
     ),
+    (
+        "R13",
+        "src/repro/durable/bad.py",
+        "import multiprocessing{S}\n",
+    ),
+    (
+        "R13",
+        "src/repro/resilient/bad.py",
+        "from subprocess import Popen{S}\n",
+    ),
+    (
+        "R13",
+        "src/repro/replica/bad.py",
+        "import os\n\ndef clone():\n    return os.fork(){S}\n",
+    ),
 ]
 
 IDS = [f"{rule}-{path.rsplit('/', 2)[-2]}" for rule, path, _ in TRIGGERS]
@@ -240,6 +255,16 @@ CLEAN = [
     ("src/repro/replica/runtime.py", "import threading\n"),
     ("src/repro/replica/good.py", "from concurrent.futures import ThreadPoolExecutor\n"),
     ("src/repro/query/live.py", "import threading\n"),
+    # R13: the sharding layer owns process spawning; os.kill is not a spawn.
+    ("src/repro/shard/supervisor.py", "import multiprocessing\n"),
+    (
+        "src/repro/shard/worker.py",
+        "import os\n\ndef die():\n    os._exit(70)\n",
+    ),
+    (
+        "src/repro/durable/good3.py",
+        "import os\nimport signal\n\ndef ok(pid):\n    os.kill(pid, signal.SIGTERM)\n",
+    ),
 ]
 
 

@@ -313,9 +313,65 @@ class TestReplicationVerbs:
         assert main(["serve", str(tmp_path / "nope"), "--duration", "0.1"]) == 2
 
 
+class TestShardVerbs:
+    def test_serve_creates_churns_kills_and_recovers(self, xml_file, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "sharded"
+        assert (
+            main(
+                ["shard-serve", str(root), xml_file, xml_file,
+                 "--shards", "2", "--churn", "8", "--kill", "0",
+                 "--query", "//*", "--json"]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["settled"] is True
+        assert report["audit_violations"] == 0
+        assert report["missing_shards"] == []
+        states = {entry["shard"]: entry["state"] for entry in report["shards"]}
+        assert states == {0: "up", 1: "up"}
+        # The killed worker restarted through recovery mid-churn.
+        assert any(entry["restarts"] >= 1 for entry in report["shards"])
+
+    def test_serve_then_reopen_and_offline_status(self, xml_file, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "sharded"
+        assert main(["shard-serve", str(root), xml_file, xml_file]) == 0
+        capsys.readouterr()
+        assert main(["shard-serve", str(root), "--churn", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "opened sharded collection" in out and "churn=4" in out
+        assert main(["shard-status", str(root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["shards"] == 2 and report["doc_count"] == 2
+        assert len(report["shard_dirs"]) == 2
+        # The churn's WAL records are visible offline, no workers needed.
+        assert sum(e["wal_seq"] for e in report["shard_dirs"]) >= 4
+
+    def test_serve_create_over_existing_root_is_refused(
+        self, xml_file, tmp_path, capsys
+    ):
+        root = tmp_path / "sharded"
+        assert main(["shard-serve", str(root), xml_file]) == 0
+        capsys.readouterr()
+        assert main(["shard-serve", str(root), xml_file]) == 6
+        assert "already holds" in capsys.readouterr().err
+
+    def test_serve_open_without_manifest_is_refused(self, tmp_path, capsys):
+        assert main(["shard-serve", str(tmp_path)]) == 6
+        assert "not a sharded collection root" in capsys.readouterr().err
+
+    def test_status_on_garbage_directory_is_six(self, tmp_path, capsys):
+        assert main(["shard-status", str(tmp_path)]) == 6
+        assert "sharding failure" in capsys.readouterr().err
+
+
 class TestExitCodeContract:
     """Exit codes are API: 1 generic, 2 missing file, 3 bad XML,
-    4 durability, 5 replication."""
+    4 durability, 5 replication, 6 sharding."""
 
     def test_generic_repro_error_is_one(self, play_file):
         assert main(["query", "PLAY//", play_file]) == 1
@@ -339,6 +395,11 @@ class TestExitCodeContract:
         directory = tmp_path / "state"
         assert main(["dump", str(directory), play_file]) == 0
         assert main(["replicate", str(directory), "--connect", "bad"]) == 5
+
+    def test_shard_error_is_six_not_one(self, tmp_path):
+        # ShardError subclasses ReproError; the CLI must map it to 6,
+        # not fall through to the generic code.
+        assert main(["shard-status", str(tmp_path)]) == 6
 
 
 class TestBenchDurability:

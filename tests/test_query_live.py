@@ -23,9 +23,14 @@ class TestQueries:
     def test_text_predicate(self, collection):
         assert collection.count("/book/author[.='John']") == 1
 
-    def test_empty_collection_rejected(self):
-        with pytest.raises(QueryEvaluationError):
-            LiveCollection([])
+    def test_empty_collection_answers_empty(self):
+        # Legal since sharding: a shard that owns no documents still
+        # serves queries (they just match nothing) and accepts adds.
+        live = LiveCollection([])
+        assert live.count("//*") == 0
+        assert live.query("//line") == []
+        live.add_document(parse_document(DOC_A))
+        assert live.count("/play//line") == 3
 
     def test_merge_strategy_supported(self):
         live = LiveCollection([parse_document(DOC_A)], strategy="merge")
