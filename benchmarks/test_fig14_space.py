@@ -9,6 +9,7 @@ import pytest
 
 from repro.bench.spaces import LEAF_THRESHOLD_BITS, figure14_table
 from repro.datasets.niagara import DATASET_NAMES, build_dataset
+from repro.labeling.compact import DahlgaardScheme, FraigniaudKormanScheme
 from repro.labeling.interval import XissIntervalScheme
 from repro.labeling.prefix import Prefix2Scheme
 from repro.labeling.prime import PrimeScheme
@@ -19,6 +20,8 @@ SCHEMES = {
         reserved_primes=64, power2_leaves=True, leaf_threshold_bits=LEAF_THRESHOLD_BITS
     ),
     "prefix-2": Prefix2Scheme,
+    "dkr": DahlgaardScheme,
+    "fk-depth": FraigniaudKormanScheme,
 }
 
 
@@ -47,3 +50,9 @@ def test_fig14_whole_figure(benchmark):
     wins = sum(1 for row in table.as_dicts() if row["Prime"] <= row["Prefix-2"])
     benchmark.extra_info["prime_wins_vs_prefix2"] = f"{wins}/{len(table.rows)}"
     assert wins >= 5  # "the best savings ... for the majority of the datasets"
+    for row in table.as_dicts():
+        # The compact ancestry baselines must sit at or below the interval
+        # scheme everywhere — they answer strictly less (no parent/child,
+        # no order) in strictly fewer bits.
+        assert row["DKR"] <= row["Interval"], row
+        assert row["FK-depth"] <= row["Interval"], row

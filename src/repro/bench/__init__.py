@@ -7,6 +7,7 @@ series the paper reports.  The ``benchmarks/`` directory wraps these in
 pytest-benchmark targets; examples and EXPERIMENTS.md print them directly.
 """
 
+from repro.bench.compaction import compaction_table
 from repro.bench.durability import durability_table
 from repro.bench.harness import ResultTable
 from repro.bench.models import figure3_table, figure4_table, figure5_table
@@ -21,6 +22,7 @@ from repro.bench.updates import figure16_table, figure17_table, figure18_table
 
 __all__ = [
     "ResultTable",
+    "compaction_table",
     "durability_table",
     "planner_table",
     "replication_table",

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.bench.harness import ResultTable
 from repro.datasets.niagara import DATASET_NAMES, build_dataset, table1_rows
+from repro.labeling.compact import DahlgaardScheme, FraigniaudKormanScheme
 from repro.labeling.interval import XissIntervalScheme
 from repro.labeling.pathcollapse import collapse_tree
 from repro.labeling.prefix import Prefix2Scheme
@@ -76,16 +77,26 @@ def figure13_table(datasets: Sequence[str] = DATASET_NAMES) -> ResultTable:
 
 
 def figure14_table(datasets: Sequence[str] = DATASET_NAMES) -> ResultTable:
-    """Figure 14: fixed-length label size (bits) per scheme and dataset."""
+    """Figure 14: fixed-length label size (bits) per scheme and dataset.
+
+    Extended beyond the paper's three bars with the two compact ancestry
+    baselines of :mod:`repro.labeling.compact` — the Dahlgaard et al.
+    ``lg n + 2 lg lg n``-bit optimum ("DKR") and the Fraigniaud–Korman
+    small-depth tuning ("FK-depth") — charting how far every
+    parent/child-capable scheme sits from the ancestry-only floor.
+    """
     table = ResultTable(
         title="Figure 14: space requirements of the labeling schemes",
-        columns=("dataset", "Interval", "Prime", "Prefix-2"),
-        note="Prime runs with Opt1+Opt2, as in the paper's comparative study",
+        columns=("dataset", "Interval", "Prime", "Prefix-2", "DKR", "FK-depth"),
+        note="Prime runs with Opt1+Opt2, as in the paper's comparative "
+        "study; DKR / FK-depth are ancestry-only compact baselines",
     )
     for name in datasets:
         root = build_dataset(name)
         interval = XissIntervalScheme().label_tree(root).max_label_bits()
         prime = _prime_max_bits(root, reserved=64, power2=True)
         prefix2 = Prefix2Scheme().label_tree(root).max_label_bits()
-        table.add_row(name, interval, prime, prefix2)
+        dkr = DahlgaardScheme().label_tree(root).max_label_bits()
+        fk = FraigniaudKormanScheme().label_tree(root).max_label_bits()
+        table.add_row(name, interval, prime, prefix2, dkr, fk)
     return table

@@ -112,6 +112,7 @@ from repro.errors import (
     XmlSyntaxError,
 )
 from repro.labeling.base import LabelingScheme
+from repro.labeling.compact import DahlgaardScheme, FraigniaudKormanScheme
 from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import StartEndIntervalScheme, XissIntervalScheme
 from repro.labeling.prefix import Prefix1Scheme, Prefix2Scheme
@@ -136,6 +137,8 @@ SCHEME_FACTORIES: Dict[str, Callable[[], LabelingScheme]] = {
     "prefix-1": Prefix1Scheme,
     "prefix-2": Prefix2Scheme,
     "dewey": DeweyScheme,
+    "dkr": DahlgaardScheme,
+    "fk-depth": FraigniaudKormanScheme,
 }
 
 #: schemes the relational label store (and thus `query`) supports
@@ -331,6 +334,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fig17": bench.figure17_table,
         "fig18": bench.figure18_table,
         "durability": bench.durability_table,
+        "compaction": bench.compaction_table,
         "resilience": bench.resilience_table,
         "throughput": bench.throughput_table,
         "replication": bench.replication_table,

@@ -31,8 +31,21 @@ arbitrary-precision integers and a CRC32 footer over the whole body::
                         int max_prime ×(int modulus, int residue)
     footer   4 bytes CRC32 of everything above
 
-where ``int`` is a 2-byte length + big-endian magnitude (labels are
-products of primes and routinely exceed machine words).
+where ``int`` is, in versions 1–2, a 2-byte length + big-endian magnitude
+(labels are products of primes and routinely exceed machine words) and,
+in version 3, the LEB128 varint of :func:`repro.labeling.codec.write_uvarint`.
+The legacy length prefix caps one integer at 64 KiB of magnitude — the v1/v2
+writer now rejects larger values with a typed
+:class:`~repro.errors.SnapshotCorruptError` instead of leaking a bare
+``struct.error``; the varint encoding removes the limit (up to the codec's
+anti-flood bound).  Version 3 additionally appends, per document, the
+Opt2 leaf-allocation counters of
+:meth:`repro.labeling.prime.PrimeScheme.export_state`::
+
+    leaf     4B entry count ×(varint parent_value, varint next_index)
+
+so a restored scheme resumes power-of-two leaf issuance exactly where the
+snapshotted one stood.  Readers accept versions 1–3; writers default to 3.
 
 Writes are atomic: the blob goes to ``<name>.tmp``, is fsynced, and is
 ``os.replace``d over the final name — a crash mid-snapshot leaves the
@@ -53,11 +66,11 @@ from typing import List, Optional, Tuple
 
 from repro.durable.faults import FaultInjector
 from repro.errors import LabelingError, OrderingError, SnapshotCorruptError
+from repro.labeling.codec import read_uvarint, write_uvarint
 from repro.labeling.prime import PrimeLabel, PrimeScheme
 from repro.obs import metrics
 from repro.order.document import OrderedDocument
 from repro.order.sc_table import SCTable
-from repro.primes.gen import PrimeGenerator
 from repro.query.live import LiveCollection
 from repro.query.persist import _Reader, _write_string
 from repro.xmlkit.tree import XmlElement
@@ -71,7 +84,13 @@ __all__ = [
 ]
 
 _MAGIC = b"RPSN"
-_VERSION = 1
+_VERSION = 3
+#: Versions whose integers use the legacy 2-byte-length encoding and which
+#: carry no leaf-counter section.  Layout-identical; the version byte split
+#: exists so files written before and after the CRC-era conventions read
+#: the same way.
+_LEGACY_VERSIONS = (1, 2)
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _NO_GROUP_SIZE = 0xFFFFFFFF
 
 Groups = List[Tuple[int, List[Tuple[int, int]]]]
@@ -85,6 +104,9 @@ class DocumentState:
     labels: List[Tuple[int, int]]  # (value, self_label) in preorder
     generator_state: Tuple[int, int, int, int]
     sc_groups: Groups
+    #: Opt2 leaf-allocation counters (parent label value -> next leaf
+    #: index); always empty for legacy (v1/v2) snapshots.
+    leaf_counters: Tuple[Tuple[int, int], ...] = ()
 
 
 @dataclass
@@ -99,7 +121,8 @@ class SnapshotState:
 
 
 # ----------------------------------------------------------------------
-# Encoding helpers (int = 2B length + big-endian magnitude)
+# Encoding helpers: legacy (v1/v2) int = 2B length + big-endian magnitude;
+# v3 int = LEB128 varint
 # ----------------------------------------------------------------------
 
 
@@ -107,6 +130,14 @@ def _write_int(out: List[bytes], value: int) -> None:
     if value < 0:
         raise SnapshotCorruptError(f"cannot encode negative integer {value}")
     data = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    if len(data) > 0xFFFF:
+        # The 2-byte length prefix tops out at 64 KiB of magnitude; without
+        # this guard the struct.pack below escapes as a bare struct.error
+        # from deep inside the write path.  Format v3 has no such ceiling.
+        raise SnapshotCorruptError(
+            f"integer of {len(data)} bytes exceeds the legacy snapshot "
+            "encoding's 65535-byte field limit; write format v3 instead"
+        )
     out.append(struct.pack(">H", len(data)))
     out.append(data)
 
@@ -114,6 +145,19 @@ def _write_int(out: List[bytes], value: int) -> None:
 def _read_int(reader: _Reader) -> int:
     (length,) = reader.unpack(">H")
     return int.from_bytes(reader.take(length), "big")
+
+
+def _write_varint(out: List[bytes], value: int) -> None:
+    if value < 0:
+        raise SnapshotCorruptError(f"cannot encode negative integer {value}")
+    buf: List[int] = []
+    write_uvarint(value, buf)
+    out.append(bytes(buf))
+
+
+def _read_varint(reader: _Reader) -> int:
+    value, reader.offset = read_uvarint(reader.blob, reader.offset)
+    return value
 
 
 def _write_tree(out: List[bytes], node: XmlElement) -> None:
@@ -148,9 +192,19 @@ def _read_tree(reader: _Reader) -> XmlElement:
 # ----------------------------------------------------------------------
 
 
-def snapshot_bytes(collection: LiveCollection, last_seq: int = 0) -> bytes:
-    """Encode ``collection`` as a complete snapshot blob (footer included)."""
-    out: List[bytes] = [_MAGIC, struct.pack(">B", _VERSION)]
+def snapshot_bytes(
+    collection: LiveCollection, last_seq: int = 0, version: int = _VERSION
+) -> bytes:
+    """Encode ``collection`` as a complete snapshot blob (footer included).
+
+    ``version`` defaults to the current format (3: varint integers plus
+    the Opt2 leaf-counter section); 1 and 2 write the legacy layout and
+    are kept for compatibility tests.
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise SnapshotCorruptError(f"cannot write snapshot version {version}")
+    write_int = _write_varint if version >= 3 else _write_int
+    out: List[bytes] = [_MAGIC, struct.pack(">B", version)]
     out.append(struct.pack(">QQ", last_seq, collection.total_update_cost))
     group_size = collection.group_size
     out.append(
@@ -167,16 +221,22 @@ def snapshot_bytes(collection: LiveCollection, last_seq: int = 0) -> bytes:
         out.append(struct.pack(">I", len(nodes)))
         for node in nodes:
             label: PrimeLabel = document.label_of(node)
-            _write_int(out, label.value)
-            _write_int(out, label.self_label)
+            write_int(out, label.value)
+            write_int(out, label.self_label)
         groups = document.sc_table.groups()
         out.append(struct.pack(">I", len(groups)))
         for max_prime, members in groups:
             out.append(struct.pack(">I", len(members)))
-            _write_int(out, max_prime)
+            write_int(out, max_prime)
             for modulus, residue in members:
-                _write_int(out, modulus)
-                _write_int(out, residue)
+                write_int(out, modulus)
+                write_int(out, residue)
+        if version >= 3:
+            _, leaf_counters = document.scheme.export_state()
+            out.append(struct.pack(">I", len(leaf_counters)))
+            for parent_value, next_index in leaf_counters:
+                write_int(out, parent_value)
+                write_int(out, next_index)
     body = b"".join(out)
     return body + struct.pack(">I", zlib.crc32(body))
 
@@ -186,15 +246,17 @@ def write_snapshot(
     path: str | Path,
     last_seq: int = 0,
     faults: Optional[FaultInjector] = None,
+    version: int = _VERSION,
 ) -> int:
     """Atomically write a snapshot of ``collection``; returns bytes written.
 
     ``last_seq`` is the WAL sequence number of the last operation already
     reflected in the collection — recovery replays strictly after it.
+    ``version`` selects the snapshot format (see :func:`snapshot_bytes`).
     """
     with metrics.timed("snapshot.write"):
         path = Path(path)
-        blob = snapshot_bytes(collection, last_seq)
+        blob = snapshot_bytes(collection, last_seq, version=version)
         if faults is not None:
             blob = faults.on_snapshot(blob)
             # The transient-I/O hook fires before the temp file is opened,
@@ -241,7 +303,13 @@ def read_snapshot(path: str | Path) -> SnapshotState:
         )
     try:
         state = _decode_body(body, path)
-    except (ValueError, IndexError, UnicodeDecodeError, struct.error) as error:
+    except (
+        ValueError,
+        IndexError,
+        UnicodeDecodeError,
+        struct.error,
+        LabelingError,
+    ) as error:
         raise SnapshotCorruptError(f"corrupt snapshot {path}: {error}") from error
     metrics.incr("snapshot.loads")
     return state
@@ -252,8 +320,9 @@ def _decode_body(body: bytes, path: Path) -> SnapshotState:
     if reader.take(4) != _MAGIC:
         raise SnapshotCorruptError(f"{path} is not a snapshot file")
     (version,) = reader.unpack(">B")
-    if version != _VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise SnapshotCorruptError(f"unsupported snapshot version {version}")
+    read_int = _read_varint if version >= 3 else _read_int
     last_seq, total_cost = reader.unpack(">QQ")
     (raw_group_size,) = reader.unpack(">I")
     group_size = None if raw_group_size == _NO_GROUP_SIZE else raw_group_size
@@ -264,22 +333,29 @@ def _decode_body(body: bytes, path: Path) -> SnapshotState:
         root = _read_tree(reader)
         generator_state = reader.unpack(">IIIQ")
         (label_count,) = reader.unpack(">I")
-        labels = [(_read_int(reader), _read_int(reader)) for _ in range(label_count)]
+        labels = [(read_int(reader), read_int(reader)) for _ in range(label_count)]
         (group_count,) = reader.unpack(">I")
         groups: Groups = []
         for _ in range(group_count):
             (member_count,) = reader.unpack(">I")
-            max_prime = _read_int(reader)
+            max_prime = read_int(reader)
             members = [
-                (_read_int(reader), _read_int(reader)) for _ in range(member_count)
+                (read_int(reader), read_int(reader)) for _ in range(member_count)
             ]
             groups.append((max_prime, members))
+        leaf_counters: Tuple[Tuple[int, int], ...] = ()
+        if version >= 3:
+            (counter_count,) = reader.unpack(">I")
+            leaf_counters = tuple(
+                (read_int(reader), read_int(reader)) for _ in range(counter_count)
+            )
         documents.append(
             DocumentState(
                 root=root,
                 labels=labels,
                 generator_state=generator_state,
                 sc_groups=groups,
+                leaf_counters=leaf_counters,
             )
         )
     return SnapshotState(
@@ -307,14 +383,12 @@ def restore_collection(state: SnapshotState) -> LiveCollection:
                     reserved_primes=doc_state.generator_state[0],
                     power2_leaves=False,
                 )
-                scheme._generator = PrimeGenerator.from_state(
-                    doc_state.generator_state
+                scheme.restore_state(
+                    doc_state.root,
+                    doc_state.labels,
+                    doc_state.generator_state,
+                    doc_state.leaf_counters,
                 )
-                scheme._root = doc_state.root
-                for node, (value, self_label) in zip(nodes, doc_state.labels):
-                    scheme._set_label(
-                        node, PrimeLabel(value=value, self_label=self_label)
-                    )
                 table = SCTable.from_groups(
                     doc_state.sc_groups, group_size=state.group_size
                 )

@@ -14,7 +14,20 @@ File layout (all integers big-endian)::
     record   8 bytes seq   — monotonically increasing, +1 per record
              4 bytes len   — payload byte count
              4 bytes crc   — CRC32 over (seq ‖ len ‖ payload)
-             len bytes payload — canonical JSON of one operation
+             len bytes payload — one encoded operation
+
+The record framing (seq/len/crc) is identical in every version; the
+header's version byte selects only the *payload* encoding:
+
+* version 1 — canonical JSON (sorted keys, no whitespace),
+* version 3 — the compact binary operation codec: 1 opcode byte, then the
+  operation's fields as LEB128 varints (ints) and varint-length-prefixed
+  UTF-8 (strings).  Batch records nest their sub-operations with the same
+  grammar; opcode 0 is a varint-length-prefixed JSON fallback for shapes
+  the binary codec does not know, so no payload is ever unrepresentable.
+
+Fresh logs are written at version 3; appending to an existing log always
+keeps the version its header declares, and readers accept both.
 
 Sequence numbers are assigned by the log and never reused; a snapshot
 records the last sequence it covers, so the replay suffix is "every
@@ -61,12 +74,15 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.durable.faults import FaultInjector
-from repro.errors import DurabilityError, WalCorruptError
+from repro.errors import DurabilityError, LabelingError, WalCorruptError
+from repro.labeling.codec import read_uvarint, write_uvarint
 from repro.obs import metrics
 
 __all__ = [
     "FsyncPolicy",
+    "SUPPORTED_WAL_VERSIONS",
     "WAL_HEADER",
+    "WAL_MAGIC",
     "WalReader",
     "WalRecord",
     "WalScan",
@@ -75,6 +91,7 @@ __all__ = [
     "scan_records",
     "scan_wal",
     "scan_wal_from",
+    "wal_header",
 ]
 
 
@@ -89,13 +106,30 @@ def batch_record(ops: List[Dict[str, Any]]) -> Dict[str, Any]:
     return {"op": "batch", "count": len(ops), "ops": list(ops)}
 
 _MAGIC = b"RPWL"
-_VERSION = 1
+#: The version fresh logs are created at (binary payloads).
+_DEFAULT_VERSION = 3
+#: Versions this scanner can read: 1 (JSON payloads) and 3 (binary
+#: payloads; 3 to match the repo-wide format-v3 generation of the RPLS
+#: store and RPSN snapshot).
+SUPPORTED_WAL_VERSIONS = (1, 3)
 _HEADER_LEN = 5
-#: The exact 5 header bytes every log starts with — public so transports
-#: that ship raw WAL bytes (``repro.replica``) can validate a stream
-#: without importing scanner internals.
-WAL_HEADER = _MAGIC + bytes([_VERSION])
+#: The 4 magic bytes every log starts with — public so transports that
+#: ship raw WAL bytes (``repro.replica``) can validate a stream without
+#: importing scanner internals; the fifth header byte is the version,
+#: checked against :data:`SUPPORTED_WAL_VERSIONS`.
+WAL_MAGIC = _MAGIC
+#: The exact 5 header bytes of a *version-1* log, kept for callers that
+#: predate multi-version headers; new code should use :func:`wal_header`
+#: or validate magic and version separately.
+WAL_HEADER = _MAGIC + bytes([1])
 _RECORD_HEADER = struct.Struct(">QII")  # seq, payload length, crc32
+
+
+def wal_header(version: int = _DEFAULT_VERSION) -> bytes:
+    """The 5 header bytes of a log at ``version`` (magic ‖ version)."""
+    if version not in SUPPORTED_WAL_VERSIONS:
+        raise DurabilityError(f"unsupported WAL version {version}")
+    return _MAGIC + bytes([version])
 #: Upper bound on one payload — anything larger is treated as corruption
 #: (a flipped length byte must not make the scanner swallow the file).
 _MAX_PAYLOAD = 64 * 1024 * 1024
@@ -168,6 +202,9 @@ class WalScan:
     valid_bytes: int  # offset of the first byte the scanner distrusts
     total_bytes: int
     stop_reason: str = "clean"
+    #: Payload-format version of the scanned stream (1 when scanning
+    #: empty/headerless data, where no payload was ever decoded).
+    version: int = 1
 
     @property
     def torn_bytes(self) -> int:
@@ -180,14 +217,149 @@ class WalScan:
         return self.records[-1].seq if self.records else 0
 
 
-def _encode_payload(op: Dict[str, Any]) -> bytes:
+# ----------------------------------------------------------------------
+# Payload codecs: v1 = canonical JSON, v3 = binary opcode + varints
+# ----------------------------------------------------------------------
+
+_OPCODES = {
+    "insert_child": 1,
+    "insert_before": 2,
+    "insert_after": 3,
+    "delete": 4,
+    "add_document": 5,
+    "compact": 6,
+    "batch": 7,
+}
+_OP_NAMES = {code: name for name, code in _OPCODES.items()}
+#: Field order and type per binary-encodable operation (batch is special-
+#: cased).  An op whose keys or types stray from its shape falls back to
+#: the JSON opcode so nothing is silently dropped or coerced.
+_OP_FIELDS = {
+    "insert_child": (("doc", int), ("parent", int), ("index", int), ("tag", str)),
+    "insert_before": (("doc", int), ("ref", int), ("tag", str)),
+    "insert_after": (("doc", int), ("ref", int), ("tag", str)),
+    "delete": (("doc", int), ("node", int)),
+    "add_document": (("xml", str),),
+    "compact": (),
+}
+
+
+def _matches_shape(op: Dict[str, Any], fields) -> bool:
+    if set(op) != {"op", *(name for name, _ in fields)}:
+        return False
+    for name, kind in fields:
+        value = op[name]
+        if kind is int:
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                return False
+        elif not isinstance(value, str):
+            return False
+    return True
+
+
+def _write_bytes_field(out: bytearray, data: bytes) -> None:
+    write_uvarint(len(data), out)
+    out.extend(data)
+
+
+def _encode_op_v3(op: Dict[str, Any], out: bytearray, depth: int = 0) -> None:
+    kind = op.get("op")
+    fields = _OP_FIELDS.get(kind)
+    if fields is not None and _matches_shape(op, fields):
+        out.append(_OPCODES[kind])
+        for name, field_kind in fields:
+            if field_kind is int:
+                write_uvarint(op[name], out)
+            else:
+                _write_bytes_field(out, op[name].encode("utf-8"))
+        return
+    if (
+        depth == 0
+        and kind == "batch"
+        and set(op) == {"op", "count", "ops"}
+        and isinstance(op.get("ops"), list)
+        and op.get("count") == len(op["ops"])
+        and all(isinstance(sub, dict) for sub in op["ops"])
+    ):
+        out.append(_OPCODES["batch"])
+        write_uvarint(len(op["ops"]), out)
+        for sub in op["ops"]:
+            _encode_op_v3(sub, out, depth=1)
+        return
+    # JSON fallback (opcode 0) for shapes the binary grammar doesn't
+    # cover; length-prefixed so it stays self-delimiting inside a batch.
+    out.append(0)
+    _write_bytes_field(
+        out, json.dumps(op, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def _decode_op_v3(payload: bytes, offset: int, depth: int = 0):
+    if offset >= len(payload):
+        raise ValueError("truncated v3 operation")
+    opcode = payload[offset]
+    offset += 1
+    if opcode == 0:
+        length, offset = read_uvarint(payload, offset)
+        if length > len(payload) - offset:
+            raise ValueError("truncated JSON-fallback operation")
+        op = json.loads(payload[offset : offset + length].decode("utf-8"))
+        if not isinstance(op, dict) or "op" not in op:
+            raise ValueError("fallback payload is not an operation object")
+        return op, offset + length
+    name = _OP_NAMES.get(opcode)
+    if name is None:
+        raise ValueError(f"unknown v3 opcode {opcode}")
+    if name == "batch":
+        if depth:
+            raise ValueError("nested batch records are not valid")
+        count, offset = read_uvarint(payload, offset)
+        if count > len(payload) - offset:  # every sub-op costs >= 1 byte
+            raise ValueError(f"batch claims {count} ops beyond the payload")
+        ops = []
+        for _ in range(count):
+            sub, offset = _decode_op_v3(payload, offset, depth=1)
+            ops.append(sub)
+        return {"op": "batch", "count": count, "ops": ops}, offset
+    op: Dict[str, Any] = {"op": name}
+    for field, field_kind in _OP_FIELDS[name]:
+        if field_kind is int:
+            value, offset = read_uvarint(payload, offset)
+        else:
+            length, offset = read_uvarint(payload, offset)
+            if length > len(payload) - offset:
+                raise ValueError("truncated string field")
+            value = payload[offset : offset + length].decode("utf-8")
+            offset += length
+        op[field] = value
+    return op, offset
+
+
+def _encode_payload(op: Dict[str, Any], version: int = 1) -> bytes:
+    if version >= 3:
+        out = bytearray()
+        _encode_op_v3(op, out)
+        return bytes(out)
     # Canonical JSON: sorted keys, no whitespace — byte-stable across runs
     # so fingerprints of equivalent logs agree.
     return json.dumps(op, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
+def _decode_payload(payload: bytes, version: int) -> Dict[str, Any]:
+    """Decode one record payload; raises ``ValueError`` family on damage."""
+    if version >= 3:
+        op, end = _decode_op_v3(payload, 0)
+        if end != len(payload):
+            raise ValueError(f"{len(payload) - end} trailing bytes after v3 op")
+        return op
+    op = json.loads(payload.decode("utf-8"))
+    if not isinstance(op, dict) or "op" not in op:
+        raise ValueError("payload is not an operation object")
+    return op
+
+
 def _scan_suffix(
-    buffer: bytes, base: int, total: int, expected_seq: Optional[int]
+    buffer: bytes, base: int, total: int, expected_seq: Optional[int], version: int = 1
 ) -> WalScan:
     """Decode records from ``buffer``, whose first byte sits at file
     offset ``base``; ``total`` is the file's full size.  Shared by the
@@ -217,11 +389,8 @@ def _scan_suffix(
             reason = "chain"
             break
         try:
-            op = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            reason = "decode"
-            break
-        if not isinstance(op, dict) or "op" not in op:
+            op = _decode_payload(payload, version)
+        except (UnicodeDecodeError, ValueError, LabelingError):
             reason = "decode"
             break
         pos = payload_start + length
@@ -232,11 +401,16 @@ def _scan_suffix(
         valid_bytes=base + pos,
         total_bytes=total,
         stop_reason=reason,
+        version=version,
     )
 
 
 def scan_records(
-    buffer: bytes, base: int, total: int, expected_seq: Optional[int] = None
+    buffer: bytes,
+    base: int,
+    total: int,
+    expected_seq: Optional[int] = None,
+    version: int = 1,
 ) -> WalScan:
     """Decode shipped WAL bytes that are *not* on a local filesystem.
 
@@ -244,9 +418,10 @@ def scan_records(
     this applies the exact same record validation as :func:`scan_wal`
     (CRC, chain, torn-tail rules) to an in-memory buffer whose first byte
     sits at file offset ``base``.  ``total`` is the primary's file size
-    as reported alongside the bytes.
+    as reported alongside the bytes; ``version`` is the payload format the
+    stream's header declared (the tailer learns it at offset 0).
     """
-    return _scan_suffix(buffer, base, total, expected_seq)
+    return _scan_suffix(buffer, base, total, expected_seq, version)
 
 
 def scan_wal(path: str | Path) -> WalScan:
@@ -272,9 +447,9 @@ def scan_wal(path: str | Path) -> WalScan:
         )
     if blob[:4] != _MAGIC:
         raise WalCorruptError(f"{path} is not a write-ahead log")
-    if blob[4] != _VERSION:
+    if blob[4] not in SUPPORTED_WAL_VERSIONS:
         raise WalCorruptError(f"unsupported WAL version {blob[4]} in {path}")
-    return _scan_suffix(blob[_HEADER_LEN:], _HEADER_LEN, len(blob), None)
+    return _scan_suffix(blob[_HEADER_LEN:], _HEADER_LEN, len(blob), None, blob[4])
 
 
 def scan_wal_from(
@@ -310,16 +485,28 @@ def scan_wal_from(
             # Nothing new — or the file shrank under us (reset/prune
             # rewrote it); ``total_bytes < offset`` signals the latter.
             return WalScan(records=[], valid_bytes=offset, total_bytes=size)
+        # The suffix's payload encoding is dictated by the file header, so
+        # an incremental scan still reads the 5 header bytes.
+        handle.seek(0)
+        head = handle.read(_HEADER_LEN)
+        if len(head) < _HEADER_LEN or head[:4] != _MAGIC:
+            raise WalCorruptError(f"{path} is not a write-ahead log")
+        if head[4] not in SUPPORTED_WAL_VERSIONS:
+            raise WalCorruptError(f"unsupported WAL version {head[4]} in {path}")
         handle.seek(offset)
         suffix = handle.read()
-    return _scan_suffix(suffix, offset, offset + len(suffix), expected_seq)
+    return _scan_suffix(suffix, offset, offset + len(suffix), expected_seq, head[4])
 
 
 class WriteAheadLog:
     """The append half of the log (reading goes through :func:`scan_wal`).
 
     Opening an existing log scans it, truncates any torn tail in place,
-    and resumes sequence numbering after the last valid record.
+    and resumes sequence numbering after the last valid record.  An
+    existing log also fixes the payload format: appended records must be
+    decodable by the version its header declares, so :attr:`version`
+    follows the file and the ``version`` argument only applies to logs
+    created fresh (default: version 3, binary payloads).
     """
 
     def __init__(
@@ -327,7 +514,10 @@ class WriteAheadLog:
         path: str | Path,
         fsync: "str | FsyncPolicy" = "always",
         faults: Optional[FaultInjector] = None,
+        version: Optional[int] = None,
     ):
+        if version is not None and version not in SUPPORTED_WAL_VERSIONS:
+            raise DurabilityError(f"unsupported WAL version {version}")
         self.path = Path(path)
         self.policy = FsyncPolicy.parse(fsync)
         self.faults = faults or FaultInjector()
@@ -340,9 +530,15 @@ class WriteAheadLog:
             metrics.incr("wal.torn_tail_truncations")
             metrics.incr("wal.torn_tail_bytes", scan.torn_bytes)
         fresh = scan.valid_bytes == 0
+        #: Payload-format version every append encodes with.
+        self.version = (
+            (version if version is not None else _DEFAULT_VERSION)
+            if fresh
+            else scan.version
+        )
         self._handle = open(self.path, "ab")
         if fresh:
-            self._handle.write(_MAGIC + bytes([_VERSION]))
+            self._handle.write(wal_header(self.version))
             self._handle.flush()
             os.fsync(self._handle.fileno())
         self._next_seq = scan.last_seq + 1
@@ -380,7 +576,7 @@ class WriteAheadLog:
         from repro.durable.faults import InjectedCrash
 
         with metrics.timed("wal.append"):
-            payload = _encode_payload(op)
+            payload = _encode_payload(op, self.version)
             seq = self._next_seq
             header = _RECORD_HEADER.pack(
                 seq, len(payload), zlib.crc32(header_prefix(seq, payload))
@@ -509,7 +705,7 @@ class WriteAheadLog:
             metrics.incr("wal.torn_tail_bytes", scan.torn_bytes)
         self._handle = open(self.path, "ab")
         if scan.valid_bytes == 0:
-            self._handle.write(_MAGIC + bytes([_VERSION]))
+            self._handle.write(wal_header(self.version))
             self._handle.flush()
             os.fsync(self._handle.fileno())
         # Chain strictly after the last surviving record: a gap would make
@@ -544,7 +740,7 @@ class WriteAheadLog:
             )
         self._handle.close()
         with open(self.path, "wb") as handle:
-            handle.write(_MAGIC + bytes([_VERSION]))
+            handle.write(wal_header(self.version))
             handle.flush()
             os.fsync(handle.fileno())
         self._handle = open(self.path, "ab")
@@ -564,9 +760,9 @@ class WriteAheadLog:
         kept = [record for record in scan.records if record.seq > keep_after_seq]
         if len(kept) == len(scan.records):
             return 0
-        out = [_MAGIC + bytes([_VERSION])]
+        out = [wal_header(self.version)]
         for record in kept:
-            payload = _encode_payload(record.op)
+            payload = _encode_payload(record.op, self.version)
             out.append(
                 _RECORD_HEADER.pack(
                     record.seq,

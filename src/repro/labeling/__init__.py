@@ -10,6 +10,9 @@ exactly which nodes had to be relabeled (the currency of Figures 16–18).
 * :mod:`repro.labeling.prefix` — binary prefix baselines Prefix-1 and
   Prefix-2 (Cohen–Kaplan–Milo).
 * :mod:`repro.labeling.dewey` — Dewey order labels (Tatarinov et al.).
+* :mod:`repro.labeling.compact` — near-optimal compact ancestry baselines:
+  the Dahlgaard–Knudsen–Rotbart ``lg n + 2 lg lg n``-bit scheme and a
+  Fraigniaud–Korman-style small-depth tuning.
 * :mod:`repro.labeling.prime` — the paper's bottom-up and top-down prime
   number schemes, the latter with optimizations Opt1/Opt2.
 * :mod:`repro.labeling.pathcollapse` — optimization Opt3 (combine repeated
@@ -21,6 +24,7 @@ exactly which nodes had to be relabeled (the currency of Figures 16–18).
 
 from repro.labeling.base import LabelingScheme, RelabelReport, Relationship
 from repro.labeling.codec import FixedWidthCodec, VarintCodec
+from repro.labeling.compact import DahlgaardScheme, FraigniaudKormanScheme
 from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import (
     FloatIntervalScheme,
@@ -43,7 +47,9 @@ __all__ = [
     "Relationship",
     "FixedWidthCodec",
     "VarintCodec",
+    "DahlgaardScheme",
     "DeweyScheme",
+    "FraigniaudKormanScheme",
     "FloatIntervalScheme",
     "StartEndIntervalScheme",
     "XissIntervalScheme",

@@ -9,9 +9,12 @@ for XML query processing."  This module provides that representation:
   width of the widest one (the paper's fixed-length columns).  Decoding is
   O(1) per label and the column is directly comparable byte-wise for
   integer labels.
-* :class:`VarintCodec` — a variable-length alternative (LEB128-style)
-  for space-accounting comparisons: what the paper's `total_label_bits`
-  would cost on disk with length prefixes instead of padding.
+* :class:`VarintCodec` — the variable-length (LEB128-style) encoding that
+  format v3 of every binary file uses on disk: the RPLS label store, the
+  RPSN snapshot, and RPWL WAL payloads all write label integers through
+  :func:`write_uvarint` and read them back through :func:`read_uvarint`,
+  which bounds each field at :data:`MAX_VARINT_FIELD_BYTES` so corrupt
+  continuation runs fail fast instead of allocating huge integers.
 
 Codecs cover every label type in the library: ``PrimeLabel`` (two
 integers), interval labels (two integers), prefix ``Bits`` (length +
@@ -28,7 +31,76 @@ from repro.labeling.interval import OrderSizeLabel, StartEndLabel
 from repro.labeling.prefix import Bits
 from repro.labeling.prime import PrimeLabel
 
-__all__ = ["FixedWidthCodec", "VarintCodec", "label_to_ints", "ints_to_label"]
+__all__ = [
+    "FixedWidthCodec",
+    "MAX_VARINT_FIELD_BYTES",
+    "VarintCodec",
+    "ints_to_label",
+    "label_to_ints",
+    "read_uvarint",
+    "write_uvarint",
+]
+
+#: Sanity bound on one varint-encoded integer field, as magnitude bytes.
+#: 1 MiB of magnitude (2^23 bits) is 16x the 64 KiB ceiling the legacy
+#: ``>H``-length snapshot encoding imposed and far beyond any label a real
+#: document produces; past it, a run of continuation bytes is treated as
+#: corruption instead of being accumulated into an ever-larger integer.
+MAX_VARINT_FIELD_BYTES = 1 << 20
+_MAX_FIELD_BITS = MAX_VARINT_FIELD_BYTES * 8
+
+
+def write_uvarint(value: int, out: List[int]) -> None:
+    """Append the LEB128 encoding of ``value`` (an unsigned int) to ``out``.
+
+    The shared integer encoding of every format-v3 file (RPLS store, RPSN
+    snapshot, RPWL WAL payloads).  Raises :class:`repro.errors.LabelingError`
+    for negative values and for fields beyond :data:`MAX_VARINT_FIELD_BYTES`
+    — the write-side twin of the read-side cap, so nothing encodable is
+    ever unreadable.
+    """
+    if value < 0:
+        raise LabelingError(f"varints are unsigned; got {value}")
+    if value.bit_length() > _MAX_FIELD_BITS:
+        raise LabelingError(
+            f"integer field of {value.bit_length()} bits exceeds the "
+            f"{_MAX_FIELD_BITS}-bit varint field bound"
+        )
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(blob: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one LEB128 integer from ``blob`` at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises
+    :class:`repro.errors.LabelingError` on a truncated field or when the
+    continuation run exceeds :data:`MAX_VARINT_FIELD_BYTES` of magnitude —
+    a crafted blob of ``0x80`` bytes must fail fast instead of allocating
+    an arbitrarily large integer before any checksum is consulted.
+    """
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(blob):
+            raise LabelingError("truncated varint")
+        if shift >= _MAX_FIELD_BITS:
+            raise LabelingError(
+                f"varint field exceeds the {_MAX_FIELD_BITS}-bit bound "
+                "(corrupt or adversarial continuation run)"
+            )
+        byte = blob[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
 
 
 def label_to_ints(label: Any) -> Tuple[int, ...]:
@@ -199,32 +271,10 @@ class VarintCodec:
             raise LabelingError("scheme has no labels to derive a codec from")
         return cls(_kind_of(scheme.label_of(nodes[0])))
 
-    @staticmethod
-    def _write_varint(value: int, out: List[int]) -> None:
-        if value < 0:
-            raise LabelingError(f"varints are unsigned; got {value}")
-        while True:
-            byte = value & 0x7F
-            value >>= 7
-            if value:
-                out.append(byte | 0x80)
-            else:
-                out.append(byte)
-                return
-
-    @staticmethod
-    def _read_varint(blob: bytes, offset: int) -> Tuple[int, int]:
-        result = 0
-        shift = 0
-        while True:
-            if offset >= len(blob):
-                raise LabelingError("truncated varint")
-            byte = blob[offset]
-            offset += 1
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result, offset
-            shift += 7
+    # Kept as static methods for callers that sized codecs before the
+    # module-level helpers existed; both delegate to the bounded encoding.
+    _write_varint = staticmethod(write_uvarint)
+    _read_varint = staticmethod(read_uvarint)
 
     def encode(self, label: Any) -> bytes:
         """Encode one label as a self-delimiting varint record."""
@@ -238,6 +288,13 @@ class VarintCodec:
     def decode(self, blob: bytes, offset: int = 0) -> Tuple[Any, int]:
         """Decode one label starting at ``offset``; returns (label, next)."""
         count, offset = self._read_varint(blob, offset)
+        if count > len(blob) - offset:
+            # Every field costs at least one byte, so a count beyond the
+            # remaining bytes is corruption — reject before looping.
+            raise LabelingError(
+                f"varint record claims {count} fields but only "
+                f"{len(blob) - offset} bytes remain"
+            )
         parts = []
         for _ in range(count):
             part, offset = self._read_varint(blob, offset)

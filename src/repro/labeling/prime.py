@@ -30,8 +30,9 @@ exception is Opt2's leaf-turned-parent case, which the paper calls out
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import LabelingError
 from repro.labeling.base import LabelingScheme, RelabelReport
 from repro.obs import metrics
 from repro.primes.gen import PrimeGenerator
@@ -105,7 +106,13 @@ class PrimeScheme(LabelingScheme):
         self.power2_leaves = power2_leaves
         self.leaf_threshold_bits = leaf_threshold_bits
         self._generator = PrimeGenerator(reserved=reserved_primes)
-        #: per-parent count of leaf children labeled so far (Fig 7's childNum)
+        #: per-parent count of leaf children labeled so far (Fig 7's
+        #: childNum), keyed by the parent's *full label value* — a stable
+        #: identity that survives snapshot/restore (fresh objects, fresh
+        #: ``id()``\ s) and can never alias a recycled address.  Label
+        #: values are unique within a document: every internal value
+        #: contains its own fresh prime, every Opt2 leaf value a distinct
+        #: power of two under its parent.
         self._leaf_counter: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -120,14 +127,15 @@ class PrimeScheme(LabelingScheme):
     def _issue_leaf_self_label(self, parent: XmlElement) -> int:
         if not self.power2_leaves:
             return self._generator.get_prime()
-        ordinal = self._leaf_counter.get(id(parent), 0) + 1
+        parent_value = self.label_of(parent).value
+        ordinal = self._leaf_counter.get(parent_value, 0) + 1
         candidate = PrimeGenerator.get_power2(ordinal)
         if (
             self.leaf_threshold_bits is not None
             and candidate.bit_length() > self.leaf_threshold_bits
         ):
             return self._generator.get_prime()
-        self._leaf_counter[id(parent)] = ordinal
+        self._leaf_counter[parent_value] = ordinal
         metrics.incr("label.power2_leaves")
         return candidate
 
@@ -223,9 +231,17 @@ class PrimeScheme(LabelingScheme):
             cascade = 0
             for descendant in new_node.iter_descendants():
                 old: PrimeLabel = self.label_of(descendant)
+                new_value = old.value * self_label
+                # The leaf counter is keyed by label value, and every moved
+                # descendant's value just gained the wrapper's factor — move
+                # its counter entry along (fresh prime, so the new key
+                # cannot collide with any not-yet-moved old key).
+                pending = self._leaf_counter.pop(old.value, None)
+                if pending is not None:
+                    self._leaf_counter[new_value] = pending
                 self._set_label(
                     descendant,
-                    PrimeLabel(value=old.value * self_label, self_label=old.self_label),
+                    PrimeLabel(value=new_value, self_label=old.self_label),
                 )
                 cascade += 1
             metrics.incr("label.relabel_cascade", cascade)
@@ -233,18 +249,19 @@ class PrimeScheme(LabelingScheme):
     def delete(self, node: XmlElement) -> RelabelReport:
         """Delete ``node``'s subtree, purging its ``_leaf_counter`` entries.
 
-        The Opt2 leaf counter is keyed by ``id(parent)``; without cleanup a
-        deleted parent's entry both leaks under churn and — worse — can be
-        *resurrected* when CPython reuses the freed address for a brand-new
-        element, silently starting that parent's leaf ordinals above 1 and
-        inflating its Opt2 labels.  Purging on delete makes the key's
-        lifetime match the node's.
+        Without cleanup a deleted parent's counter entry leaks under churn;
+        purging on delete makes the entry's lifetime match the node's.  The
+        keys are the deleted nodes' label *values*, which must be collected
+        before ``super()`` drops the labels.
         """
+        stale = [
+            self._labels[id(gone)].value
+            for gone in node.iter_preorder()
+            if id(gone) in self._labels
+        ]
         report = super().delete(node)
-        # super() detached the subtree but left it intact, so it can still
-        # be walked to collect the stale counter keys.
-        for gone in node.iter_preorder():
-            self._leaf_counter.pop(id(gone), None)
+        for value in stale:
+            self._leaf_counter.pop(value, None)
         return report
 
     def insert_leaf_ordered(
@@ -257,6 +274,52 @@ class PrimeScheme(LabelingScheme):
         (:mod:`repro.order`), which charges its own record updates.
         """
         return self.insert_leaf(parent, tag=tag, index=index)
+
+    # ------------------------------------------------------------------
+    # Snapshot / recovery state
+    # ------------------------------------------------------------------
+
+    def export_state(
+        self,
+    ) -> Tuple[Tuple[int, int, int, int], Tuple[Tuple[int, int], ...]]:
+        """The dynamic state a snapshot must carry beyond the labels.
+
+        Returns ``(generator position, sorted Opt2 leaf counters)``.  The
+        counters are ``(parent label value, leaf count)`` pairs — without
+        them a restored scheme under ``power2_leaves=True`` would restart
+        every parent's leaf ordinal at 1 and re-issue already-used
+        power-of-two self-labels, diverging from a never-snapshotted twin.
+        """
+        return self._generator.state(), tuple(sorted(self._leaf_counter.items()))
+
+    def restore_state(
+        self,
+        root: XmlElement,
+        labels: Sequence[Tuple[int, int]],
+        generator_state: Tuple[int, int, int, int],
+        leaf_counters: Sequence[Tuple[int, int]] = (),
+    ) -> "PrimeScheme":
+        """Rebind this scheme to a freshly materialised tree, relabeling nothing.
+
+        ``labels`` are ``(value, self_label)`` pairs in preorder;
+        ``generator_state`` and ``leaf_counters`` come from
+        :meth:`export_state` (snapshots written before the counter existed
+        restore with empty counters, preserving their legacy behaviour).
+        Returns ``self``.
+        """
+        nodes = list(root.iter_preorder())
+        if len(nodes) != len(labels):
+            raise LabelingError(
+                f"restore_state got {len(labels)} labels for {len(nodes)} nodes"
+            )
+        for stale in list(self._nodes.values()):
+            self._drop_label(stale)
+        self._root = root
+        for node, (value, self_label) in zip(nodes, labels):
+            self._set_label(node, PrimeLabel(value=value, self_label=self_label))
+        self._generator = PrimeGenerator.from_state(generator_state)
+        self._leaf_counter = dict(leaf_counters)
+        return self
 
 
 class BottomUpPrimeScheme(LabelingScheme):

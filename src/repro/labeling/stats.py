@@ -22,7 +22,43 @@ from repro.labeling.base import LabelingScheme
 from repro.labeling.codec import VarintCodec
 from repro.tables import ResultTable
 
-__all__ = ["LabelSpaceReport", "label_space_report", "compare_space"]
+__all__ = [
+    "DEFAULT_SPACE_FACTORIES",
+    "LabelSpaceReport",
+    "compare_space",
+    "default_space_factories",
+    "label_space_report",
+]
+
+
+def default_space_factories() -> Sequence:
+    """The standard scheme line-up for space comparisons.
+
+    Interval, Prime (Opt1+Opt2 with the experiments' 16-bit leaf
+    threshold), Prefix-2, and the two compact ancestry baselines of
+    :mod:`repro.labeling.compact` — the same five columns the extended
+    Fig 14 exhibit charts.  Imported lazily so this module keeps no
+    import-time dependency on every scheme.
+    """
+    from repro.labeling.compact import DahlgaardScheme, FraigniaudKormanScheme
+    from repro.labeling.interval import XissIntervalScheme
+    from repro.labeling.prefix import Prefix2Scheme
+    from repro.labeling.prime import PrimeScheme
+
+    return (
+        XissIntervalScheme,
+        lambda: PrimeScheme(
+            reserved_primes=64, power2_leaves=True, leaf_threshold_bits=16
+        ),
+        Prefix2Scheme,
+        DahlgaardScheme,
+        FraigniaudKormanScheme,
+    )
+
+
+#: Sentinel so :func:`compare_space` can default to the standard line-up
+#: without resolving the factories at import time.
+DEFAULT_SPACE_FACTORIES = None
 
 
 @dataclass(frozen=True)
@@ -80,13 +116,17 @@ def label_space_report(
 
 
 def compare_space(
-    root, scheme_factories: Sequence, bucket_bits: int = 8
+    root, scheme_factories: Sequence = DEFAULT_SPACE_FACTORIES, bucket_bits: int = 8
 ) -> ResultTable:
     """Label ``root`` with each factory and tabulate the space profiles.
 
     ``scheme_factories`` is a sequence of zero-argument callables returning
-    fresh :class:`~repro.labeling.base.LabelingScheme` instances.
+    fresh :class:`~repro.labeling.base.LabelingScheme` instances; omitted,
+    it defaults to :func:`default_space_factories` (which includes the
+    compact ancestry baselines).
     """
+    if scheme_factories is DEFAULT_SPACE_FACTORIES:
+        scheme_factories = default_space_factories()
     table = ResultTable(
         title="Label space comparison",
         columns=(

@@ -12,17 +12,24 @@ File layout (all integers big-endian)::
     version 1 byte
     scheme  1 byte length + UTF-8 name        ("prime" | "interval" | "prefix-2")
     kind    1 byte length + UTF-8 codec kind
-    widths  2 bytes field_count, 2 bytes field_bytes
+    widths  2 bytes field_count, 2 bytes field_bytes   (versions 1-2 only)
     tags    4 bytes count, then per tag: 2 bytes length + UTF-8
     rows    4 bytes count, then per row:
               4B doc_id  4B element_id  4B tag_index  2B depth
-              4B parent_id (0xFFFFFFFF = none)  record_bytes label
+              4B parent_id (0xFFFFFFFF = none)  encoded label
               2B text length + UTF-8 text (the value column)
     footer  4 bytes CRC32 of everything above      (version >= 2 only)
 
 Version 2 adds the CRC32 footer so a silently truncated or bit-flipped
 file is rejected outright instead of being decoded into plausible-looking
 garbage; version-1 files (no footer) are still readable.
+
+Version 3 replaces the fixed-width label column with the self-delimiting
+varint records of :class:`repro.labeling.codec.VarintCodec` (and drops the
+now-meaningless ``widths`` header field): every label pays for its own
+bits instead of the document's widest, which is what shrinks prime-label
+columns whose sizes span orders of magnitude.  Readers dispatch on the
+version byte; versions 1 and 2 stay loadable, writers default to 3.
 
 Loading rebuilds a fully queryable store.  The ``node`` back-references of
 a loaded store are *placeholder* elements (tag only) — queries never touch
@@ -36,8 +43,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Dict, List
 
-from repro.errors import QueryEvaluationError
-from repro.labeling.codec import FixedWidthCodec, label_to_ints
+from repro.errors import LabelingError, QueryEvaluationError
+from repro.labeling.codec import FixedWidthCodec, VarintCodec, label_to_ints
 from repro.order.sc_table import SCTable
 from repro.query.store import (
     ElementRow,
@@ -52,8 +59,8 @@ from repro.xmlkit.tree import XmlElement
 __all__ = ["save_store", "load_store"]
 
 _MAGIC = b"RPLS"
-_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _NO_PARENT = 0xFFFFFFFF
 
 _KIND_BY_SCHEME = {"prime": "prime", "interval": "order-size", "prefix-2": "bits"}
@@ -98,22 +105,30 @@ def _scheme_name(ops: StoreOps) -> str:
 def save_store(store: LabelStore, path: str | Path, version: int = _VERSION) -> int:
     """Write ``store`` to ``path``; returns the number of bytes written.
 
-    ``version`` defaults to the current format (2, CRC-protected); passing
-    ``1`` writes the legacy footer-less layout, kept for compatibility
-    tests and for producing files older readers accept.
+    ``version`` defaults to the current format (3: varint labels,
+    CRC-protected).  Passing ``2`` writes fixed-width labels with the CRC
+    footer and ``1`` the legacy footer-less layout — both kept for
+    compatibility tests and for producing files older readers accept.
     """
     if version not in _SUPPORTED_VERSIONS:
         raise QueryEvaluationError(f"cannot write label store version {version}")
     scheme = _scheme_name(store.ops)
     kind = _KIND_BY_SCHEME[scheme]
-    field_count = max(
-        (len(label_to_ints(row.label)) for row in store.rows), default=1
-    )
-    field_count = max(field_count, 1)
-    widest = max(
-        (part for row in store.rows for part in label_to_ints(row.label)), default=0
-    )
-    codec = FixedWidthCodec(kind, field_count, max((widest.bit_length() + 7) // 8, 1))
+    codec: FixedWidthCodec | VarintCodec
+    if version >= 3:
+        codec = VarintCodec(kind)
+    else:
+        field_count = max(
+            (len(label_to_ints(row.label)) for row in store.rows), default=1
+        )
+        field_count = max(field_count, 1)
+        widest = max(
+            (part for row in store.rows for part in label_to_ints(row.label)),
+            default=0,
+        )
+        codec = FixedWidthCodec(
+            kind, field_count, max((widest.bit_length() + 7) // 8, 1)
+        )
 
     tags: List[str] = []
     tag_index: Dict[str, int] = {}
@@ -125,7 +140,8 @@ def save_store(store: LabelStore, path: str | Path, version: int = _VERSION) -> 
     out: List[bytes] = [_MAGIC, struct.pack(">B", version)]
     _write_string(out, scheme, ">B")
     _write_string(out, kind, ">B")
-    out.append(struct.pack(">HH", codec.field_count, codec.field_bytes))
+    if version < 3:
+        out.append(struct.pack(">HH", codec.field_count, codec.field_bytes))
     out.append(struct.pack(">I", len(tags)))
     for tag in tags:
         _write_string(out, tag, ">H")
@@ -189,7 +205,13 @@ def load_store(path: str | Path) -> LabelStore:
     """
     try:
         return _load_store_checked(path)
-    except (ValueError, IndexError, UnicodeDecodeError, struct.error) as error:
+    except (
+        ValueError,
+        IndexError,
+        UnicodeDecodeError,
+        struct.error,
+        LabelingError,
+    ) as error:
         raise QueryEvaluationError(f"corrupt label store {path}: {error}") from error
 
 
@@ -219,15 +241,22 @@ def _load_store_checked(path: str | Path) -> LabelStore:
         raise QueryEvaluationError(
             f"corrupt label store: scheme {scheme!r} / kind {kind!r}"
         )
-    field_count, field_bytes = reader.unpack(">HH")
-    codec = FixedWidthCodec(kind, field_count, field_bytes)
+    codec: FixedWidthCodec | VarintCodec
+    if version >= 3:
+        codec = VarintCodec(kind)
+    else:
+        field_count, field_bytes = reader.unpack(">HH")
+        codec = FixedWidthCodec(kind, field_count, field_bytes)
     (tag_count,) = reader.unpack(">I")
     tags = [reader.string(">H") for _ in range(tag_count)]
     (row_count,) = reader.unpack(">I")
     rows: List[ElementRow] = []
     for _ in range(row_count):
         doc_id, element_id, tag_idx, depth, parent = reader.unpack(">IIIHI")
-        label = codec.decode(reader.take(codec.record_bytes))
+        if version >= 3:
+            label, reader.offset = codec.decode(reader.blob, reader.offset)
+        else:
+            label = codec.decode(reader.take(codec.record_bytes))
         text = reader.string(">H")
         rows.append(
             ElementRow(

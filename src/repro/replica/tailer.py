@@ -35,7 +35,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.durable.wal import WAL_HEADER, WalRecord, scan_records
+from repro.durable.wal import (
+    SUPPORTED_WAL_VERSIONS,
+    WAL_MAGIC,
+    WalRecord,
+    scan_records,
+)
 from repro.errors import ReplicationError
 from repro.obs import metrics
 
@@ -76,6 +81,9 @@ class WalTailer:
         self._suspect: Optional[Tuple[int, int]] = None
         #: Primary log size seen on the most recent read.
         self._primary_bytes = 0
+        #: Payload-format version the current generation's header declared
+        #: (defaults to 1 until a header has been read).
+        self._version = 1
 
     @property
     def offset(self) -> int:
@@ -124,15 +132,20 @@ class WalTailer:
             payload = frame.payload
             base = fetch_start
             if fetch_start == 0:
-                header_len = len(WAL_HEADER)
+                header_len = len(WAL_MAGIC) + 1
                 if len(payload) < header_len:
                     # Log not created / header not fully written yet.
                     return out
-                if payload[:header_len] != WAL_HEADER:
+                if (
+                    payload[: len(WAL_MAGIC)] != WAL_MAGIC
+                    or payload[len(WAL_MAGIC)] not in SUPPORTED_WAL_VERSIONS
+                ):
                     raise ReplicationError(
                         "shipped log does not start with a valid WAL header; "
                         "the source is not a repro write-ahead log"
                     )
+                # A new generation may carry a different payload format.
+                self._version = payload[len(WAL_MAGIC)]
                 payload = payload[header_len:]
                 base = header_len
                 # Commit header consumption even if no records follow yet.
@@ -140,7 +153,7 @@ class WalTailer:
             if not payload:
                 return out
             expected = self._scan_seq + 1 if self._scan_seq else None
-            scan = scan_records(payload, base, frame.size, expected)
+            scan = scan_records(payload, base, frame.size, expected, self._version)
             if scan.records:
                 out.extend(scan.records)
                 last = scan.records[-1]

@@ -151,7 +151,10 @@ class TestCrashMatrix:
                 assert recovered.info.generation == 2
                 assert recovered.info.replayed_records == applied - checkpoint_at
 
-    @pytest.mark.parametrize("keep_bytes", [0, 1, 8, 15, 16, 23])
+    # 16 is the record-header boundary; 17 tears one byte into the payload
+    # (v3 binary payloads are only a few bytes, so larger cuts could cover
+    # a whole record and tear nothing).
+    @pytest.mark.parametrize("keep_bytes", [0, 1, 8, 15, 16, 17])
     def test_torn_final_record_recovers_to_the_previous_boundary(
         self, tmp_path, reference_fingerprints, keep_bytes
     ):

@@ -65,11 +65,19 @@ class TestCorruptedStoreFiles:
 class TestStoreChecksum:
     """The v2 RPLS footer: corruption is *detected*, not merely survived."""
 
-    def test_v2_is_the_default_and_round_trips(self, tmp_path):
+    def test_v3_is_the_default_and_round_trips(self, tmp_path):
         store = LabelStore.build([parse_document(DOC)], scheme="prime")
         path = tmp_path / "store.bin"
         save_store(store, path)
-        assert path.read_bytes()[4] == 2  # version byte
+        assert path.read_bytes()[4] == 3  # version byte
+        loaded = load_store(path)
+        assert len(QueryEngine(loaded).evaluate("/r//c")) == 2
+
+    def test_v2_files_remain_readable(self, tmp_path):
+        store = LabelStore.build([parse_document(DOC)], scheme="prime")
+        path = tmp_path / "store-v2.bin"
+        save_store(store, path, version=2)
+        assert path.read_bytes()[4] == 2
         loaded = load_store(path)
         assert len(QueryEngine(loaded).evaluate("/r//c")) == 2
 

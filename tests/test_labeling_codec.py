@@ -1,9 +1,19 @@
 """Unit tests for the label codecs (fixed-width and varint)."""
 
+import random
+
 import pytest
 
 from repro.errors import LabelingError
-from repro.labeling.codec import FixedWidthCodec, VarintCodec, ints_to_label, label_to_ints
+from repro.labeling.codec import (
+    MAX_VARINT_FIELD_BYTES,
+    FixedWidthCodec,
+    VarintCodec,
+    ints_to_label,
+    label_to_ints,
+    read_uvarint,
+    write_uvarint,
+)
 from repro.labeling.dewey import DeweyScheme
 from repro.labeling.interval import (
     FloatIntervalScheme,
@@ -168,3 +178,126 @@ class TestVarintCodec:
         fixed = FixedWidthCodec.for_scheme(scheme)
         varint = VarintCodec.for_scheme(scheme)
         assert len(varint.encode_column(scheme)) < len(fixed.encode_column(scheme))
+
+
+def _random_label(kind: str, rng: random.Random):
+    """One random label of ``kind`` spanning 1-bit to ~200-bit fields."""
+
+    def value() -> int:
+        return rng.getrandbits(rng.randint(1, 200))
+
+    if kind == "prime":
+        # PrimeLabel enforces self_label | value, as divisibility is the
+        # whole point of the scheme.
+        self_label = value() or 1
+        return PrimeLabel(value=self_label * value(), self_label=self_label)
+    if kind == "order-size":
+        return OrderSizeLabel(order=value(), size=value())
+    if kind == "start-end":
+        start = value()
+        return StartEndLabel(start=start, end=start + value())
+    if kind == "bits":
+        length = rng.randint(0, 200)
+        return Bits(rng.getrandbits(length) if length else 0, length)
+    if kind == "dewey":
+        return tuple(1 + value() for _ in range(rng.randint(0, 6)))
+    raise AssertionError(kind)
+
+
+class TestRandomizedRoundTrips:
+    """Property tests: encode∘decode is the identity for every label kind,
+    under both codecs, across randomized magnitudes."""
+
+    KINDS = ("prime", "order-size", "start-end", "bits", "dewey")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_varint_round_trip(self, kind):
+        rng = random.Random(20240 + self.KINDS.index(kind))
+        codec = VarintCodec(kind)
+        for _ in range(200):
+            label = _random_label(kind, rng)
+            decoded, end = codec.decode(codec.encode(label))
+            assert decoded == label
+            assert end == len(codec.encode(label))
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_fixed_round_trip(self, kind):
+        rng = random.Random(30240 + self.KINDS.index(kind))
+        for _ in range(100):
+            labels = [_random_label(kind, rng) for _ in range(rng.randint(1, 8))]
+            if kind == "dewey":
+                # Zero-padding is how FixedWidthCodec pads short Dewey
+                # tuples, so ordinals are 1-based by construction.
+                assert all(all(part > 0 for part in label) for label in labels)
+            field_count = max(1, max(len(label_to_ints(l)) for l in labels))
+            widest = max(
+                (part for l in labels for part in label_to_ints(l)), default=0
+            )
+            codec = FixedWidthCodec(
+                kind, field_count, max(1, (widest.bit_length() + 7) // 8)
+            )
+            for label in labels:
+                assert codec.decode(codec.encode(label)) == label
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_varint_column_round_trip(self, kind):
+        rng = random.Random(40240 + self.KINDS.index(kind))
+        codec = VarintCodec(kind)
+        labels = [_random_label(kind, rng) for _ in range(50)]
+        column = b"".join(codec.encode(label) for label in labels)
+        assert codec.decode_column(column) == labels
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_every_truncation_rejected(self, kind):
+        """No proper prefix of an encoded label decodes: the field count
+        demands missing fields and a cut varint's last byte still has its
+        continuation bit set, so every cut surfaces as truncation."""
+        rng = random.Random(50240 + self.KINDS.index(kind))
+        codec = VarintCodec(kind)
+        for _ in range(20):
+            blob = codec.encode(_random_label(kind, rng))
+            for cut in range(len(blob)):
+                with pytest.raises(LabelingError):
+                    codec.decode(blob[:cut])
+
+
+class TestVarintFieldBound:
+    """The anti-flood cap of read_uvarint/write_uvarint (bugfix: a crafted
+    run of 0x80 continuation bytes must fail fast, not allocate)."""
+
+    def test_continuation_flood_rejected(self):
+        flood = b"\x80" * (MAX_VARINT_FIELD_BYTES * 8 // 7 + 2)
+        with pytest.raises(LabelingError, match="bound"):
+            read_uvarint(flood, 0)
+
+    def test_flood_inside_a_label_rejected(self):
+        codec = VarintCodec("prime")
+        blob = b"\x02" + b"\x80" * (2 * MAX_VARINT_FIELD_BYTES)
+        with pytest.raises(LabelingError):
+            codec.decode(blob)
+
+    def test_oversized_field_count_rejected(self):
+        """A record claiming more fields than bytes remain is corruption."""
+        codec = VarintCodec("dewey")
+        out = []
+        write_uvarint(10_000, out)
+        with pytest.raises(LabelingError, match="fields"):
+            codec.decode(bytes(out) + b"\x01\x01")
+
+    def test_write_side_cap_matches_read_side(self):
+        too_big = 1 << (MAX_VARINT_FIELD_BYTES * 8 + 1)
+        with pytest.raises(LabelingError):
+            write_uvarint(too_big, [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(LabelingError):
+            write_uvarint(-1, [])
+
+    def test_large_values_round_trip(self):
+        # Far past any real label but far below the cap: the bound must
+        # not bite legitimate multi-kilobit prime products.
+        value = (1 << 5000) - 3
+        out = []
+        write_uvarint(value, out)
+        decoded, end = read_uvarint(bytes(out), 0)
+        assert decoded == value and end == len(out)

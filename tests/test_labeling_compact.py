@@ -1,0 +1,184 @@
+"""Unit tests for the compact ancestry schemes (DKR and FK tunings)."""
+
+import pytest
+
+from repro.datasets.random_tree import (
+    RandomTreeBuilder,
+    chain_tree,
+    perfect_tree,
+    star_tree,
+)
+from repro.errors import LabelingError
+from repro.labeling.compact import (
+    DahlgaardScheme,
+    FraigniaudKormanScheme,
+    round_up_family,
+)
+from repro.labeling.prefix import Bits
+
+SCHEMES = [DahlgaardScheme, FraigniaudKormanScheme]
+
+
+class TestRoundUpFamily:
+    def test_small_lengths_exact(self):
+        for length in range(1 << 4):
+            exponent, mantissa = round_up_family(length, 4)
+            assert (exponent, mantissa) == (0, length)
+
+    def test_rounds_up_never_down(self):
+        for mantissa_bits in (2, 3, 5):
+            for length in range(1, 500):
+                exponent, mantissa = round_up_family(length, mantissa_bits)
+                rounded = mantissa << exponent
+                assert rounded >= length
+                assert mantissa < (1 << mantissa_bits)
+
+    def test_overshoot_bounded_by_ulp(self):
+        for mantissa_bits in (2, 3, 5):
+            for length in range(1, 2000):
+                exponent, mantissa = round_up_family(length, mantissa_bits)
+                ulp = 1 << max(0, length.bit_length() - mantissa_bits)
+                assert (mantissa << exponent) - length < ulp
+
+    def test_negative_rejected(self):
+        with pytest.raises(LabelingError):
+            round_up_family(-1, 3)
+
+
+class TestAncestryCorrectness:
+    """Exhaustive ancestry verification against ground-truth tree walks."""
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_paper_tree(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        pairs, mismatches = scheme.check_against_tree()
+        assert pairs > 0 and mismatches == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees(self, scheme_cls, seed):
+        tree = RandomTreeBuilder(seed=seed, max_depth=6, max_fanout=9).build(80)
+        scheme = scheme_cls().label_tree(tree)
+        pairs, mismatches = scheme.check_against_tree()
+        assert pairs == 80 * 79 and mismatches == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_chain(self, scheme_cls):
+        """Chains are the all-heavy-edges extreme: a single heavy path."""
+        scheme = scheme_cls().label_tree(chain_tree(40))
+        assert scheme.check_against_tree()[1] == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_star(self, scheme_cls):
+        """Stars are the all-light-but-one extreme: maximal fan-out."""
+        scheme = scheme_cls().label_tree(star_tree(60))
+        assert scheme.check_against_tree()[1] == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_perfect_tree(self, scheme_cls):
+        scheme = scheme_cls().label_tree(perfect_tree(4, 3))
+        assert scheme.check_against_tree()[1] == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_single_node(self, scheme_cls):
+        from repro.xmlkit.builder import element
+
+        scheme = scheme_cls().label_tree(element("only"))
+        assert scheme.check_against_tree() == (0, 0)
+
+
+class TestLabelLayout:
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_fixed_width_labels(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        widths = {scheme.label_of(n).length for n in paper_tree.iter_preorder()}
+        assert widths == {scheme.label_length}
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_components_round_trip(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        for node in paper_tree.iter_preorder():
+            label = scheme.label_of(node)
+            point, exponent, mantissa = scheme.label_components(label)
+            repacked = (
+                (point << (scheme._exp_bits + scheme._mant_bits))
+                | (exponent << scheme._mant_bits)
+                | mantissa
+            )
+            assert Bits(repacked, scheme.label_length) == label
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_points_are_distinct(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        points = [
+            scheme.label_components(scheme.label_of(n))[0]
+            for n in paper_tree.iter_preorder()
+        ]
+        assert len(points) == len(set(points))
+        assert max(points) < scheme.universe
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_width_mismatch_rejected(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        with pytest.raises(LabelingError):
+            scheme.label_components(Bits(0, scheme.label_length + 1))
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_universe_stays_linear(self, scheme_cls):
+        """The padded universe must stay within a small constant of n —
+        that is the whole point of the rounded-interval construction."""
+        tree = RandomTreeBuilder(seed=3, max_depth=8, max_fanout=10).build(400)
+        scheme = scheme_cls().label_tree(tree)
+        assert scheme.universe < 4 * 400
+
+
+class TestUpdates:
+    """The compact schemes are static: updates relabel canonically via the
+    base-class defaults, and the labeling must stay correct afterwards."""
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_insert_leaf_relabels_and_stays_correct(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        report = scheme.insert_leaf(paper_tree, tag="late")
+        assert report.new_node is not None
+        assert scheme.check_against_tree()[1] == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_delete_keeps_survivors_correct(self, scheme_cls, paper_tree):
+        scheme = scheme_cls().label_tree(paper_tree)
+        victim = paper_tree.children[0]
+        dropped = len(list(victim.iter_preorder()))
+        before = len(list(scheme.labeled_nodes()))
+        scheme.delete(victim)
+        assert len(list(scheme.labeled_nodes())) == before - dropped
+        assert scheme.check_against_tree()[1] == 0
+
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_mixed_churn(self, scheme_cls):
+        import random
+
+        rng = random.Random(17)
+        tree = RandomTreeBuilder(seed=17, max_depth=5, max_fanout=6).build(40)
+        scheme = scheme_cls().label_tree(tree)
+        for _ in range(15):
+            nodes = list(tree.iter_preorder())
+            target = rng.choice(nodes)
+            if rng.random() < 0.7 or target is tree:
+                scheme.insert_leaf(target, tag="n")
+            else:
+                scheme.delete(target)
+        assert scheme.check_against_tree()[1] == 0
+
+
+class TestTunings:
+    def test_fk_narrower_on_shallow_trees(self):
+        """On a wide shallow tree FK's lg d mantissa beats DKR's lg lg n."""
+        tree = star_tree(2000)
+        dkr = DahlgaardScheme().label_tree(tree)
+        fk = FraigniaudKormanScheme().label_tree(tree)
+        assert fk._mant_bits <= dkr._mant_bits
+        assert fk.label_length <= dkr.label_length
+
+    def test_scheme_names(self):
+        assert DahlgaardScheme.name == "dkr"
+        assert FraigniaudKormanScheme.name == "fk-depth"

@@ -153,29 +153,29 @@ class TestDeletion:
         assert doc.check()
 
     def test_scheme_delete_purges_leaf_counter(self):
-        """The Opt2 leaf counter must not leak entries for deleted parents:
-        a stale id(parent) key can be resurrected when CPython reuses the
-        address, inflating a fresh parent's leaf ordinals."""
+        """The Opt2 leaf counter (keyed by parent label value) must not
+        leak entries for deleted parents: a stale entry would inflate a
+        later parent's leaf ordinals if the value were ever reissued."""
         scheme = PrimeScheme(reserved_primes=0, power2_leaves=True)
         root = element("r", element("a", element("x"), element("y")), element("b"))
         scheme.label_tree(root)
         victim = root.children[0]
-        tracked = {id(victim), id(victim.children[0]), id(victim.children[1])}
-        assert id(victim) in scheme._leaf_counter  # two leaves were labeled
+        victim_value = scheme.label_of(victim).value
+        assert victim_value in scheme._leaf_counter  # two leaves were labeled
         scheme.delete(victim)
-        assert not tracked & set(scheme._leaf_counter)
+        assert victim_value not in scheme._leaf_counter
 
-    def test_fresh_parent_at_reused_address_starts_ordinals_at_one(self):
-        """Simulate CPython address reuse: a new parent occupying a deleted
-        parent's id must hand its first Opt2 leaf 2**1, not a stale 2**n."""
+    def test_fresh_parent_after_delete_starts_ordinals_at_one(self):
+        """A parent labeled after a purge hands its first Opt2 leaf 2**1,
+        not a stale 2**n resurrected from the deleted parent's entry."""
         scheme = PrimeScheme(reserved_primes=0, power2_leaves=True)
         root = element("r", element("a", element("x"), element("y")), element("b"))
         scheme.label_tree(root)
         victim = root.children[0]
-        stale_id = id(victim)
+        stale_value = scheme.label_of(victim).value
         scheme.delete(victim)
         # Without the purge this would resurrect the counter at 2.
-        assert scheme._leaf_counter.get(stale_id, 0) == 0
+        assert scheme._leaf_counter.get(stale_value, 0) == 0
 
 
 class TestCompaction:

@@ -6,6 +6,7 @@ import zlib
 
 import pytest
 
+from repro.durable import wal as wal_module
 from repro.durable.wal import (
     WAL_HEADER,
     WalReader,
@@ -114,11 +115,15 @@ class TestWalTailer:
         _append(wal, 2)
         tailer = self._tailer(wal_path)
         tailer.poll()
-        # Simulate the primary mid-append: header promising 50 bytes, only
-        # part of the payload on disk.
-        payload = b'{"op": "noop", "i": 99}' + b" " * 27
-        crc = zlib.crc32(struct.pack(">QI", 3, 50) + payload)
-        frame = _HEADER.pack(3, 50, crc) + payload
+        # Simulate the primary mid-append: header promising the payload's
+        # full length, only part of it on disk.  The payload must be in the
+        # log's own (v3) encoding or the eventual full read would be a
+        # decode error, not a consumed record.
+        payload = wal_module._encode_payload(
+            {"op": "noop", "i": 99, "note": "x" * 30}, wal.version
+        )
+        crc = zlib.crc32(struct.pack(">QI", 3, len(payload)) + payload)
+        frame = _HEADER.pack(3, len(payload), crc) + payload
         with open(wal_path, "ab") as handle:
             handle.write(frame[:30])
         assert tailer.poll() == []  # pending, not an error
