@@ -11,9 +11,13 @@ no third-party dependencies:
 
 * :mod:`repro.analysis.engine` — rule registry, file walker, inline
   ``# repro: ignore[RULE] -- justification`` suppressions,
-* :mod:`repro.analysis.rules` — the project rules R1–R11,
+* :mod:`repro.analysis.rules` — the per-file rules R1–R13,
+* :mod:`repro.analysis.program` — the whole-program layer: project symbol
+  table, approximate call graph, and the interprocedural passes R14–R17
+  (lock discipline, publication escape, wire-protocol parity,
+  WAL-before-apply ordering),
 * :mod:`repro.analysis.baseline` — committed grandfather list with
-  stale-entry expiry,
+  stale-entry expiry and rename-tolerant basename fallback,
 * :mod:`repro.analysis.reporters` — text, JSON, and SARIF 2.1.0 output,
 * :mod:`repro.analysis.cli` — the ``python -m repro lint`` verb.
 
@@ -26,6 +30,7 @@ from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.context import FileContext, Suppression, context_from_source
 from repro.analysis.engine import (
     LintReport,
+    ProgramRule,
     Rule,
     all_rules,
     lint_paths,
@@ -33,7 +38,13 @@ from repro.analysis.engine import (
     register,
 )
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.reporters import render_json, render_sarif, render_text
+from repro.analysis.program import Program
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_stats,
+    render_text,
+)
 
 __all__ = [
     "Baseline",
@@ -41,6 +52,8 @@ __all__ = [
     "FileContext",
     "Finding",
     "LintReport",
+    "Program",
+    "ProgramRule",
     "Rule",
     "Severity",
     "Suppression",
@@ -51,5 +64,6 @@ __all__ = [
     "register",
     "render_json",
     "render_sarif",
+    "render_stats",
     "render_text",
 ]

@@ -23,7 +23,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding
 from repro.errors import ReproError
@@ -45,7 +45,7 @@ def _fingerprint(entry: Dict[str, str]) -> str:
 class Baseline:
     """A multiset of grandfathered finding fingerprints."""
 
-    entries: Counter = field(default_factory=Counter)
+    entries: "Counter[str]" = field(default_factory=Counter)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -97,15 +97,24 @@ class Baseline:
         return sum(self.entries.values())
 
     def split(
-        self, findings: Sequence[Finding]
+        self,
+        findings: Sequence[Finding],
+        warnings: Optional[List[str]] = None,
     ) -> Tuple[List[Finding], List[Finding], List[str]]:
         """Partition findings against the baseline.
 
         Returns ``(active, baselined, stale)``: findings not covered,
         findings absorbed by an entry, and fingerprints of entries whose
         finding no longer exists (fixed — remove them from the file).
+
+        Fingerprints are path-keyed, so a plain rename would silently
+        expire an entry and re-raise its finding.  A second pass matches
+        leftover findings against leftover entries on
+        ``rule::basename::message``; each fallback match is absorbed and,
+        when ``warnings`` is given, reported so the baseline gets
+        refreshed with the new path.
         """
-        budget = Counter(self.entries)
+        budget: "Counter[str]" = Counter(self.entries)
         active: List[Finding] = []
         grandfathered: List[Finding] = []
         for finding in findings:
@@ -114,5 +123,35 @@ class Baseline:
                 grandfathered.append(finding.into_baseline())
             else:
                 active.append(finding)
+        if active and +budget:
+            # Index surviving budget by the path-insensitive key.
+            by_basename: "Counter[str]" = Counter()
+            key_to_fingerprints: Dict[str, List[str]] = {}
+            for fingerprint, count in budget.items():
+                if count <= 0:
+                    continue
+                rule, file_path, message = fingerprint.split("::", 2)
+                key = f"{rule}::{Path(file_path).name}::{message}"
+                by_basename[key] += count
+                key_to_fingerprints.setdefault(key, []).extend([fingerprint] * count)
+            still_active: List[Finding] = []
+            for finding in active:
+                key = (
+                    f"{finding.rule}::{Path(finding.path).name}::{finding.message}"
+                )
+                if by_basename[key] > 0:
+                    by_basename[key] -= 1
+                    fingerprint = key_to_fingerprints[key].pop(0)
+                    budget[fingerprint] -= 1
+                    grandfathered.append(finding.into_baseline())
+                    if warnings is not None:
+                        warnings.append(
+                            f"baseline entry {fingerprint!r} matched "
+                            f"{finding.path} by basename only (file renamed?); "
+                            "run --update-baseline to refresh the path"
+                        )
+                else:
+                    still_active.append(finding)
+            active = still_active
         stale = sorted(budget.elements())
         return active, grandfathered, stale

@@ -15,16 +15,31 @@ bookkeeping stays in one place.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.context import FileContext, context_from_file, context_from_source
 from repro.analysis.findings import Finding, Severity
 
+if TYPE_CHECKING:
+    from repro.analysis.program import Program
+
 __all__ = [
     "Rule",
+    "ProgramRule",
     "register",
     "all_rules",
     "LintReport",
@@ -50,6 +65,9 @@ class Rule:
     title: str = ""
     severity: Severity = Severity.ERROR
     rationale: str = ""
+    #: Program rules run once per lint with the whole-program view instead
+    #: of once per file; see :class:`ProgramRule`.
+    program: bool = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield every violation of this rule in ``ctx``."""
@@ -69,6 +87,26 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Program rules run once per lint over a :class:`~repro.analysis.program.Program`
+    built from every context in the run; their findings flow through the
+    same suppression/baseline folding as per-file findings, keyed by the
+    context each finding lands in.  ``check`` is a no-op so a program rule
+    accidentally run per-file yields nothing rather than crashing.
+    """
+
+    program: bool = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield every violation of this rule across the program."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -84,9 +122,10 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rules() -> List[Rule]:
-    """Every registered rule, ordered by id (imports the rule module)."""
+    """Every registered rule, ordered by id (imports the rule modules)."""
     # Import for side effect: rule classes register themselves on import.
     from repro.analysis import rules as _rules  # noqa: F401
+    from repro.analysis.program import passes as _passes  # noqa: F401
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
@@ -100,6 +139,13 @@ class LintReport:
     baselined: List[Finding] = field(default_factory=list)
     stale_baseline: List[str] = field(default_factory=list)  # fingerprints
     files_checked: int = 0
+    #: cumulative wall-clock seconds spent in each rule's check, by rule id.
+    rule_timings: Dict[str, float] = field(default_factory=dict)
+    #: pass-0 sizes (files/modules/classes/functions/call graph) when the
+    #: whole-program passes ran; empty when they were skipped.
+    program_stats: Dict[str, int] = field(default_factory=dict)
+    #: non-fatal notices (baseline fallback matches, skipped passes, ...).
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def exit_code(self) -> int:
@@ -147,18 +193,61 @@ def lint_contexts(
     contexts: Sequence[FileContext],
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[Rule]] = None,
+    include_program: bool = True,
 ) -> LintReport:
-    """Run rules over already-built contexts; fold suppressions/baseline."""
+    """Run rules over already-built contexts; fold suppressions/baseline.
+
+    File rules run per context; program rules (``rule.program``) run once
+    over a :class:`~repro.analysis.program.Program` built from every
+    context, unless ``include_program`` is false (partial file sets make
+    whole-program conclusions unsound, so ``--changed-only`` disables them).
+    """
     report = LintReport(files_checked=len(contexts))
     chosen = list(rules) if rules is not None else all_rules()
+    file_rules = [rule for rule in chosen if not rule.program]
+    program_rules = [rule for rule in chosen if rule.program]
     pending: List[Finding] = []
     for ctx in contexts:
         raw: List[Finding] = []
-        for rule in chosen:
+        for rule in file_rules:
+            started = time.perf_counter()
             raw.extend(rule.check(ctx))
+            elapsed = time.perf_counter() - started
+            report.rule_timings[rule.id] = (
+                report.rule_timings.get(rule.id, 0.0) + elapsed
+            )
         pending.extend(_fold_suppressions(ctx, raw, report))
+    if program_rules and include_program and contexts:
+        # Imported lazily: program construction pulls in the pass modules,
+        # which import this engine for the ProgramRule base class.
+        from repro.analysis.program import Program
+
+        started = time.perf_counter()
+        program = Program(contexts)
+        report.program_stats = program.stats()
+        report.rule_timings["pass0"] = time.perf_counter() - started
+        by_rel = {ctx.rel: ctx for ctx in contexts}
+        for rule in program_rules:
+            started = time.perf_counter()
+            raw = list(rule.check_program(program))
+            report.rule_timings[rule.id] = time.perf_counter() - started
+            grouped: Dict[str, List[Finding]] = {}
+            for finding in raw:
+                grouped.setdefault(finding.path, []).append(finding)
+            for rel, batch in grouped.items():
+                ctx = by_rel.get(rel)
+                if ctx is None:
+                    pending.extend(batch)
+                else:
+                    pending.extend(_fold_suppressions(ctx, batch, report))
+    elif program_rules and not include_program:
+        report.warnings.append(
+            "whole-program passes (R14-R17) skipped: partial file set"
+        )
     if baseline is not None:
-        active, grandfathered, stale = baseline.split(pending)
+        active, grandfathered, stale = baseline.split(
+            pending, warnings=report.warnings
+        )
         report.findings.extend(active)
         report.baselined.extend(grandfathered)
         report.stale_baseline.extend(stale)
@@ -181,6 +270,7 @@ def lint_paths(
     repo_root: Path,
     baseline: Optional[Baseline] = None,
     rules: Optional[Sequence[Rule]] = None,
+    include_program: bool = True,
 ) -> LintReport:
     """Lint every python file under ``paths``.
 
@@ -192,7 +282,9 @@ def lint_paths(
     for path in paths:
         for file_path in iter_python_files(Path(path)):
             contexts.append(context_from_file(file_path, repo_root))
-    return lint_contexts(contexts, baseline=baseline, rules=rules)
+    return lint_contexts(
+        contexts, baseline=baseline, rules=rules, include_program=include_program
+    )
 
 
 def lint_source(

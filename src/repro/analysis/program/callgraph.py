@@ -1,0 +1,230 @@
+"""Approximate call-graph construction (pass 0, part 2).
+
+Nodes are qualified names: ``module:func`` for top-level functions and
+``module:Class.method`` for methods.  Edges are resolved from four call
+shapes:
+
+* ``f(...)`` — a local function, or a from-imported function (re-export
+  chains followed through the symbol table),
+* ``Class(...)`` — resolves to ``Class.__init__`` when the class is known,
+* ``self.m(...)`` — method on the enclosing class (or a base class defined
+  in the project),
+* ``self.attr.m(...)`` / ``alias.m(...)`` — resolved via declared ``self``
+  attribute types and module import aliases respectively.
+
+Calls that cannot be resolved are recorded by raw name in
+``CallGraph.unresolved`` so passes can stay conservative about them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, SymbolTable
+
+
+def qualified_name(module: str, cls: Optional[str], func: str) -> str:
+    if cls:
+        return f"{module}:{cls}.{func}"
+    return f"{module}:{func}"
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge origin, with its source position."""
+
+    caller: str
+    callee: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class CallGraph:
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+    #: raw dotted names of calls we could not resolve, per caller.
+    unresolved: Dict[str, Set[str]] = field(default_factory=dict)
+    #: every node we saw a definition for.
+    nodes: Set[str] = field(default_factory=set)
+
+    def add_edge(self, caller: str, callee: str, lineno: int, col: int) -> None:
+        """Record a resolved ``caller -> callee`` edge at a source position."""
+        self.edges.setdefault(caller, set()).add(callee)
+        self.sites.append(CallSite(caller, callee, lineno, col))
+
+    def add_unresolved(self, caller: str, raw: str) -> None:
+        """Record a call in ``caller`` whose target could not be resolved."""
+        self.unresolved.setdefault(caller, set()).add(raw)
+
+    def callees(self, caller: str) -> Set[str]:
+        """Every resolved target called (directly) from ``caller``."""
+        return self.edges.get(caller, set())
+
+    def callers(self, callee: str) -> Set[str]:
+        """Every node with a direct edge into ``callee``."""
+        return {c for c, outs in self.edges.items() if callee in outs}
+
+    def reachable_from(self, start: str) -> Set[str]:
+        """Transitive closure of callees from ``start`` (inclusive)."""
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return seen
+
+    def stats(self) -> Dict[str, int]:
+        """Node/edge/unresolved-call counts for the stats exhibit."""
+        return {
+            "nodes": len(self.nodes),
+            "edges": sum(len(outs) for outs in self.edges.values()),
+            "unresolved": sum(len(raw) for raw in self.unresolved.values()),
+        }
+
+
+def _iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Yield calls inside ``node`` without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(child, ast.Call):
+            yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class _Resolver:
+    def __init__(self, table: SymbolTable, graph: CallGraph) -> None:
+        self.table = table
+        self.graph = graph
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        module: str,
+        cls: Optional[ClassInfo],
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, module)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, module, cls)
+        return None
+
+    def _resolve_name(self, name: str, module: str) -> Optional[str]:
+        resolved = self.table.resolve_function(module, name)
+        if resolved is not None:
+            def_module, info = resolved
+            return qualified_name(def_module, None, info.name)
+        cls_resolved = self.table.resolve_class(module, name)
+        if cls_resolved is not None:
+            def_module, cls_info = cls_resolved
+            if "__init__" in cls_info.methods:
+                return qualified_name(def_module, cls_info.name, "__init__")
+            return qualified_name(def_module, cls_info.name, name)
+        return None
+
+    def _resolve_method(
+        self, def_module: str, cls_info: ClassInfo, method: str, _depth: int = 0
+    ) -> Optional[str]:
+        if method in cls_info.methods:
+            return qualified_name(def_module, cls_info.name, method)
+        if _depth > 4:
+            return None
+        for base in cls_info.bases:
+            resolved = self.table.resolve_class(def_module, base)
+            if resolved is None:
+                resolved = self.table.find_class(base)
+            if resolved is None:
+                continue
+            base_module, base_info = resolved
+            found = self._resolve_method(base_module, base_info, method, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, module: str, cls: Optional[ClassInfo]
+    ) -> Optional[str]:
+        receiver = func.value
+        method = func.attr
+        # self.m(...)
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and cls is not None:
+                return self._resolve_method(module, cls, method)
+            # alias.f(...) where alias is a module import
+            info = self.table.module(module)
+            if info is not None and receiver.id in info.imports:
+                target_module = info.imports[receiver.id]
+                resolved = self.table.resolve_function(target_module, method)
+                if resolved is not None:
+                    def_module, fn = resolved
+                    return qualified_name(def_module, None, fn.name)
+                cls_resolved = self.table.resolve_class(target_module, method)
+                if cls_resolved is not None:
+                    def_module, cls_info = cls_resolved
+                    if "__init__" in cls_info.methods:
+                        return qualified_name(def_module, cls_info.name, "__init__")
+                return None
+            # ClassName.method(...) via from-import or local class
+            if info is not None:
+                cls_resolved = self.table.resolve_class(module, receiver.id)
+                if cls_resolved is not None:
+                    def_module, cls_info = cls_resolved
+                    return self._resolve_method(def_module, cls_info, method)
+        # self.attr.m(...) via declared attribute types
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and cls is not None
+        ):
+            attr_type = cls.attr_types.get(receiver.attr)
+            if attr_type:
+                resolved = self.table.resolve_class(module, attr_type)
+                if resolved is None:
+                    resolved = self.table.find_class(attr_type)
+                if resolved is not None:
+                    def_module, cls_info = resolved
+                    return self._resolve_method(def_module, cls_info, method)
+        return None
+
+
+def _raw_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return f"{_raw_name(func.value)}.{func.attr}"
+    if isinstance(func, ast.Call):
+        return f"{_raw_name(func.func)}()"
+    return "<expr>"
+
+
+def build_callgraph(table: SymbolTable) -> CallGraph:
+    graph = CallGraph()
+    resolver = _Resolver(table, graph)
+    for module_name in sorted(table.modules):
+        info: ModuleInfo = table.modules[module_name]
+        units: List[Tuple[Optional[ClassInfo], FunctionInfo]] = []
+        for fn in info.functions.values():
+            units.append((None, fn))
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                units.append((cls, method))
+        for cls, fn in units:
+            caller = qualified_name(module_name, cls.name if cls else None, fn.name)
+            graph.nodes.add(caller)
+            for call in _iter_calls(fn.node):
+                callee = resolver.resolve_call(call, module_name, cls)
+                if callee is not None:
+                    graph.add_edge(caller, callee, call.lineno, call.col_offset)
+                else:
+                    graph.add_unresolved(caller, _raw_name(call.func))
+    return graph

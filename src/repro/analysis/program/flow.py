@@ -1,0 +1,172 @@
+"""Flow-sensitive lock tracking over method bodies.
+
+Walks a function body in source order, maintaining the set of ``self.<lock>``
+attributes currently held via ``with self._lock:`` statements.  Produces:
+
+* every ``self.<field>`` read/write paired with the held-lock set at that
+  point, and
+* every ``self.m(...)`` call site paired with the held-lock set, so the lock
+  pass can compute which methods are only ever invoked under a lock.
+
+The analysis is intraprocedural and path-insensitive beyond ``with`` scoping:
+branches of an ``if`` inherit the enclosing held set, and a lock acquired in
+one branch is not assumed held after the branch.  ``try``/``finally`` is
+treated like any other block.  Explicit ``.acquire()``/``.release()`` calls
+are NOT modelled — use ``with`` (this is also what R12's confinement pushes
+toward).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Tuple
+
+
+@dataclass
+class FieldAccess:
+    """A ``self.<field>`` load or store, with the locks held at that point."""
+
+    attr: str
+    lineno: int
+    col: int
+    is_store: bool
+    held: FrozenSet[str]
+
+
+@dataclass
+class SelfCall:
+    """A ``self.m(...)`` call, with the locks held at that point."""
+
+    method: str
+    lineno: int
+    held: FrozenSet[str]
+
+
+@dataclass
+class FlowResult:
+    accesses: List[FieldAccess] = field(default_factory=list)
+    self_calls: List[SelfCall] = field(default_factory=list)
+
+
+def _with_locks(node: ast.With) -> List[str]:
+    """Locks acquired by a ``with`` statement: ``with self.<name>:`` items."""
+    locks: List[str] = []
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            locks.append(expr.attr)
+    return locks
+
+
+def _self_attr(node: ast.expr) -> Tuple[bool, str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return True, node.attr
+    return False, ""
+
+
+def _iter_store_targets(stmt: ast.stmt) -> Iterator[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        yield from stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        yield stmt.target
+
+
+class _FlowWalker:
+    def __init__(self) -> None:
+        self.result = FlowResult()
+
+    def walk_body(self, body: List[ast.stmt], held: FrozenSet[str]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: FrozenSet[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, held, is_store=False, skip_self_attr=True)
+            inner = held | frozenset(_with_locks(stmt))
+            self.walk_body(stmt.body, frozenset(inner))
+            return
+        # Record store targets before scanning the value expression.
+        store_targets = list(_iter_store_targets(stmt))
+        for target in store_targets:
+            is_self, attr = _self_attr(target)
+            if is_self:
+                self.result.accesses.append(
+                    FieldAccess(attr, target.lineno, target.col_offset, True, held)
+                )
+            else:
+                self._scan_expr(target, held, is_store=True)
+        # AugAssign both reads and writes the target.
+        if isinstance(stmt, ast.AugAssign):
+            is_self, attr = _self_attr(stmt.target)
+            if is_self:
+                self.result.accesses.append(
+                    FieldAccess(attr, stmt.target.lineno, stmt.target.col_offset, False, held)
+                )
+        for child in ast.iter_child_nodes(stmt):
+            if child in store_targets:
+                continue
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, held, is_store=False)
+            elif isinstance(child, ast.stmt):
+                self._walk_stmt(child, held)
+            elif isinstance(child, (ast.excepthandler, ast.match_case)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._walk_stmt(sub, held)
+                    elif isinstance(sub, ast.expr):
+                        self._scan_expr(sub, held, is_store=False)
+
+    def _scan_expr(
+        self,
+        expr: ast.expr,
+        held: FrozenSet[str],
+        is_store: bool,
+        skip_self_attr: bool = False,
+    ) -> None:
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            is_self, method = (False, "")
+            if isinstance(func, ast.Attribute):
+                is_self, method = _self_attr(func)
+            if is_self:
+                self.result.self_calls.append(SelfCall(method, expr.lineno, held))
+            else:
+                self._scan_expr(func, held, is_store=False)
+            for arg in expr.args:
+                self._scan_expr(arg, held, is_store=False)
+            for kw in expr.keywords:
+                if isinstance(kw.value, ast.expr):
+                    self._scan_expr(kw.value, held, is_store=False)
+            return
+        is_self, attr = _self_attr(expr)
+        if is_self and not skip_self_attr:
+            self.result.accesses.append(
+                FieldAccess(attr, expr.lineno, expr.col_offset, is_store, held)
+            )
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, held, is_store=False)
+            elif isinstance(child, ast.comprehension):
+                self._scan_expr(child.iter, held, is_store=False)
+                for cond in child.ifs:
+                    self._scan_expr(cond, held, is_store=False)
+
+
+def analyze_method(node: ast.FunctionDef) -> FlowResult:
+    """Run the lock-flow analysis over one method body."""
+    walker = _FlowWalker()
+    walker.walk_body(node.body, frozenset())
+    return walker.result

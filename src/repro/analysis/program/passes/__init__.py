@@ -1,0 +1,7 @@
+"""Interprocedural passes R14-R17 (imported for registration side effects)."""
+
+from __future__ import annotations
+
+from . import escape, locks, walorder, wire  # noqa: F401
+
+__all__ = ["locks", "escape", "wire", "walorder"]

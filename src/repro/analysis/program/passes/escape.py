@@ -1,0 +1,223 @@
+"""R15 — publication escape analysis for published read views.
+
+Published values are the return values of ``publish_view``/``latest_view``/
+``read_view``.  The pass enforces two properties:
+
+1. every ``def publish_view`` must freeze what it publishes — its body must
+   call one of ``frozen_copy``/``deepcopy``/``freeze`` somewhere before the
+   value escapes;
+2. no caller may mutate a published value: locals assigned from a
+   ``.publish_view()``/``.latest_view()``/``.read_view()`` call must never
+   have a known mutator (``_set_label``, ``insert_row``, ``delete_subtree``,
+   ``refresh_labels``) invoked on them, be assigned to through an attribute,
+   or be written through a subscript (the ``dict.__setitem__`` shape);
+3. classes constructed inside ``publish_view`` (the view wrappers) must not
+   have methods whose call-graph closure reaches a known mutator.
+
+The tracking is local-variable only (no interprocedural alias analysis);
+docs/ANALYSIS.md lists the resulting false-negative space.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Set
+
+from ...context import FileContext
+from ...engine import ProgramRule, register
+from ...findings import Finding
+from ..callgraph import qualified_name
+
+if TYPE_CHECKING:
+    from .. import Program
+
+_PUBLISHERS = {"publish_view", "latest_view", "read_view"}
+_FREEZERS = {"frozen_copy", "deepcopy", "freeze"}
+_MUTATORS = {"_set_label", "insert_row", "delete_subtree", "refresh_labels"}
+
+
+def _call_attr_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def _root_name(expr: ast.expr) -> str:
+    """The leftmost Name of an attribute/subscript chain, or ''."""
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _iter_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Pre-order, source-ordered walk that skips nested def/class bodies."""
+    stack: List[ast.AST] = list(reversed(list(ast.iter_child_nodes(node))))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(child))))
+
+
+@register
+class PublicationEscapeRule(ProgramRule):
+    id = "R15"
+    title = "published views must be frozen and never mutated by consumers"
+    rationale = (
+        "publish_view/latest_view hand snapshots to readers on other "
+        "threads; a published value that is not deep-copied/frozen, or that "
+        "a consumer mutates, silently corrupts every concurrent reader."
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for ctx in program.contexts:
+            yield from self._check_publishers_freeze(ctx)
+            yield from self._check_consumers(ctx)
+        yield from self._check_view_classes(program)
+
+    def _check_publishers_freeze(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name != "publish_view":
+                continue
+            calls = [
+                child
+                for child in _iter_nodes(node)
+                if isinstance(child, ast.Call)
+            ]
+            if any(_call_attr_name(call) in _FREEZERS for call in calls):
+                continue
+            yield Finding(
+                rule=self.id,
+                message=(
+                    "publish_view does not freeze its payload: call "
+                    "frozen_copy()/deepcopy() before publishing"
+                ),
+                path=ctx.rel,
+                line=node.lineno,
+                column=node.col_offset,
+                severity=self.severity,
+            )
+
+    def _check_consumers(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            published: Set[str] = set()
+            for child in _iter_nodes(node):
+                # var = something.publish_view(...) marks var as published.
+                if isinstance(child, ast.Assign) and isinstance(
+                    child.value, ast.Call
+                ):
+                    if (
+                        isinstance(child.value.func, ast.Attribute)
+                        and child.value.func.attr in _PUBLISHERS
+                    ):
+                        for target in child.targets:
+                            if isinstance(target, ast.Name):
+                                published.add(target.id)
+                        continue
+                if not published:
+                    continue
+                if isinstance(child, ast.Call):
+                    name = _call_attr_name(child)
+                    if (
+                        name in _MUTATORS
+                        and isinstance(child.func, ast.Attribute)
+                        and _root_name(child.func.value) in published
+                    ):
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                f"mutator .{name}() called on published view "
+                                f"'{_root_name(child.func.value)}'"
+                            ),
+                            path=ctx.rel,
+                            line=child.lineno,
+                            column=child.col_offset,
+                            severity=self.severity,
+                        )
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if (
+                            isinstance(target, (ast.Attribute, ast.Subscript))
+                            and _root_name(target) in published
+                        ):
+                            yield Finding(
+                                rule=self.id,
+                                message=(
+                                    "assignment through published view "
+                                    f"'{_root_name(target)}' mutates shared "
+                                    "state"
+                                ),
+                                path=ctx.rel,
+                                line=target.lineno,
+                                column=target.col_offset,
+                                severity=self.severity,
+                            )
+
+    def _check_view_classes(self, program: "Program") -> Iterator[Finding]:
+        """Methods of classes constructed inside publish_view must not
+        transitively reach a known mutator through the call graph."""
+        for module_name in sorted(program.symbols.modules):
+            info = program.symbols.modules[module_name]
+            ctx = program.context_for_module(module_name)
+            if ctx is None:
+                continue
+            publishers = [
+                fn.node
+                for cls in info.classes.values()
+                for fn in cls.methods.values()
+                if fn.name == "publish_view"
+            ]
+            publishers.extend(
+                fn.node for fn in info.functions.values() if fn.name == "publish_view"
+            )
+            constructed: Set[str] = set()
+            for node in publishers:
+                for child in _iter_nodes(node):
+                    if isinstance(child, ast.Call) and isinstance(
+                        child.func, ast.Name
+                    ):
+                        if program.symbols.resolve_class(
+                            module_name, child.func.id
+                        ):
+                            constructed.add(child.func.id)
+            for cls_name in sorted(constructed):
+                resolved = program.symbols.resolve_class(module_name, cls_name)
+                if resolved is None:
+                    continue
+                def_module, cls_info = resolved
+                def_ctx = program.context_for_module(def_module)
+                if def_ctx is None:
+                    continue
+                for method in cls_info.methods.values():
+                    if method.name.startswith("__"):
+                        continue
+                    start = qualified_name(def_module, cls_info.name, method.name)
+                    reached = program.callgraph.reachable_from(start)
+                    hits = sorted(
+                        node
+                        for node in reached
+                        if node.rsplit(".", 1)[-1].split(":")[-1] in _MUTATORS
+                    )
+                    if hits:
+                        yield Finding(
+                            rule=self.id,
+                            message=(
+                                f"published view class {cls_info.name}."
+                                f"{method.name} can reach mutator "
+                                f"{hits[0].split(':', 1)[1]}"
+                            ),
+                            path=def_ctx.rel,
+                            line=method.lineno,
+                            column=0,
+                            severity=self.severity,
+                        )

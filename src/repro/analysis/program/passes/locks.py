@@ -1,0 +1,124 @@
+"""R14 — lock discipline for ``# repro: guarded-by`` declared fields.
+
+A class declares its locking protocol with a comment inside the class body::
+
+    class LiveCollection:
+        # repro: guarded-by(_publish_lock): _latest_view, _version
+
+Every ``self.<field>`` access of a declared field must then happen while the
+declared lock is held.  "Held" means one of:
+
+* the access is lexically inside ``with self.<lock>:`` (tracked by
+  :mod:`repro.analysis.program.flow`), or
+* the enclosing method is *protected*: it has at least one in-class
+  ``self.m()`` call site, and every call site is either under the lock or
+  inside another protected method (computed as a fixpoint).
+
+``__init__``/``__new__`` and classmethods are exempt: the object is not yet
+shared (or ``self`` is not bound), so no lock can be required.  Only
+``self.<field>`` expressions are tracked — aliasing through locals or other
+objects is out of scope (documented in docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set, Tuple
+
+from ...context import FileContext
+from ...engine import ProgramRule, register
+from ...findings import Finding
+from ..flow import FlowResult, analyze_method
+from ..symbols import ClassInfo
+
+if TYPE_CHECKING:
+    from .. import Program
+
+_EXEMPT_METHODS = {"__init__", "__new__"}
+
+
+def _protected_methods(
+    flows: Dict[str, FlowResult], lock: str
+) -> Set[str]:
+    """Methods whose every in-class call site holds ``lock`` (fixpoint)."""
+    callsites: Dict[str, List[Tuple[str, bool]]] = {name: [] for name in flows}
+    for caller, flow in flows.items():
+        for call in flow.self_calls:
+            if call.method in callsites:
+                callsites[call.method].append((caller, lock in call.held))
+    protected: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for method, sites in callsites.items():
+            if method in protected or not sites:
+                continue
+            if all(
+                under_lock or caller in protected for caller, under_lock in sites
+            ):
+                protected.add(method)
+                changed = True
+    return protected
+
+
+@register
+class GuardedByRule(ProgramRule):
+    id = "R14"
+    title = "guarded-by fields must be accessed under their declared lock"
+    rationale = (
+        "Fields declared '# repro: guarded-by(<lock>): ...' form the class's "
+        "locking protocol; an access outside 'with self.<lock>:' (and outside "
+        "methods only ever called under it) is a data race waiting for a "
+        "second thread."
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for module_name in sorted(program.symbols.modules):
+            info = program.symbols.modules[module_name]
+            ctx = program.context_for_module(module_name)
+            if ctx is None:
+                continue
+            for cls in info.classes.values():
+                if not cls.guards:
+                    continue
+                yield from self._check_class(ctx, cls)
+
+    def _check_class(self, ctx: FileContext, cls: ClassInfo) -> Iterator[Finding]:
+        guarded = cls.guarded_fields
+        flows: Dict[str, FlowResult] = {}
+        for name, method in cls.methods.items():
+            if name in _EXEMPT_METHODS or method.is_classmethod:
+                continue
+            if method.is_staticmethod:
+                continue
+            flows[name] = analyze_method(method.node)
+        protected_by_lock: Dict[str, Set[str]] = {}
+        for lock in set(guarded.values()):
+            protected_by_lock[lock] = _protected_methods(flows, lock)
+        seen: Set[Tuple[int, int, str]] = set()
+        for name, flow in flows.items():
+            for access in flow.accesses:
+                lock = guarded.get(access.attr)
+                if lock is None:
+                    continue
+                if lock in access.held:
+                    continue
+                if name in protected_by_lock.get(lock, set()):
+                    continue
+                site = (access.lineno, access.col, access.attr)
+                if site in seen:
+                    # An AugAssign is both a read and a write of the same
+                    # attribute; one finding per site is enough.
+                    continue
+                seen.add(site)
+                verb = "write" if access.is_store else "read"
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"{verb} of {cls.name}.{access.attr} outside "
+                        f"'with self.{lock}:' (declared guarded-by {lock})"
+                    ),
+                    path=ctx.rel,
+                    line=access.lineno,
+                    column=access.col,
+                    severity=self.severity,
+                )

@@ -1,0 +1,689 @@
+"""R16 — wire-protocol exhaustiveness: encoder/decoder parity per version.
+
+The on-disk formats (RPSN snapshots, RPLS label stores, RPWL WAL segments,
+varint label codec) each have a hand-written encoder and decoder.  This pass
+extracts a *token stream* from both sides and proves they agree, per format
+version:
+
+* writer tokens come from ``out.append(struct.pack(fmt, ...))`` / list
+  initialisers (``fmt``), ``write_int``/``_write_int``/``_write_varint``
+  calls (``INT``), ``_write_string(out, x, W)`` (``STR:W``), ``_write_tree``
+  (``TREE``) and ``codec.encode`` (``LABEL``);
+* reader tokens come from ``reader.unpack(fmt)``, ``read_int``/
+  ``_read_int``/``_read_varint``, ``reader.string(W)``, ``_read_tree`` and
+  ``codec.decode``.  ``reader.take`` and direct ``struct.unpack`` (the CRC
+  pre-checks) are checksum plumbing, not fields, and are skipped — as are
+  ``struct.pack`` calls outside an append/list-init (the CRC footers).
+
+Version dispatch (``if version >= 3: ...``) is resolved symbolically: the
+extractor evaluates comparisons of ``version`` against integer constants
+(module constants like ``_SUPPORTED_VERSIONS`` resolve through the symbol
+table) and walks only the live branch for each candidate version; any other
+condition descends both branches.
+
+On top of stream parity the pass checks the WAL v3 opcode tables (every
+emitted opcode decodable and vice versa, values unique and non-zero, both
+codecs driven by the shared ``_OP_FIELDS`` table), per-module version
+tables (default version supported, newest version is the default), the
+``DurableCollection._FORMAT_VERSIONS`` cross-module map, and the label-kind
+vocabulary shared by ``_kind_of``/``ints_to_label``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ...context import FileContext
+from ...engine import ProgramRule, register
+from ...findings import Finding
+
+if TYPE_CHECKING:
+    from .. import Program
+
+_INT_WRITERS = {"write_int", "_write_int", "_write_varint"}
+_INT_READERS = {"read_int", "_read_int", "_read_varint"}
+
+
+class _Unresolvable(Exception):
+    """A condition the extractor cannot evaluate for a fixed version."""
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _receiver_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute) and isinstance(
+        call.func.value, ast.Name
+    ):
+        return call.func.value.id
+    return ""
+
+
+def _const_str(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+class _Evaluator:
+    """Evaluate version-dispatch conditions for one candidate version."""
+
+    def __init__(
+        self, version: Optional[int], constants: Dict[str, object]
+    ) -> None:
+        self.version = version
+        self.constants = constants
+
+    def value(self, expr: ast.expr) -> object:
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.id == "version":
+                if self.version is None:
+                    raise _Unresolvable(expr.id)
+                return self.version
+            if expr.id in self.constants:
+                return self.constants[expr.id]
+            raise _Unresolvable(expr.id)
+        if isinstance(expr, ast.Tuple):
+            return tuple(self.value(elt) for elt in expr.elts)
+        raise _Unresolvable(ast.dump(expr))
+
+    def test(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            return not self.test(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            results = [self.test(v) for v in expr.values]
+            return all(results) if isinstance(expr.op, ast.And) else any(results)
+        if isinstance(expr, ast.Compare) and len(expr.ops) == 1:
+            left = self.value(expr.left)
+            right = self.value(expr.comparators[0])
+            op = expr.ops[0]
+            try:
+                if isinstance(op, ast.Lt):
+                    return bool(left < right)  # type: ignore[operator]
+                if isinstance(op, ast.LtE):
+                    return bool(left <= right)  # type: ignore[operator]
+                if isinstance(op, ast.Gt):
+                    return bool(left > right)  # type: ignore[operator]
+                if isinstance(op, ast.GtE):
+                    return bool(left >= right)  # type: ignore[operator]
+                if isinstance(op, ast.Eq):
+                    return bool(left == right)
+                if isinstance(op, ast.NotEq):
+                    return bool(left != right)
+                if isinstance(op, ast.In):
+                    return left in right  # type: ignore[operator]
+                if isinstance(op, ast.NotIn):
+                    return left not in right  # type: ignore[operator]
+            except TypeError as error:
+                raise _Unresolvable(str(error)) from error
+        raise _Unresolvable(ast.dump(expr))
+
+
+class _StreamExtractor:
+    """Extract the field-token stream of one encoder or decoder body."""
+
+    def __init__(self, mode: str, evaluator: _Evaluator) -> None:
+        self.mode = mode  # "writer" | "reader"
+        self.evaluator = evaluator
+        self.tokens: List[str] = []
+
+    def run(self, node: ast.FunctionDef) -> List[str]:
+        self._walk_body(node.body)
+        return self.tokens
+
+    def _walk_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.If):
+            try:
+                live = self.evaluator.test(stmt.test)
+            except _Unresolvable:
+                self._walk_body(stmt.body)
+                self._walk_body(stmt.orelse)
+                return
+            self._walk_body(stmt.body if live else stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self._walk_expr(stmt.iter, packing=False)
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+            return
+        if isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(stmt.orelse)
+            self._walk_body(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._walk_expr(item.context_expr, packing=False)
+            self._walk_body(stmt.body)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            if value is None:
+                return
+            # List initialisers count as emit sites: out = [MAGIC, pack(...)]
+            packing = self.mode == "writer" and isinstance(value, ast.List)
+            self._walk_expr(value, packing=packing)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            # CRC footers (blob += struct.pack(...)) are not fields.
+            return
+        if isinstance(stmt, (ast.Expr, ast.Return, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._walk_expr(child, packing=False)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._walk_expr(child, packing=False)
+            elif isinstance(child, ast.stmt):
+                self._walk_stmt(child)
+
+    def _walk_expr(self, expr: ast.expr, packing: bool) -> None:
+        if isinstance(expr, ast.IfExp):
+            try:
+                live = self.evaluator.test(expr.test)
+            except _Unresolvable:
+                self._walk_expr(expr.body, packing)
+                self._walk_expr(expr.orelse, packing)
+                return
+            self._walk_expr(expr.body if live else expr.orelse, packing)
+            return
+        if isinstance(expr, ast.Call):
+            if self._handle_call(expr, packing):
+                return
+            self._walk_expr(expr.func, packing=False)
+            for arg in expr.args:
+                self._walk_expr(arg, packing)
+            for kw in expr.keywords:
+                self._walk_expr(kw.value, packing)
+            return
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            self._walk_expr(expr.elt, packing=False)
+            for gen in expr.generators:
+                self._walk_expr(gen.iter, packing=False)
+            return
+        if isinstance(expr, ast.DictComp):
+            self._walk_expr(expr.key, packing=False)
+            self._walk_expr(expr.value, packing=False)
+            for gen in expr.generators:
+                self._walk_expr(gen.iter, packing=False)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._walk_expr(child, packing)
+
+    def _handle_call(self, call: ast.Call, packing: bool) -> bool:
+        """Emit a token for ``call`` if it is a field operation; True if done."""
+        name = _call_name(call)
+        receiver = _receiver_name(call)
+        if self.mode == "writer":
+            if name == "append" and isinstance(call.func, ast.Attribute):
+                for arg in call.args:
+                    self._walk_expr(arg, packing=True)
+                return True
+            if name == "pack" and receiver == "struct":
+                if packing:
+                    fmt = _const_str(call.args[0]) if call.args else None
+                    self.tokens.append(fmt if fmt is not None else "PACK:?")
+                return True
+            if name in _INT_WRITERS:
+                self.tokens.append("INT")
+                return True
+            if name == "_write_string":
+                width = (
+                    _const_str(call.args[2]) if len(call.args) >= 3 else None
+                )
+                self.tokens.append(f"STR:{width or '?'}")
+                return True
+            if name == "_write_tree":
+                self.tokens.append("TREE")
+                return True
+            if name == "encode" and receiver == "codec":
+                self.tokens.append("LABEL")
+                return True
+        else:
+            if name == "unpack" and receiver != "struct":
+                fmt = _const_str(call.args[0]) if call.args else None
+                self.tokens.append(fmt if fmt is not None else "UNPACK:?")
+                return True
+            if name == "unpack" and receiver == "struct":
+                return True  # CRC pre-checks, not fields
+            if name == "string":
+                width = _const_str(call.args[0]) if call.args else None
+                self.tokens.append(f"STR:{width or '?'}")
+                return True
+            if name in _INT_READERS:
+                self.tokens.append("INT")
+                return True
+            if name == "_read_tree":
+                self.tokens.append("TREE")
+                return True
+            if name == "decode" and receiver == "codec":
+                self.tokens.append("LABEL")
+                return True
+            if name == "take":
+                return True  # raw byte plumbing (magic, CRC slices)
+        return False
+
+
+@dataclass
+class _PairSpec:
+    writer: str
+    reader: str
+
+
+@dataclass
+class _ModuleSpec:
+    pairs: List[_PairSpec] = field(default_factory=list)
+    supported_const: Optional[str] = None
+    default_const: Optional[str] = None
+
+
+_MODULE_SPECS: Dict[str, _ModuleSpec] = {
+    "repro.durable.snapshot": _ModuleSpec(
+        pairs=[
+            _PairSpec("snapshot_bytes", "_decode_body"),
+            _PairSpec("_write_tree", "_read_tree"),
+        ],
+        supported_const="_SUPPORTED_VERSIONS",
+        default_const="_VERSION",
+    ),
+    "repro.query.persist": _ModuleSpec(
+        pairs=[_PairSpec("save_store", "_load_store_checked")],
+        supported_const="_SUPPORTED_VERSIONS",
+        default_const="_VERSION",
+    ),
+    "repro.labeling.codec": _ModuleSpec(
+        pairs=[_PairSpec("VarintCodec.encode", "VarintCodec.decode")],
+    ),
+    "repro.durable.wal": _ModuleSpec(
+        supported_const="SUPPORTED_WAL_VERSIONS",
+        default_const="_DEFAULT_VERSION",
+    ),
+}
+
+
+def _find_function(
+    module_tree: ast.Module, dotted: str
+) -> Optional[ast.FunctionDef]:
+    parts = dotted.split(".")
+    body: Sequence[ast.stmt] = module_tree.body
+    for index, part in enumerate(parts):
+        found = None
+        for stmt in body:
+            if index < len(parts) - 1:
+                if isinstance(stmt, ast.ClassDef) and stmt.name == part:
+                    found = stmt
+                    break
+            else:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == part:
+                    return stmt
+        if found is None:
+            return None
+        body = found.body
+    return None
+
+
+def _find_assign(
+    module_tree: ast.Module, name: str
+) -> Optional[ast.stmt]:
+    for stmt in module_tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt
+    return None
+
+
+def _str_keyed_dict(
+    module_tree: ast.Module, name: str
+) -> Optional[Dict[str, object]]:
+    """A module-level dict literal's string keys, values best-effort.
+
+    ``_OP_FIELDS`` maps names to shapes containing ``int``/``str`` type
+    objects, which ``ast.literal_eval`` rejects — so the symbol table
+    never records it as a constant.  The table checks only need the key
+    sets (and, for ``_OPCODES``, the int codes), so read them straight
+    off the AST and fall back to ``None`` for unevaluable values.
+    """
+    stmt = _find_assign(module_tree, name)
+    if stmt is None:
+        return None
+    value = stmt.value if isinstance(stmt, (ast.Assign, ast.AnnAssign)) else None
+    if not isinstance(value, ast.Dict):
+        return None
+    out: Dict[str, object] = {}
+    for key, val in zip(value.keys, value.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            try:
+                out[key.value] = ast.literal_eval(val)
+            except (ValueError, SyntaxError):
+                out[key.value] = None
+    return out
+
+
+def _references(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )
+
+
+@register
+class WireParityRule(ProgramRule):
+    id = "R16"
+    title = "wire-format encoders and decoders must agree per version"
+    rationale = (
+        "Encode/decode drift between format versions corrupts data silently: "
+        "an opcode without a decode branch, a field written in one order and "
+        "read in another, or a version the dispatch table misses all turn "
+        "into garbage labels on the next recovery."
+    )
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        for module_name, spec in _MODULE_SPECS.items():
+            ctx = program.context_for_module(module_name)
+            if ctx is None:
+                continue
+            info = program.symbols.modules.get(module_name)
+            constants = dict(info.constants) if info is not None else {}
+            yield from self._check_versions(ctx, spec, constants)
+            yield from self._check_pairs(ctx, spec, constants)
+            if module_name == "repro.durable.wal":
+                yield from self._check_wal_tables(ctx, constants)
+            if module_name == "repro.labeling.codec":
+                yield from self._check_kind_vocabulary(ctx)
+        yield from self._check_format_map(program)
+
+    # -- version tables ------------------------------------------------
+
+    def _check_versions(
+        self, ctx: FileContext, spec: _ModuleSpec, constants: Dict[str, object]
+    ) -> Iterator[Finding]:
+        if spec.supported_const is None or spec.default_const is None:
+            return
+        supported = constants.get(spec.supported_const)
+        default = constants.get(spec.default_const)
+        if not isinstance(supported, tuple) or not isinstance(default, int):
+            return
+        anchor = _find_assign(ctx.tree, spec.default_const)
+        line = anchor.lineno if anchor is not None else 1
+        if default not in supported:
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"default format version {default} is not in "
+                    f"{spec.supported_const} {supported}"
+                ),
+                path=ctx.rel,
+                line=line,
+                severity=self.severity,
+            )
+        elif supported and max(int(v) for v in supported) != default:
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"newest supported version {max(int(v) for v in supported)} "
+                    f"is not the default ({spec.default_const} = {default}); "
+                    "new files would be written in an old format"
+                ),
+                path=ctx.rel,
+                line=line,
+                severity=self.severity,
+            )
+
+    # -- token-stream parity -------------------------------------------
+
+    def _check_pairs(
+        self, ctx: FileContext, spec: _ModuleSpec, constants: Dict[str, object]
+    ) -> Iterator[Finding]:
+        versions: List[Optional[int]] = [None]
+        if spec.supported_const is not None:
+            supported = constants.get(spec.supported_const)
+            if isinstance(supported, tuple) and supported:
+                versions = [int(v) for v in supported]
+        for pair in spec.pairs:
+            writer = _find_function(ctx.tree, pair.writer)
+            reader = _find_function(ctx.tree, pair.reader)
+            if writer is None or reader is None:
+                continue
+            for version in versions:
+                evaluator = _Evaluator(version, constants)
+                wrote = _StreamExtractor("writer", evaluator).run(writer)
+                read = _StreamExtractor("reader", evaluator).run(reader)
+                if wrote == read:
+                    continue
+                label = f"version {version}" if version is not None else "all versions"
+                index = next(
+                    (
+                        i
+                        for i, (a, b) in enumerate(zip(wrote, read))
+                        if a != b
+                    ),
+                    min(len(wrote), len(read)),
+                )
+                wrote_at = wrote[index] if index < len(wrote) else "<end>"
+                read_at = read[index] if index < len(read) else "<end>"
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"{pair.writer}/{pair.reader} disagree for {label}: "
+                        f"field {index + 1} is {wrote_at!r} on the write side "
+                        f"but {read_at!r} on the read side "
+                        f"(writer emits {len(wrote)} fields, reader consumes "
+                        f"{len(read)})"
+                    ),
+                    path=ctx.rel,
+                    line=writer.lineno,
+                    column=writer.col_offset,
+                    severity=self.severity,
+                )
+
+    # -- WAL opcode tables ---------------------------------------------
+
+    def _check_wal_tables(
+        self, ctx: FileContext, constants: Dict[str, object]
+    ) -> Iterator[Finding]:
+        opcodes = _str_keyed_dict(ctx.tree, "_OPCODES")
+        op_fields = _str_keyed_dict(ctx.tree, "_OP_FIELDS")
+        if opcodes is None or op_fields is None:
+            return
+        anchor = _find_assign(ctx.tree, "_OPCODES")
+        line = anchor.lineno if anchor is not None else 1
+        decodable = set(op_fields) | {"batch"}
+        for name in sorted(set(opcodes) - decodable):
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"WAL opcode {name!r} (code {opcodes[name]}) is emitted "
+                    "by the v3 encoder but has no _OP_FIELDS entry, so the "
+                    "decoder cannot read it"
+                ),
+                path=ctx.rel,
+                line=line,
+                severity=self.severity,
+            )
+        for name in sorted(set(op_fields) - set(opcodes)):
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"WAL field table entry {name!r} has no opcode in "
+                    "_OPCODES, so the encoder can never emit it"
+                ),
+                path=ctx.rel,
+                line=line,
+                severity=self.severity,
+            )
+        by_code: Dict[object, List[str]] = {}
+        for name, code in opcodes.items():
+            by_code.setdefault(code, []).append(str(name))
+        for code, names in sorted(by_code.items(), key=lambda kv: str(kv[0])):
+            if len(names) > 1:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"WAL opcodes {sorted(names)} share code {code}; "
+                        "decode is ambiguous"
+                    ),
+                    path=ctx.rel,
+                    line=line,
+                    severity=self.severity,
+                )
+            if code == 0:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"WAL opcode {names[0]!r} uses code 0, which is "
+                        "reserved for the JSON fallback record"
+                    ),
+                    path=ctx.rel,
+                    line=line,
+                    severity=self.severity,
+                )
+        encoder = _find_function(ctx.tree, "_encode_op_v3")
+        decoder = _find_function(ctx.tree, "_decode_op_v3")
+        if encoder is not None and decoder is not None:
+            for fn in (encoder, decoder):
+                if not _references(fn, "_OP_FIELDS"):
+                    yield Finding(
+                        rule=self.id,
+                        message=(
+                            f"{fn.name} does not read the shared _OP_FIELDS "
+                            "table; encoder and decoder field orders can "
+                            "drift independently"
+                        ),
+                        path=ctx.rel,
+                        line=fn.lineno,
+                        severity=self.severity,
+                    )
+
+    # -- label-kind vocabulary -----------------------------------------
+
+    def _check_kind_vocabulary(self, ctx: FileContext) -> Iterator[Finding]:
+        kind_of = _find_function(ctx.tree, "_kind_of")
+        ints_to_label = _find_function(ctx.tree, "ints_to_label")
+        if kind_of is None or ints_to_label is None:
+            return
+        produced: Set[str] = set()
+        for node in ast.walk(kind_of):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Constant):
+                if isinstance(node.value.value, str):
+                    produced.add(node.value.value)
+        consumed: Set[str] = set()
+        for node in ast.walk(ints_to_label):
+            if isinstance(node, ast.Compare):
+                for comparator in [node.left, *node.comparators]:
+                    if isinstance(comparator, ast.Constant) and isinstance(
+                        comparator.value, str
+                    ):
+                        consumed.add(comparator.value)
+        for kind in sorted(produced - consumed):
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"label kind {kind!r} is produced by _kind_of but "
+                    "ints_to_label has no branch for it"
+                ),
+                path=ctx.rel,
+                line=ints_to_label.lineno,
+                severity=self.severity,
+            )
+        for kind in sorted(consumed - produced):
+            yield Finding(
+                rule=self.id,
+                message=(
+                    f"ints_to_label handles label kind {kind!r} that "
+                    "_kind_of never produces (dead or misspelled branch)"
+                ),
+                path=ctx.rel,
+                line=ints_to_label.lineno,
+                severity=self.severity,
+            )
+
+    # -- cross-module version map --------------------------------------
+
+    def _check_format_map(self, program: "Program") -> Iterator[Finding]:
+        ctx = program.context_for_module("repro.durable.collection")
+        if ctx is None:
+            return
+        info = program.symbols.modules.get("repro.durable.collection")
+        if info is None or "DurableCollection" not in info.classes:
+            return
+        cls = info.classes["DurableCollection"]
+        assign = None
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "_FORMAT_VERSIONS"
+                    ):
+                        assign = stmt
+        if assign is None:
+            return
+        try:
+            format_map = ast.literal_eval(assign.value)
+        except (ValueError, SyntaxError):
+            return
+        if not isinstance(format_map, dict):
+            return
+        snap_info = program.symbols.modules.get("repro.durable.snapshot")
+        wal_info = program.symbols.modules.get("repro.durable.wal")
+        snap_supported = (
+            snap_info.constants.get("_SUPPORTED_VERSIONS") if snap_info else None
+        )
+        wal_supported = (
+            wal_info.constants.get("SUPPORTED_WAL_VERSIONS") if wal_info else None
+        )
+        for collection_version, pair in sorted(format_map.items()):
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                continue
+            snap_version, wal_version = pair
+            if (
+                isinstance(snap_supported, tuple)
+                and snap_version not in snap_supported
+            ):
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"_FORMAT_VERSIONS[{collection_version}] pins "
+                        f"snapshot version {snap_version}, which "
+                        "repro.durable.snapshot does not support"
+                    ),
+                    path=ctx.rel,
+                    line=assign.lineno,
+                    severity=self.severity,
+                )
+            if isinstance(wal_supported, tuple) and wal_version not in wal_supported:
+                yield Finding(
+                    rule=self.id,
+                    message=(
+                        f"_FORMAT_VERSIONS[{collection_version}] pins WAL "
+                        f"version {wal_version}, which repro.durable.wal "
+                        "does not support"
+                    ),
+                    path=ctx.rel,
+                    line=assign.lineno,
+                    severity=self.severity,
+                )

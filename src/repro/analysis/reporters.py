@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Sequence
 from repro.analysis.engine import LintReport, Rule, all_rules
 from repro.analysis.findings import Finding
 
-__all__ = ["render_text", "render_json", "render_sarif"]
+__all__ = ["render_text", "render_json", "render_sarif", "render_stats"]
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = (
@@ -44,6 +44,8 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
         lines.append(
             f"stale baseline entry (finding fixed — remove it): {fingerprint}"
         )
+    for warning in report.warnings:
+        lines.append(f"warning: {warning}")
     lines.append(
         f"{len(report.findings)} finding(s), {len(report.suppressed)} "
         f"suppressed, {len(report.baselined)} baselined, "
@@ -61,6 +63,7 @@ def render_json(report: LintReport) -> str:
         "suppressed": [finding.to_dict() for finding in report.suppressed],
         "baselined": [finding.to_dict() for finding in report.baselined],
         "stale_baseline": list(report.stale_baseline),
+        "warnings": list(report.warnings),
         "summary": {
             "files_checked": report.files_checked,
             "active": len(report.findings),
@@ -68,9 +71,44 @@ def render_json(report: LintReport) -> str:
             "baselined": len(report.baselined),
             "stale_baseline": len(report.stale_baseline),
             "exit_code": report.exit_code,
+            "rule_timings": {
+                rule: round(seconds, 6)
+                for rule, seconds in sorted(report.rule_timings.items())
+            },
+            "program": dict(report.program_stats),
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_stats(report: LintReport) -> str:
+    """The ``--stats`` self-audit exhibit: sizes, runtimes, rule counts."""
+    lines: List[str] = ["# lint run statistics", ""]
+    if report.program_stats:
+        lines.append("whole-program pass 0:")
+        for key in sorted(report.program_stats):
+            lines.append(f"  {key:<18} {report.program_stats[key]}")
+    else:
+        lines.append("whole-program pass 0: skipped")
+    lines.append("")
+    lines.append("rule runtimes (cumulative seconds):")
+    for rule in sorted(report.rule_timings):
+        lines.append(f"  {rule:<6} {report.rule_timings[rule]:.4f}")
+    counts: Dict[str, List[int]] = {}
+    for bucket_index, bucket in enumerate(
+        (report.findings, report.suppressed, report.baselined)
+    ):
+        for finding in bucket:
+            counts.setdefault(finding.rule, [0, 0, 0])[bucket_index] += 1
+    lines.append("")
+    lines.append("per-rule finding counts (active/suppressed/baselined):")
+    if counts:
+        for rule in sorted(counts):
+            active, suppressed, baselined = counts[rule]
+            lines.append(f"  {rule:<6} {active}/{suppressed}/{baselined}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
 
 
 def _sarif_rules(rules: Sequence[Rule]) -> List[Dict[str, Any]]:

@@ -429,7 +429,7 @@ class DurableCollection:
 
         try:
             resolved = self.resolve_batch(encoded)
-            report = self.live.apply_batch(resolved, before_op=log_address)
+            report = self.live.apply_batch(resolved, before_op=log_address)  # repro: ignore[R17] -- group commit: the apply builds the batch record's addresses, the single _log call makes it durable, and any failure in between rolls back via _rollback_batch, so no applied-but-unlogged state survives
             seq = self._log(batch_record(payload))
         except InjectedCrash:
             # Simulated process death: in-memory state is moot, and the

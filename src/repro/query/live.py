@@ -247,6 +247,7 @@ class LiveCollection:
         if len(self._index_by_root) != len(self._ordered):
             raise QueryEvaluationError("the same document appears twice")
         self._publish_lock = threading.Lock()
+        # repro: guarded-by(_publish_lock): _latest_view, _version
         self._latest_view: Optional[ReadView] = None
         self._version = 0
 
@@ -459,12 +460,12 @@ class LiveCollection:
         Safe from any thread: reading one attribute is atomic under the
         GIL and the returned object is immutable.
         """
-        return self._latest_view
+        return self._latest_view  # repro: ignore[R14] -- single GIL-atomic read of an immutable reference; the lock only serializes writers
 
     def read_view(self) -> ReadView:
         """A view to read from: the latest published one, or — before the
         first publication — a fresh publish of the current state."""
-        view = self._latest_view
+        view = self._latest_view  # repro: ignore[R14] -- GIL-atomic read; publish_view re-checks under the lock
         if view is None:
             view = self.publish_view()
         return view

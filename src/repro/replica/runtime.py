@@ -44,6 +44,8 @@ class TailerThread:
     def __init__(self, replica: ReplicaCollection, interval: float = 0.002):
         self.replica = replica
         self.interval = interval
+        self._lock = threading.Lock()
+        # repro: guarded-by(_lock): polls, applied, error
         self.polls = 0
         self.applied = 0
         self.error: Optional[BaseException] = None
@@ -56,13 +58,15 @@ class TailerThread:
         try:
             while not self._stop.is_set():
                 applied = self.replica.poll()
-                self.polls += 1
-                self.applied += applied
+                with self._lock:
+                    self.polls += 1
+                    self.applied += applied
                 if not applied:
                     self._stop.wait(self.interval)
         except BaseException as error:  # noqa: BLE001 - reported on stop()
             metrics.incr("replica.tailer_thread_failures")
-            self.error = error
+            with self._lock:
+                self.error = error
 
     def start(self) -> "TailerThread":
         """Start the polling loop; returns ``self`` for chaining."""
@@ -70,11 +74,18 @@ class TailerThread:
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Signal, join, and re-raise any error the loop captured."""
+        """Signal, join, and re-raise any error the loop captured.
+
+        The join can time out with the loop still running (a stuck poll),
+        so the error read takes the counter lock rather than assuming the
+        thread is gone.
+        """
         self._stop.set()
         self._thread.join(timeout=timeout)
-        if self.error is not None:
-            raise self.error
+        with self._lock:
+            error = self.error
+        if error is not None:
+            raise error
 
 
 @dataclass
